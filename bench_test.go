@@ -1,0 +1,387 @@
+// Benchmarks regenerating the paper's evaluation. The paper is a theory
+// paper whose single figure (Figure 1) is a table of register bounds; each
+// benchmark below regenerates one row family of that table or one
+// theorem-level claim, reporting registers and simulator steps as metrics.
+// See EXPERIMENTS.md for the paper-vs-measured record.
+package setagreement_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"setagreement"
+	"setagreement/internal/core"
+	"setagreement/internal/experiments"
+	"setagreement/internal/lowerbound"
+	"setagreement/internal/sched"
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+	"setagreement/internal/snapshot"
+)
+
+// benchParams is the standard parameter sweep used across benchmarks.
+var benchParams = []core.Params{
+	{N: 4, M: 1, K: 1},
+	{N: 6, M: 1, K: 2},
+	{N: 6, M: 2, K: 3},
+	{N: 8, M: 1, K: 3},
+	{N: 8, M: 2, K: 5},
+	{N: 10, M: 3, K: 5},
+}
+
+// runSteps runs the algorithm to completion sequentially and returns steps.
+func runSteps(b *testing.B, alg core.Algorithm, instances int) int {
+	b.Helper()
+	inputs := make([][]int, alg.Params().N)
+	for i := range inputs {
+		inputs[i] = make([]int, instances)
+		for t := range inputs[i] {
+			inputs[i][t] = 1000*(t+1) + i
+		}
+	}
+	memSpec, procs := core.System(alg, inputs)
+	r, err := sim.NewRunner(memSpec, procs)
+	if err != nil {
+		b.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	if _, err := r.Run(&sched.Sequential{}, 10_000_000); err != nil {
+		b.Fatalf("Run: %v", err)
+	}
+	if !r.AllDone() {
+		b.Fatal("run did not complete")
+	}
+	return r.Steps()
+}
+
+// BenchmarkFig1Table regenerates the full Figure 1 table (formulas plus
+// empirical validation of every cell) per iteration.
+func BenchmarkFig1Table(b *testing.B) {
+	points := []core.Params{{N: 4, M: 1, K: 2}, {N: 6, M: 2, K: 3}}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1(points, 2, 1); err != nil {
+			b.Fatalf("Fig1: %v", err)
+		}
+	}
+}
+
+// BenchmarkOneShot measures the Figure 3 algorithm (Theorem 7 upper bound):
+// registers and steps for all n processes to decide.
+func BenchmarkOneShot(b *testing.B) {
+	for _, p := range benchParams {
+		b.Run(p.String(), func(b *testing.B) {
+			alg, err := core.NewOneShot(p)
+			if err != nil {
+				b.Fatalf("NewOneShot: %v", err)
+			}
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				steps = runSteps(b, alg, 1)
+			}
+			b.ReportMetric(float64(steps), "steps")
+			b.ReportMetric(float64(alg.Registers()), "registers")
+		})
+	}
+}
+
+// BenchmarkRepeated measures the Figure 4 algorithm (Theorem 8 upper bound)
+// over 3 instances.
+func BenchmarkRepeated(b *testing.B) {
+	for _, p := range benchParams {
+		b.Run(p.String(), func(b *testing.B) {
+			alg, err := core.NewRepeated(p)
+			if err != nil {
+				b.Fatalf("NewRepeated: %v", err)
+			}
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				steps = runSteps(b, alg, 3)
+			}
+			b.ReportMetric(float64(steps), "steps")
+			b.ReportMetric(float64(alg.Registers()), "registers")
+		})
+	}
+}
+
+// BenchmarkAnonymous measures the Figure 5 algorithm (Theorem 11 upper
+// bound) over 3 instances.
+func BenchmarkAnonymous(b *testing.B) {
+	for _, p := range benchParams {
+		b.Run(p.String(), func(b *testing.B) {
+			alg, err := core.NewAnonRepeated(p)
+			if err != nil {
+				b.Fatalf("NewAnonRepeated: %v", err)
+			}
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				steps = runSteps(b, alg, 3)
+			}
+			b.ReportMetric(float64(steps), "steps")
+			b.ReportMetric(float64(alg.Registers()), "registers")
+		})
+	}
+}
+
+// BenchmarkCoverAttack measures the Theorem 2 adversary one register below
+// the n+m−k bound (where it must win).
+func BenchmarkCoverAttack(b *testing.B) {
+	cases := []struct {
+		p core.Params
+		r int
+	}{
+		{p: core.Params{N: 4, M: 1, K: 1}, r: 3},
+		{p: core.Params{N: 6, M: 1, K: 2}, r: 4},
+		{p: core.Params{N: 8, M: 1, K: 3}, r: 5},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("%v-r%d", tc.p, tc.r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				alg, err := core.NewRepeatedComponents(tc.p, tc.r)
+				if err != nil {
+					b.Fatalf("build: %v", err)
+				}
+				rep, err := lowerbound.CoverAttack(alg, lowerbound.DefaultCoverOptions())
+				if err != nil {
+					b.Fatalf("attack: %v", err)
+				}
+				if rep.Verdict == lowerbound.VerdictNone {
+					b.Fatalf("adversary failed below the bound: %s", rep.Detail)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCloneAttack measures the Theorem 10 adversary where the clone
+// army fits (it must win).
+func BenchmarkCloneAttack(b *testing.B) {
+	cases := []struct {
+		n, k, r int
+	}{
+		{n: 8, k: 1, r: 2},
+		{n: 10, k: 1, r: 3},
+		{n: 16, k: 1, r: 4},
+	}
+	for _, tc := range cases {
+		b.Run(fmt.Sprintf("n%d-k%d-r%d", tc.n, tc.k, tc.r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				alg, err := core.NewAnonComponents(core.Params{N: tc.n, M: 1, K: tc.k}, tc.r, false)
+				if err != nil {
+					b.Fatalf("build: %v", err)
+				}
+				rep, err := lowerbound.CloneAttack(alg, lowerbound.DefaultCloneOptions())
+				if err != nil {
+					b.Fatalf("attack: %v", err)
+				}
+				if rep.Verdict != lowerbound.VerdictSafety {
+					b.Fatalf("adversary failed where the army fits: %s", rep.Detail)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVsDFGR13 regenerates the comparison with the paper's reference
+// [4]: Figure 3's n−k+2 registers against DFGR13's 2(n−k), for m = 1.
+func BenchmarkVsDFGR13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.VsDFGR13(8); err != nil {
+			b.Fatalf("VsDFGR13: %v", err)
+		}
+	}
+}
+
+// BenchmarkComponentSweep is the component-count ablation: extra snapshot
+// components versus convergence steps.
+func BenchmarkComponentSweep(b *testing.B) {
+	p := core.Params{N: 6, M: 1, K: 2}
+	for extra := 0; extra <= 4; extra += 2 {
+		b.Run(fmt.Sprintf("r+%d", extra), func(b *testing.B) {
+			alg, err := core.NewOneShotComponents(p, p.N+2*p.M-p.K+extra)
+			if err != nil {
+				b.Fatalf("build: %v", err)
+			}
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				steps = runSteps(b, alg, 1)
+			}
+			b.ReportMetric(float64(steps), "steps")
+		})
+	}
+}
+
+// BenchmarkSnapshots is the snapshot-substrate ablation: the one-shot
+// algorithm over each register construction, counting simulator steps
+// (register-based scans cost many reads).
+func BenchmarkSnapshots(b *testing.B) {
+	p := core.Params{N: 5, M: 1, K: 2}
+	alg, err := core.NewOneShot(p)
+	if err != nil {
+		b.Fatalf("NewOneShot: %v", err)
+	}
+	inputs := [][]int{{100}, {101}, {102}, {103}, {104}}
+	for _, impl := range []snapshot.Impl{
+		snapshot.ImplAtomic, snapshot.ImplMW, snapshot.ImplSWEmulation, snapshot.ImplDoubleCollect,
+	} {
+		b.Run(impl.String(), func(b *testing.B) {
+			physical, wrap, err := snapshot.Wire(alg.Spec(), impl, p.N)
+			if err != nil {
+				b.Fatalf("Wire: %v", err)
+			}
+			steps := 0
+			for i := 0; i < b.N; i++ {
+				memSpec, procs := core.WrappedSystem(alg, inputs, physical, wrap)
+				r, err := sim.NewRunner(memSpec, procs)
+				if err != nil {
+					b.Fatalf("NewRunner: %v", err)
+				}
+				if _, err := r.Run(&sched.Sequential{}, 10_000_000); err != nil {
+					r.Abort()
+					b.Fatalf("Run: %v", err)
+				}
+				steps = r.Steps()
+				r.Abort()
+			}
+			b.ReportMetric(float64(steps), "steps")
+			b.ReportMetric(float64(physical.RegisterCost(p.N)), "registers")
+		})
+	}
+}
+
+// BenchmarkNativePropose measures wall-clock throughput of the public API:
+// n goroutines completing one-shot agreement on real hardware.
+func BenchmarkNativePropose(b *testing.B) {
+	const n, k = 4, 2
+	for _, impl := range []setagreement.SnapshotImpl{
+		setagreement.SnapshotAtomic,
+		setagreement.SnapshotWaitFree,
+		setagreement.SnapshotSingleWriter,
+		setagreement.SnapshotDoubleCollect,
+	} {
+		b.Run(impl.String(), func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				a, err := setagreement.New(n, k, setagreement.WithSnapshot(impl))
+				if err != nil {
+					b.Fatalf("New: %v", err)
+				}
+				var wg sync.WaitGroup
+				for id := 0; id < n; id++ {
+					wg.Add(1)
+					go func(id int) {
+						defer wg.Done()
+						if _, err := a.Propose(ctx, id, 100+id); err != nil {
+							b.Errorf("propose: %v", err)
+						}
+					}(id)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkCoverAttackMTwo measures the Theorem 2 adversary with m = 2
+// groups, where the γ fragments are found by exhaustive interleaving
+// search.
+func BenchmarkCoverAttackMTwo(b *testing.B) {
+	p := core.Params{N: 5, M: 2, K: 2}
+	for i := 0; i < b.N; i++ {
+		alg, err := core.NewRepeatedComponents(p, 4) // bound is 5
+		if err != nil {
+			b.Fatalf("build: %v", err)
+		}
+		rep, err := lowerbound.CoverAttack(alg, lowerbound.DefaultCoverOptions())
+		if err != nil {
+			b.Fatalf("attack: %v", err)
+		}
+		if rep.Verdict != lowerbound.VerdictSafety {
+			b.Fatalf("m=2 adversary failed below the bound: %s", rep.Detail)
+		}
+	}
+}
+
+// BenchmarkSimulatorStep measures the raw cost of one scheduler-granted
+// shared-memory step (the simulator's unit of work).
+func BenchmarkSimulatorStep(b *testing.B) {
+	prog := func(p *sim.Proc) {
+		for {
+			p.Write(0, 1)
+		}
+	}
+	r, err := sim.NewRunner(shmem.Spec{Regs: 1}, []sim.ProcSpec{{ID: 0, Run: prog}})
+	if err != nil {
+		b.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Step(0); err != nil {
+			b.Fatalf("step: %v", err)
+		}
+	}
+}
+
+// BenchmarkReplicated measures universal-construction throughput: n
+// replicas appending operations to the shared log.
+func BenchmarkReplicated(b *testing.B) {
+	const n = 3
+	obj, err := setagreement.NewReplicated[int, int](n,
+		func() int { return 0 },
+		func(s, d int) int { return s + d },
+	)
+	if err != nil {
+		b.Fatalf("NewReplicated: %v", err)
+	}
+	replicas := make([]*setagreement.Replica[int, int], n)
+	for id := range replicas {
+		replicas[id], err = obj.Replica(id)
+		if err != nil {
+			b.Fatalf("Replica: %v", err)
+		}
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if _, err := replicas[id].Invoke(ctx, 1); err != nil {
+					b.Errorf("invoke: %v", err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}
+
+// BenchmarkNativeRepeated measures sustained repeated-agreement throughput:
+// n goroutines deciding a stream of instances.
+func BenchmarkNativeRepeated(b *testing.B) {
+	const n = 4
+	r, err := setagreement.NewRepeated(n, 1)
+	if err != nil {
+		b.Fatalf("NewRepeated: %v", err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Propose(ctx, id, 1000*i+id); err != nil {
+					b.Errorf("propose: %v", err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,166 @@
+// Command sabench regenerates the paper's evaluation: the Figure 1 bounds
+// table, the Theorem 2 and Theorem 10 adversary sweeps, the comparison with
+// the DFGR13 baseline, and the design ablations.
+//
+// Usage:
+//
+//	sabench                                  # all tables, defaults
+//	sabench -table fig1 -format markdown
+//	sabench -table t2 -n 6 -m 1 -k 2
+//	sabench -table t10 -n 12 -k 1 -maxr 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"setagreement/internal/core"
+	"setagreement/internal/experiments"
+	"setagreement/internal/lowerbound"
+	"setagreement/internal/report"
+)
+
+func main() {
+	var (
+		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, all")
+		n         = flag.Int("n", 6, "number of processes")
+		m         = flag.Int("m", 1, "obstruction degree")
+		k         = flag.Int("k", 2, "agreement degree")
+		maxR      = flag.Int("maxr", 5, "maximum register count for the t10 sweep")
+		instances = flag.Int("instances", 3, "instances per repeated run")
+		seeds     = flag.Int("seeds", 2, "schedules per check")
+		format    = flag.String("format", "text", "output format: text, markdown, csv")
+	)
+	flag.Parse()
+
+	if err := run(*table, *n, *m, *k, *maxR, *instances, *seeds, *format); err != nil {
+		fmt.Fprintf(os.Stderr, "sabench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(table string, n, m, k, maxR, instances, seeds int, format string) error {
+	p := core.Params{N: n, M: m, K: k}
+	var tables []*report.Table
+
+	add := func(t *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		tables = append(tables, t)
+		return nil
+	}
+
+	wantAll := table == "all"
+	ran := false
+	if wantAll || table == "fig1" {
+		ran = true
+		points := fig1Points(n)
+		if err := add(experiments.Fig1(points, instances, seeds)); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "t2" {
+		ran = true
+		if err := add(experiments.Theorem2Sweep(p, lowerbound.DefaultCoverOptions())); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "t10" {
+		ran = true
+		cloneN := n
+		if wantAll {
+			cloneN = 12 // large enough to show both sides of the bound
+		}
+		if err := add(experiments.Theorem10Sweep(cloneN, 1, maxR, lowerbound.DefaultCloneOptions())); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "dfgr13" {
+		ran = true
+		if err := add(experiments.VsDFGR13(max(n, 5))); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "snapshots" {
+		ran = true
+		if err := add(experiments.SnapshotAblation(p)); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "components" {
+		ran = true
+		if err := add(experiments.ComponentAblation(p, 4)); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "minreg" {
+		ran = true
+		points := []core.Params{
+			{N: 3, M: 1, K: 1},
+			{N: 4, M: 1, K: 1},
+			{N: 5, M: 1, K: 2},
+			{N: 5, M: 2, K: 2},
+			{N: 6, M: 1, K: 3},
+		}
+		if err := add(experiments.MinRegistersTable(points, lowerbound.DefaultCoverOptions())); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "probe" {
+		ran = true
+		if err := add(experiments.ComponentProbe(p, seeds)); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "latency" {
+		ran = true
+		alg, err := core.NewRepeated(p)
+		if err != nil {
+			return err
+		}
+		if err := add(experiments.LatencyProfile(alg, instances, 16)); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown table %q", table)
+	}
+
+	for i, t := range tables {
+		if i > 0 {
+			fmt.Println()
+		}
+		switch format {
+		case "text":
+			fmt.Print(t.String())
+		case "markdown":
+			fmt.Print(t.Markdown())
+		case "csv":
+			fmt.Print(t.CSV())
+		default:
+			return fmt.Errorf("unknown format %q", format)
+		}
+	}
+	return nil
+}
+
+// fig1Points picks a representative parameter sweep up to n.
+func fig1Points(n int) []core.Params {
+	var points []core.Params
+	for _, p := range []core.Params{
+		{N: 3, M: 1, K: 1},
+		{N: 4, M: 1, K: 2},
+		{N: 5, M: 2, K: 2},
+		{N: 6, M: 1, K: 3},
+		{N: 6, M: 2, K: 4},
+		{N: 7, M: 3, K: 4},
+		{N: 8, M: 2, K: 5},
+	} {
+		if p.N <= max(n, 8) && p.Validate() == nil {
+			points = append(points, p)
+		}
+	}
+	return points
+}

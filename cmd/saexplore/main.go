@@ -1,0 +1,103 @@
+// Command saexplore model-checks an algorithm in the small: it enumerates
+// every configuration reachable within bounded depth (merging equivalent
+// configurations) and checks validity and k-agreement in each. A
+// non-truncated run is an exhaustive proof for that system size; a
+// truncated run is still a far denser audit than schedule sampling.
+//
+// Usage:
+//
+//	saexplore -alg oneshot -n 2 -k 1 -depth 64
+//	saexplore -alg repeated -n 2 -k 1 -instances 2 -states 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"setagreement/internal/core"
+	"setagreement/internal/explore"
+	"setagreement/internal/sim"
+	"setagreement/internal/spec"
+)
+
+func main() {
+	var (
+		algName   = flag.String("alg", "oneshot", "algorithm: oneshot, repeated, anonymous, anonymous-oneshot")
+		n         = flag.Int("n", 2, "number of processes")
+		m         = flag.Int("m", 1, "obstruction degree")
+		k         = flag.Int("k", 1, "agreement degree")
+		instances = flag.Int("instances", 1, "agreement instances per process")
+		maxStates = flag.Int("states", 100_000, "maximum distinct configurations")
+		maxDepth  = flag.Int("depth", 48, "maximum schedule depth")
+	)
+	flag.Parse()
+	if err := run(*algName, *n, *m, *k, *instances, *maxStates, *maxDepth); err != nil {
+		fmt.Fprintf(os.Stderr, "saexplore: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(algName string, n, m, k, instances, maxStates, maxDepth int) error {
+	p := core.Params{N: n, M: m, K: k}
+	var (
+		alg core.Algorithm
+		err error
+	)
+	switch algName {
+	case "oneshot":
+		alg, err = core.NewOneShot(p)
+	case "repeated":
+		alg, err = core.NewRepeated(p)
+	case "anonymous":
+		alg, err = core.NewAnonRepeated(p)
+	case "anonymous-oneshot":
+		alg, err = core.NewAnonOneShot(p)
+	default:
+		err = fmt.Errorf("unknown algorithm %q", algName)
+	}
+	if err != nil {
+		return err
+	}
+
+	inputs := make([][]int, n)
+	for i := range inputs {
+		inputs[i] = make([]int, instances)
+		for t := range inputs[i] {
+			inputs[i][t] = 1000*(t+1) + i
+		}
+	}
+	memSpec, _ := core.System(alg, inputs)
+	procs := func() []sim.ProcSpec {
+		_, ps := core.System(alg, inputs)
+		return ps
+	}
+
+	decidedStates := 0
+	out, err := explore.Run(memSpec, procs,
+		explore.Options{MaxStates: maxStates, MaxDepth: maxDepth},
+		func(st *explore.State) (bool, error) {
+			outs := spec.Collect(st.Runner)
+			if err := spec.CheckAll(inputs, outs, k); err != nil {
+				return false, fmt.Errorf("VIOLATION at schedule %v: %w", st.Suffix, err)
+			}
+			if st.Runner.AllDone() {
+				decidedStates++
+			}
+			return false, nil
+		})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm        %s (%v), %d instance(s)\n", alg.Name(), p, instances)
+	fmt.Printf("configurations   %d distinct (depth ≤ %d)\n", out.States, maxDepth)
+	fmt.Printf("fully decided    %d configurations\n", decidedStates)
+	if out.Truncated {
+		fmt.Printf("coverage         TRUNCATED by bounds (-states/-depth); safety held in every visited configuration\n")
+	} else {
+		fmt.Printf("coverage         EXHAUSTIVE: every reachable configuration checked\n")
+	}
+	fmt.Printf("verdict          validity and %d-agreement hold everywhere visited\n", k)
+	return nil
+}

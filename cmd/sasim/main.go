@@ -1,0 +1,236 @@
+// Command sasim runs one of the paper's algorithms in the deterministic
+// simulator under a chosen schedule and reports the outcome: decisions per
+// instance, step counts, distinct registers written, and safety verdicts.
+// It can check the paper's lemma invariants after every step, run over
+// register-implemented snapshots, and export or display the execution
+// trace.
+//
+// Usage:
+//
+//	sasim -alg repeated -n 5 -m 1 -k 2 -sched random -seed 7 -instances 3
+//	sasim -alg anonymous -n 4 -k 2 -sched eventually-m -timeline
+//	sasim -alg oneshot -n 4 -k 2 -snapshot mw -invariants -json trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"setagreement/internal/core"
+	"setagreement/internal/sched"
+	"setagreement/internal/sim"
+	"setagreement/internal/snapshot"
+	"setagreement/internal/spec"
+	"setagreement/internal/trace"
+)
+
+func main() {
+	var (
+		algName    = flag.String("alg", "oneshot", "algorithm: oneshot, repeated, anonymous, anonymous-oneshot")
+		n          = flag.Int("n", 5, "number of processes")
+		m          = flag.Int("m", 1, "obstruction degree")
+		k          = flag.Int("k", 2, "agreement degree")
+		schedName  = flag.String("sched", "random", "schedule: sequential, roundrobin, random, eventually-m, blocker")
+		seed       = flag.Int64("seed", 1, "schedule seed")
+		instances  = flag.Int("instances", 1, "agreement instances per process (repeated algorithms)")
+		budget     = flag.Int("budget", 1_000_000, "step budget")
+		snapName   = flag.String("snapshot", "atomic", "snapshot substrate: atomic, mw, sw, double-collect")
+		invariants = flag.Bool("invariants", false, "check the paper's lemma invariants after every step")
+		timeline   = flag.Bool("timeline", false, "print an ASCII space-time diagram")
+		jsonPath   = flag.String("json", "", "write the execution trace as JSONL to this file")
+	)
+	flag.Parse()
+
+	cfg := config{
+		alg: *algName, n: *n, m: *m, k: *k,
+		sched: *schedName, seed: *seed, instances: *instances, budget: *budget,
+		snapshot: *snapName, invariants: *invariants, timeline: *timeline, jsonPath: *jsonPath,
+	}
+	if err := run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "sasim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	alg        string
+	n, m, k    int
+	sched      string
+	seed       int64
+	instances  int
+	budget     int
+	snapshot   string
+	invariants bool
+	timeline   bool
+	jsonPath   string
+}
+
+func buildAlg(name string, p core.Params) (core.Algorithm, error) {
+	switch name {
+	case "oneshot":
+		return core.NewOneShot(p)
+	case "repeated":
+		return core.NewRepeated(p)
+	case "anonymous":
+		return core.NewAnonRepeated(p)
+	case "anonymous-oneshot":
+		return core.NewAnonOneShot(p)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func buildSched(name string, p core.Params, seed int64) (sim.Scheduler, error) {
+	switch name {
+	case "sequential":
+		return &sched.Sequential{}, nil
+	case "roundrobin":
+		return &sched.RoundRobin{}, nil
+	case "random":
+		return sched.NewRandom(seed), nil
+	case "eventually-m":
+		movers := make([]int, p.M)
+		for i := range movers {
+			movers[i] = (int(seed) + i) % p.N
+		}
+		return sched.NewEventuallyM(movers, 40*p.N, seed), nil
+	case "blocker":
+		return sched.NewBlocker(), nil
+	default:
+		return nil, fmt.Errorf("unknown schedule %q", name)
+	}
+}
+
+func buildImpl(name string) (snapshot.Impl, error) {
+	switch name {
+	case "atomic":
+		return snapshot.ImplAtomic, nil
+	case "mw":
+		return snapshot.ImplMW, nil
+	case "sw":
+		return snapshot.ImplSWEmulation, nil
+	case "double-collect":
+		return snapshot.ImplDoubleCollect, nil
+	default:
+		return 0, fmt.Errorf("unknown snapshot substrate %q", name)
+	}
+}
+
+func buildInvariants(algName string, inputs [][]int) []spec.Invariant {
+	invs := []spec.Invariant{spec.StoredValidity{Inputs: inputs}}
+	switch algName {
+	case "oneshot":
+		invs = append(invs, spec.Lemma3{})
+	case "repeated":
+		invs = append(invs, spec.Lemma12{})
+	}
+	return invs
+}
+
+func run(cfg config) error {
+	p := core.Params{N: cfg.n, M: cfg.m, K: cfg.k}
+	alg, err := buildAlg(cfg.alg, p)
+	if err != nil {
+		return err
+	}
+	s, err := buildSched(cfg.sched, p, cfg.seed)
+	if err != nil {
+		return err
+	}
+	impl, err := buildImpl(cfg.snapshot)
+	if err != nil {
+		return err
+	}
+	if alg.Anonymous() && (impl == snapshot.ImplMW || impl == snapshot.ImplSWEmulation) {
+		return fmt.Errorf("snapshot substrate %v needs identifiers; anonymous algorithms support atomic or double-collect", impl)
+	}
+	if cfg.invariants && impl != snapshot.ImplAtomic {
+		return fmt.Errorf("-invariants inspects the atomic snapshot contents; use -snapshot atomic")
+	}
+
+	inputs := make([][]int, cfg.n)
+	for i := range inputs {
+		inputs[i] = make([]int, cfg.instances)
+		for t := range inputs[i] {
+			inputs[i][t] = 1000*(t+1) + i
+		}
+	}
+
+	physical, wrap, err := snapshot.Wire(alg.Spec(), impl, p.N)
+	if err != nil {
+		return err
+	}
+	memSpec, procs := core.WrappedSystem(alg, inputs, physical, wrap)
+	r, err := sim.NewRunner(memSpec, procs)
+	if err != nil {
+		return err
+	}
+	defer r.Abort()
+	recording := cfg.timeline || cfg.jsonPath != ""
+	r.Record(recording)
+
+	var runErr error
+	if cfg.invariants {
+		runErr = spec.RunWithInvariants(r, s, cfg.budget, buildInvariants(cfg.alg, inputs)...)
+	} else {
+		_, runErr = r.Run(s, cfg.budget)
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	events := trace.FromLog(r.Log())
+	if cfg.timeline {
+		fmt.Print(trace.Timeline(events, cfg.n))
+		fmt.Println()
+	}
+	if cfg.jsonPath != "" {
+		f, err := os.Create(cfg.jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteJSONL(f, events); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace          %d events written to %s\n", len(events), cfg.jsonPath)
+	}
+
+	fmt.Printf("algorithm      %s (%v)\n", alg.Name(), p)
+	fmt.Printf("schedule       %s (seed %d)\n", cfg.sched, cfg.seed)
+	fmt.Printf("substrate      %v (%d physical registers)\n", impl, physical.RegisterCost(p.N))
+	fmt.Printf("steps          %d (budget %d, all-done=%v)\n", r.Steps(), cfg.budget, r.AllDone())
+	fmt.Printf("registers      claimed %d, locations written %d\n", alg.Registers(), r.DistinctWrites())
+	if cfg.invariants {
+		fmt.Printf("invariants     ok (checked every step)\n")
+	}
+
+	outs := spec.Collect(r)
+	byInst := outs.ByInstance()
+	insts := make([]int, 0, len(byInst))
+	for inst := range byInst {
+		insts = append(insts, inst)
+	}
+	sort.Ints(insts)
+	for _, inst := range insts {
+		vals := byInst[inst]
+		sort.Ints(vals)
+		fmt.Printf("instance %-4d  outputs %v\n", inst, vals)
+	}
+	if recording {
+		fmt.Println()
+		fmt.Print(trace.Summary(events, cfg.n))
+	}
+
+	if err := spec.CheckAll(inputs, outs, cfg.k); err != nil {
+		fmt.Printf("safety         VIOLATED: %v\n", err)
+		return nil
+	}
+	fmt.Printf("safety         ok (validity + %d-agreement)\n", cfg.k)
+	return nil
+}

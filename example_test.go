@@ -1,0 +1,196 @@
+package setagreement_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"setagreement"
+)
+
+// ExampleNew runs one-shot 2-set agreement among four goroutines: at most
+// two distinct values are decided, and each is someone's proposal.
+func ExampleNew() {
+	const n, k = 4, 2
+	a, err := setagreement.New(n, k)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	decisions := make([]int, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			out, err := a.Propose(context.Background(), id, 10+id)
+			if err == nil {
+				decisions[id] = out
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	distinct := map[int]bool{}
+	for _, v := range decisions {
+		distinct[v] = true
+	}
+	fmt.Println("registers:", a.Registers())
+	fmt.Println("at most k distinct:", len(distinct) <= k)
+	// Output:
+	// registers: 4
+	// at most k distinct: true
+}
+
+// ExampleNewRepeated decides a sequence of consensus instances: all
+// processes see identical decision sequences.
+func ExampleNewRepeated() {
+	const n, rounds = 3, 4
+	r, err := setagreement.NewRepeated(n, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	got := make([][]int, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				out, err := r.Propose(context.Background(), id, 100*round+id)
+				if err != nil {
+					return
+				}
+				got[id] = append(got[id], out)
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	same := true
+	for id := 1; id < n; id++ {
+		for round := range got[0] {
+			if got[id][round] != got[0][round] {
+				same = false
+			}
+		}
+	}
+	fmt.Println("identical sequences:", same)
+	// Output:
+	// identical sequences: true
+}
+
+// ExampleNewAnonymous shows identifier-free agreement: sessions join without
+// any notion of who they are.
+func ExampleNewAnonymous() {
+	a, err := setagreement.NewAnonymous(3, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	outs := make([]int, 3)
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		s, err := a.Session()
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		wg.Add(1)
+		go func(i int, s *setagreement.Session) {
+			defer wg.Done()
+			if v, err := s.Propose(context.Background(), 40+i); err == nil {
+				outs[i] = v
+			}
+		}(i, s)
+	}
+	wg.Wait()
+
+	fmt.Println("consensus:", outs[0] == outs[1] && outs[1] == outs[2])
+	// Output:
+	// consensus: true
+}
+
+// ExampleNewMapped agrees on strings by interning them over the int-valued
+// core.
+func ExampleNewMapped() {
+	r, err := setagreement.NewRepeated(2, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	m := setagreement.NewMapped[string](r)
+
+	outs := make([]string, 2)
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			v, err := m.Propose(context.Background(), id, []string{"red", "blue"}[id])
+			if err == nil {
+				outs[id] = v
+			}
+		}(id)
+	}
+	wg.Wait()
+
+	fmt.Println("agreed:", outs[0] == outs[1])
+	fmt.Println("valid:", outs[0] == "red" || outs[0] == "blue")
+	// Output:
+	// agreed: true
+	// valid: true
+}
+
+// ExampleNewReplicated builds a replicated set via the universal
+// construction: every replica converges on the same membership.
+func ExampleNewReplicated() {
+	obj, err := setagreement.NewReplicated[map[string]bool, string](2,
+		func() map[string]bool { return map[string]bool{} },
+		func(s map[string]bool, op string) map[string]bool {
+			next := make(map[string]bool, len(s)+1)
+			for k := range s {
+				next[k] = true
+			}
+			next[op] = true
+			return next
+		},
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	ra, _ := obj.Replica(0)
+	rb, _ := obj.Replica(1)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); ra.Invoke(ctx, "apple"); ra.Invoke(ctx, "pear") }()
+	go func() { defer wg.Done(); rb.Invoke(ctx, "plum") }()
+	wg.Wait()
+
+	// Bring both replicas to the same slot count and compare.
+	for ra.Slots() < rb.Slots() {
+		ra.Sync(ctx)
+	}
+	for rb.Slots() < ra.Slots() {
+		rb.Sync(ctx)
+	}
+	var members []string
+	for k := range ra.State() {
+		members = append(members, k)
+	}
+	sort.Strings(members)
+	fmt.Println("members:", members)
+	fmt.Println("replicas agree:", fmt.Sprint(ra.State()) == fmt.Sprint(rb.State()))
+	// Output:
+	// members: [apple pear plum]
+	// replicas agree: true
+}

@@ -1,0 +1,57 @@
+// Quickstart: six goroutines run one-shot 2-set agreement over the library's
+// public API. At most two distinct values are decided, every decided value
+// is someone's proposal, and the object occupies min(n+2m−k, n) registers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"setagreement"
+)
+
+func main() {
+	const n, k = 6, 2
+
+	agreement, err := setagreement.New(n, k,
+		// Back off under contention so obstruction-free Propose calls
+		// terminate in practice (the scheduling approach the paper's
+		// introduction describes).
+		setagreement.WithBackoff(10*time.Microsecond, time.Millisecond, 32),
+	)
+	if err != nil {
+		log.Fatalf("create agreement: %v", err)
+	}
+	fmt.Printf("one-shot %d-set agreement for %d processes over %d registers\n\n",
+		k, n, agreement.Registers())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	decisions := make([]int, n)
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			proposal := 100 + id
+			decided, err := agreement.Propose(ctx, id, proposal)
+			if err != nil {
+				log.Printf("process %d: %v", id, err)
+				return
+			}
+			decisions[id] = decided
+			fmt.Printf("process %d proposed %d, decided %d\n", id, proposal, decided)
+		}(id)
+	}
+	wg.Wait()
+
+	distinct := make(map[int]bool)
+	for _, v := range decisions {
+		distinct[v] = true
+	}
+	fmt.Printf("\n%d distinct decisions (k-agreement bound: %d)\n", len(distinct), k)
+}

@@ -1,0 +1,101 @@
+package baseline_test
+
+import (
+	"testing"
+
+	"setagreement/internal/baseline"
+	"setagreement/internal/core"
+	"setagreement/internal/sched"
+	"setagreement/internal/sim"
+	"setagreement/internal/spec"
+)
+
+func runOneShot(t *testing.T, alg core.Algorithm, n, k int) {
+	t.Helper()
+	inputs := make([][]int, n)
+	for i := range inputs {
+		inputs[i] = []int{100 + i}
+	}
+	memSpec, procs := core.System(alg, inputs)
+	r, err := sim.NewRunner(memSpec, procs)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	if _, err := r.Run(&sched.Sequential{}, 500_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !r.AllDone() {
+		t.Fatal("not all processes decided")
+	}
+	outs := spec.Collect(r)
+	if err := spec.CheckAll(inputs, outs, k); err != nil {
+		t.Fatalf("safety: %v", err)
+	}
+}
+
+func TestDFGR13(t *testing.T) {
+	tests := []struct {
+		n, k     int
+		wantRegs int
+	}{
+		{n: 5, k: 2, wantRegs: 6},
+		{n: 6, k: 2, wantRegs: 8},
+		{n: 8, k: 5, wantRegs: 6},
+		{n: 4, k: 2, wantRegs: 4},
+	}
+	for _, tt := range tests {
+		alg, err := baseline.NewDFGR13(tt.n, tt.k)
+		if err != nil {
+			t.Fatalf("NewDFGR13(%d,%d): %v", tt.n, tt.k, err)
+		}
+		if got := alg.Registers(); got != tt.wantRegs {
+			t.Errorf("n=%d k=%d: Registers = %d, want %d", tt.n, tt.k, got, tt.wantRegs)
+		}
+		if alg.Name() == "" || alg.Params().M != 1 {
+			t.Errorf("n=%d k=%d: bad metadata %q %v", tt.n, tt.k, alg.Name(), alg.Params())
+		}
+		runOneShot(t, alg, tt.n, tt.k)
+	}
+}
+
+func TestDFGR13RejectsHighK(t *testing.T) {
+	if _, err := baseline.NewDFGR13(4, 3); err == nil {
+		t.Fatal("k=n-1 accepted (special case not reconstructed)")
+	}
+	if _, err := baseline.NewDFGR13(4, 4); err == nil {
+		t.Fatal("k=n accepted")
+	}
+}
+
+func TestFullSpace(t *testing.T) {
+	for _, p := range []core.Params{
+		{N: 5, M: 1, K: 2},
+		{N: 6, M: 2, K: 4},
+		{N: 4, M: 2, K: 2}, // 2m > k: falls back to n+2m−k components
+	} {
+		alg, err := baseline.NewFullSpace(p)
+		if err != nil {
+			t.Fatalf("NewFullSpace(%v): %v", p, err)
+		}
+		if got := alg.Registers(); got != p.N {
+			t.Errorf("%v: Registers = %d, want n=%d", p, got, p.N)
+		}
+		runOneShot(t, alg, p.N, p.K)
+	}
+}
+
+func TestTrivial(t *testing.T) {
+	alg, err := baseline.NewTrivial(3, 5)
+	if err != nil {
+		t.Fatalf("NewTrivial: %v", err)
+	}
+	if alg.Registers() != 0 || alg.Spec().Regs != 0 || len(alg.Spec().Snaps) != 0 {
+		t.Fatal("trivial algorithm claims shared memory")
+	}
+	runOneShot(t, alg, 3, 5)
+
+	if _, err := baseline.NewTrivial(5, 3); err == nil {
+		t.Fatal("k < n accepted by trivial algorithm")
+	}
+}

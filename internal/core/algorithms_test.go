@@ -1,0 +1,404 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"setagreement/internal/core"
+	"setagreement/internal/sched"
+	"setagreement/internal/sim"
+	"setagreement/internal/spec"
+)
+
+const stepBudget = 500_000
+
+// allParams enumerates every valid (n, m, k) with n in [2, maxN].
+func allParams(maxN int) []core.Params {
+	var out []core.Params
+	for n := 2; n <= maxN; n++ {
+		for k := 1; k < n; k++ {
+			for m := 1; m <= k; m++ {
+				out = append(out, core.Params{N: n, M: m, K: k})
+			}
+		}
+	}
+	return out
+}
+
+// oneShotInputs gives process i the single input 100+i.
+func oneShotInputs(n int) [][]int {
+	in := make([][]int, n)
+	for i := range in {
+		in[i] = []int{100 + i}
+	}
+	return in
+}
+
+// repeatedInputs gives process i input 1000*t+i for instance t.
+func repeatedInputs(n, instances int) [][]int {
+	in := make([][]int, n)
+	for i := range in {
+		in[i] = make([]int, instances)
+		for t := range in[i] {
+			in[i][t] = 1000*(t+1) + i
+		}
+	}
+	return in
+}
+
+type algoCase struct {
+	name  string
+	build func(p core.Params) (core.Algorithm, error)
+	multi bool // supports repeated instances
+}
+
+func algoCases() []algoCase {
+	return []algoCase{
+		{
+			name:  "oneshot-fig3",
+			build: func(p core.Params) (core.Algorithm, error) { return core.NewOneShot(p) },
+		},
+		{
+			name:  "repeated-fig4",
+			build: func(p core.Params) (core.Algorithm, error) { return core.NewRepeated(p) },
+			multi: true,
+		},
+		{
+			name:  "anonymous-fig5",
+			build: func(p core.Params) (core.Algorithm, error) { return core.NewAnonRepeated(p) },
+			multi: true,
+		},
+		{
+			name:  "anonymous-fig5-oneshot",
+			build: func(p core.Params) (core.Algorithm, error) { return core.NewAnonOneShot(p) },
+		},
+	}
+}
+
+// runAndCheck runs the algorithm with the scheduler and checks safety. If
+// wantDone is non-nil, it also requires those processes to have terminated.
+func runAndCheck(t *testing.T, alg core.Algorithm, inputs [][]int, s sim.Scheduler, wantDone []int) spec.Outputs {
+	t.Helper()
+	memSpec, procs := core.System(alg, inputs)
+	r, err := sim.NewRunner(memSpec, procs)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	if _, err := r.Run(s, stepBudget); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	outs := spec.Collect(r)
+	if err := spec.CheckAll(inputs, outs, alg.Params().K); err != nil {
+		t.Fatalf("safety: %v", err)
+	}
+	audit := spec.Audit(r, alg.Params().N, alg.Registers())
+	if err := audit.Check(); err != nil {
+		t.Fatalf("space: %v", err)
+	}
+	for _, pid := range wantDone {
+		if !r.IsDone(pid) {
+			t.Fatalf("process %d did not terminate in %d steps (steps used: %d)", pid, stepBudget, r.Steps())
+		}
+	}
+	return outs
+}
+
+func TestAlgorithmsSequentialSchedule(t *testing.T) {
+	// Every process runs solo to completion in turn: termination is
+	// guaranteed (1 ≤ m movers at all times) and all safety properties
+	// must hold.
+	for _, tc := range algoCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, p := range allParams(7) {
+				alg, err := tc.build(p)
+				if err != nil {
+					t.Fatalf("%v: build: %v", p, err)
+				}
+				inputs := oneShotInputs(p.N)
+				if tc.multi {
+					inputs = repeatedInputs(p.N, 3)
+				}
+				all := make([]int, p.N)
+				for i := range all {
+					all[i] = i
+				}
+				outs := runAndCheck(t, alg, inputs, &sched.Sequential{}, all)
+				// Everyone decided every instance.
+				for pid, ds := range outs {
+					if len(ds) != len(inputs[pid]) {
+						t.Fatalf("%v %s: proc %d decided %d of %d instances",
+							p, tc.name, pid, len(ds), len(inputs[pid]))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAlgorithmsSoloRunDecidesOwnValue(t *testing.T) {
+	// A process running solo from the initial configuration must decide
+	// its own input (validity plus determinism of a solo run).
+	for _, tc := range algoCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			p := core.Params{N: 4, M: 1, K: 2}
+			alg, err := tc.build(p)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			inputs := oneShotInputs(p.N)
+			outs := runAndCheck(t, alg, inputs, &sched.Solo{Proc: 2}, []int{2})
+			if got := outs[2][0].Val; got != inputs[2][0] {
+				t.Fatalf("solo decided %v, want own input %d", got, inputs[2][0])
+			}
+		})
+	}
+}
+
+func TestAlgorithmsEventuallyMTermination(t *testing.T) {
+	// m-obstruction-freedom: after an arbitrary contended prefix, if only
+	// m processes keep moving they must all terminate.
+	for _, tc := range algoCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, p := range allParams(6) {
+				for seed := int64(0); seed < 3; seed++ {
+					alg, err := tc.build(p)
+					if err != nil {
+						t.Fatalf("%v: build: %v", p, err)
+					}
+					inputs := oneShotInputs(p.N)
+					if tc.multi {
+						inputs = repeatedInputs(p.N, 2)
+					}
+					movers := make([]int, p.M)
+					for i := range movers {
+						movers[i] = (int(seed) + i) % p.N
+					}
+					s := sched.NewEventuallyM(movers, 40*p.N, seed)
+					runAndCheck(t, alg, inputs, s, movers)
+				}
+			}
+		})
+	}
+}
+
+func TestAlgorithmsSafetyUnderRandomSchedules(t *testing.T) {
+	// No scheduler may break validity or k-agreement, terminating or not.
+	for _, tc := range algoCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, p := range allParams(6) {
+				for seed := int64(0); seed < 4; seed++ {
+					alg, err := tc.build(p)
+					if err != nil {
+						t.Fatalf("%v: build: %v", p, err)
+					}
+					inputs := oneShotInputs(p.N)
+					if tc.multi {
+						inputs = repeatedInputs(p.N, 2)
+					}
+					runAndCheck(t, alg, inputs, sched.NewRandom(seed), nil)
+				}
+			}
+		})
+	}
+}
+
+func TestAlgorithmsSafetyUnderBlockerSchedule(t *testing.T) {
+	for _, tc := range algoCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, p := range allParams(5) {
+				alg, err := tc.build(p)
+				if err != nil {
+					t.Fatalf("%v: build: %v", p, err)
+				}
+				inputs := oneShotInputs(p.N)
+				if tc.multi {
+					inputs = repeatedInputs(p.N, 2)
+				}
+				memSpec, procs := core.System(alg, inputs)
+				r, err := sim.NewRunner(memSpec, procs)
+				if err != nil {
+					t.Fatalf("NewRunner: %v", err)
+				}
+				// A bounded adversarial run: safety must hold at
+				// every point, so check after a fixed budget.
+				if _, err := r.Run(sched.NewBlocker(), 20_000); err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				outs := spec.Collect(r)
+				if err := spec.CheckAll(inputs, outs, p.K); err != nil {
+					t.Errorf("%v %s: %v", p, tc.name, err)
+				}
+				r.Abort()
+			}
+		})
+	}
+}
+
+func TestRegisterFormulas(t *testing.T) {
+	tests := []struct {
+		name string
+		p    core.Params
+		want map[string]int
+	}{
+		{
+			name: "n5 m1 k2",
+			p:    core.Params{N: 5, M: 1, K: 2},
+			want: map[string]int{
+				"oneshot-fig3":           5, // n+2m-k = 5 ≤ n
+				"repeated-fig4":          5,
+				"anonymous-fig5":         2*3 + 1 + 1, // (m+1)(n-k)+m²+1 = 8
+				"anonymous-fig5-oneshot": 7,
+			},
+		},
+		{
+			name: "n6 m2 k3",
+			p:    core.Params{N: 6, M: 2, K: 3},
+			want: map[string]int{
+				"oneshot-fig3":           min(6+4-3, 6), // 6: capped at n
+				"repeated-fig4":          6,
+				"anonymous-fig5":         3*3 + 4 + 1, // 14
+				"anonymous-fig5-oneshot": 13,
+			},
+		},
+		{
+			name: "n4 m1 k3 (consensus-adjacent corner)",
+			p:    core.Params{N: 4, M: 1, K: 3},
+			want: map[string]int{
+				"oneshot-fig3":           3, // n+2m-k = 3
+				"repeated-fig4":          3,
+				"anonymous-fig5":         (1+1)*(4-3) + 1 + 1, // 4
+				"anonymous-fig5-oneshot": 3,
+			},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			for _, tc := range algoCases() {
+				alg, err := tc.build(tt.p)
+				if err != nil {
+					t.Fatalf("build %s: %v", tc.name, err)
+				}
+				if got := alg.Registers(); got != tt.want[tc.name] {
+					t.Errorf("%s.Registers() = %d, want %d", tc.name, got, tt.want[tc.name])
+				}
+			}
+		})
+	}
+}
+
+func TestRepeatedHistoryShortcut(t *testing.T) {
+	// Process 0 completes several instances solo; process 1 must then
+	// adopt process 0's recorded outputs for the instances it missed.
+	p := core.Params{N: 2, M: 1, K: 1}
+	alg, err := core.NewRepeated(p)
+	if err != nil {
+		t.Fatalf("NewRepeated: %v", err)
+	}
+	inputs := repeatedInputs(p.N, 4)
+	memSpec, procs := core.System(alg, inputs)
+	r, err := sim.NewRunner(memSpec, procs)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	if _, err := r.Run(&sched.Sequential{}, stepBudget); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	outs := spec.Collect(r)
+	if err := spec.CheckAll(inputs, outs, p.K); err != nil {
+		t.Fatalf("safety: %v", err)
+	}
+	// Consensus: both processes output identical sequences.
+	for tIdx := range outs[0] {
+		if outs[0][tIdx].Val != outs[1][tIdx].Val {
+			t.Fatalf("instance %d: outputs differ: %v vs %v",
+				tIdx+1, outs[0][tIdx].Val, outs[1][tIdx].Val)
+		}
+	}
+	// Process 1 ran after process 0 had decided every instance, so it
+	// must have adopted process 0's values.
+	for tIdx, d := range outs[1] {
+		if d.Val != outs[0][tIdx].Val {
+			t.Fatalf("instance %d: process 1 did not adopt process 0's value", tIdx+1)
+		}
+	}
+}
+
+func TestOneShotDoubleProposePanics(t *testing.T) {
+	alg, err := core.NewOneShot(core.Params{N: 3, M: 1, K: 1})
+	if err != nil {
+		t.Fatalf("NewOneShot: %v", err)
+	}
+	inputs := [][]int{{1, 2}, {3}, {4}} // process 0 proposes twice
+	memSpec, procs := core.System(alg, inputs)
+	r, err := sim.NewRunner(memSpec, procs)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	_, runErr := r.Run(&sched.Sequential{}, stepBudget)
+	if runErr == nil {
+		t.Fatal("expected second Propose on a one-shot process to fail")
+	}
+}
+
+func TestAnonymousAlgorithmIgnoresIDs(t *testing.T) {
+	// Outputs must be a function of inputs and schedule only: running the
+	// anonymous algorithm with rotated process positions but identical
+	// schedules and inputs-by-position yields identical outputs.
+	p := core.Params{N: 4, M: 2, K: 3}
+	inputs := oneShotInputs(p.N)
+	schedule := []int{0, 1, 2, 3, 3, 2, 1, 0, 0, 0, 1, 1, 2, 2, 3, 3}
+
+	run := func() map[int][]int {
+		alg, err := core.NewAnonOneShot(p)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		memSpec, procs := core.System(alg, inputs)
+		r, err := sim.NewRunner(memSpec, procs)
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		defer r.Abort()
+		if err := r.RunSchedule(schedule); err != nil {
+			t.Fatalf("RunSchedule: %v", err)
+		}
+		// Finish everyone off deterministically.
+		if _, err := r.Run(&sched.Sequential{}, stepBudget); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return spec.Collect(r).ByInstance()
+	}
+
+	first := fmt.Sprint(run())
+	for trial := 0; trial < 3; trial++ {
+		if got := fmt.Sprint(run()); got != first {
+			t.Fatalf("anonymous run not deterministic: %s vs %s", got, first)
+		}
+	}
+}
+
+func TestConsensusAgreesOnOneValue(t *testing.T) {
+	// m=k=1 is consensus: every terminating process outputs the same value.
+	for _, n := range []int{2, 3, 5, 8} {
+		p := core.Params{N: n, M: 1, K: 1}
+		alg, err := core.NewOneShot(p)
+		if err != nil {
+			t.Fatalf("NewOneShot: %v", err)
+		}
+		inputs := oneShotInputs(n)
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		outs := runAndCheck(t, alg, inputs, &sched.Sequential{}, all)
+		want := outs[0][0].Val
+		for pid := range outs {
+			if outs[pid][0].Val != want {
+				t.Fatalf("n=%d: consensus split: %v vs %v", n, outs[pid][0].Val, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core_test
+
+import (
+	"testing"
+
+	"setagreement/internal/core"
+	"setagreement/internal/sched"
+	"setagreement/internal/sim"
+	"setagreement/internal/spec"
+)
+
+// TestTerminationWithCrashes: n−m processes crash mid-execution; the m
+// survivors keep moving and must terminate (a crash is indistinguishable
+// from never being scheduled, so m-obstruction-freedom applies), and safety
+// must hold including the crashed processes' earlier decisions.
+func TestTerminationWithCrashes(t *testing.T) {
+	for _, tc := range algoCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, p := range allParams(6) {
+				for trial := 0; trial < 2; trial++ {
+					alg, err := tc.build(p)
+					if err != nil {
+						t.Fatalf("%v: build: %v", p, err)
+					}
+					inputs := oneShotInputs(p.N)
+					if tc.multi {
+						inputs = repeatedInputs(p.N, 2)
+					}
+					// Survivors: the last m processes; everyone
+					// else crashes after a small quota.
+					quota := make(map[int]int)
+					for pid := 0; pid < p.N-p.M; pid++ {
+						quota[pid] = 3 + 5*trial + pid
+					}
+					s := sched.NewCrashing(&sched.RoundRobin{}, quota)
+					memSpec, procs := core.System(alg, inputs)
+					r, err := sim.NewRunner(memSpec, procs)
+					if err != nil {
+						t.Fatalf("NewRunner: %v", err)
+					}
+					if _, err := r.Run(s, stepBudget); err != nil {
+						r.Abort()
+						t.Fatalf("%v %s: run: %v", p, tc.name, err)
+					}
+					for pid := p.N - p.M; pid < p.N; pid++ {
+						if !r.IsDone(pid) {
+							r.Abort()
+							t.Fatalf("%v %s trial %d: survivor %d did not terminate",
+								p, tc.name, trial, pid)
+						}
+					}
+					outs := spec.Collect(r)
+					if err := spec.CheckAll(inputs, outs, p.K); err != nil {
+						r.Abort()
+						t.Fatalf("%v %s: %v", p, tc.name, err)
+					}
+					r.Abort()
+				}
+			}
+		})
+	}
+}
+
+// TestCrashedProcessWritesStayHarmless: a process crashed while poised to
+// write (a "hidden bullet") must not break agreement when its write is the
+// very thing covering arguments exploit — here we just check safety across
+// crash points swept over an execution prefix.
+func TestCrashedProcessWritesStayHarmless(t *testing.T) {
+	p := core.Params{N: 4, M: 1, K: 1}
+	for crashAt := 1; crashAt <= 20; crashAt++ {
+		alg, err := core.NewOneShot(p)
+		if err != nil {
+			t.Fatalf("NewOneShot: %v", err)
+		}
+		inputs := oneShotInputs(p.N)
+		quota := map[int]int{0: crashAt}
+		s := sched.NewCrashing(&sched.RoundRobin{}, quota)
+		memSpec, procs := core.System(alg, inputs)
+		r, err := sim.NewRunner(memSpec, procs)
+		if err != nil {
+			t.Fatalf("NewRunner: %v", err)
+		}
+		if _, err := r.Run(s, stepBudget); err != nil {
+			r.Abort()
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		for pid := 1; pid < p.N; pid++ {
+			if !r.IsDone(pid) {
+				r.Abort()
+				t.Fatalf("crashAt=%d: process %d stuck", crashAt, pid)
+			}
+		}
+		outs := spec.Collect(r)
+		if err := spec.CheckAll(inputs, outs, p.K); err != nil {
+			r.Abort()
+			t.Fatalf("crashAt=%d: %v", crashAt, err)
+		}
+		r.Abort()
+	}
+}

@@ -1,0 +1,134 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"setagreement/internal/core"
+	"setagreement/internal/explore"
+	"setagreement/internal/sim"
+	"setagreement/internal/spec"
+)
+
+// exhaustiveCheck model-checks an algorithm: every configuration reachable
+// within the bounds is visited and its outputs checked for validity and
+// k-agreement. Unlike the schedule-sampling tests, a pass here covers every
+// interleaving up to the depth bound.
+func exhaustiveCheck(t *testing.T, alg core.Algorithm, inputs [][]int, opts explore.Options) *explore.Outcome {
+	t.Helper()
+	memSpec, _ := core.System(alg, inputs)
+	procs := func() []sim.ProcSpec {
+		_, ps := core.System(alg, inputs)
+		return ps
+	}
+	out, err := explore.Run(memSpec, procs, opts, func(st *explore.State) (bool, error) {
+		outs := spec.Collect(st.Runner)
+		if err := spec.CheckAll(inputs, outs, alg.Params().K); err != nil {
+			return false, fmt.Errorf("at suffix %v: %w", st.Suffix, err)
+		}
+		return false, nil
+	})
+	if err != nil {
+		t.Fatalf("%s: %v", alg.Name(), err)
+	}
+	return out
+}
+
+func TestOneShotExhaustiveTwoProcesses(t *testing.T) {
+	// Consensus between two processes, all interleavings to completion.
+	alg, err := core.NewOneShot(core.Params{N: 2, M: 1, K: 1})
+	if err != nil {
+		t.Fatalf("NewOneShot: %v", err)
+	}
+	inputs := [][]int{{100}, {101}}
+	out := exhaustiveCheck(t, alg, inputs, explore.Options{MaxStates: 60_000, MaxDepth: 64})
+	t.Logf("visited %d states (truncated=%v)", out.States, out.Truncated)
+	if out.States < 100 {
+		t.Fatalf("suspiciously few states: %d", out.States)
+	}
+}
+
+func TestOneShotExhaustiveThreeProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive exploration is slow")
+	}
+	// 2-set agreement among three processes: bounded-depth full cover.
+	alg, err := core.NewOneShot(core.Params{N: 3, M: 1, K: 2})
+	if err != nil {
+		t.Fatalf("NewOneShot: %v", err)
+	}
+	inputs := [][]int{{100}, {101}, {102}}
+	out := exhaustiveCheck(t, alg, inputs, explore.Options{MaxStates: 30_000, MaxDepth: 24})
+	t.Logf("visited %d states (truncated=%v)", out.States, out.Truncated)
+}
+
+func TestRepeatedExhaustiveTwoProcesses(t *testing.T) {
+	// Two instances of repeated consensus between two processes.
+	alg, err := core.NewRepeated(core.Params{N: 2, M: 1, K: 1})
+	if err != nil {
+		t.Fatalf("NewRepeated: %v", err)
+	}
+	inputs := [][]int{{100, 200}, {101, 201}}
+	out := exhaustiveCheck(t, alg, inputs, explore.Options{MaxStates: 40_000, MaxDepth: 40})
+	t.Logf("visited %d states (truncated=%v)", out.States, out.Truncated)
+}
+
+func TestAnonymousExhaustiveTwoProcesses(t *testing.T) {
+	alg, err := core.NewAnonOneShot(core.Params{N: 2, M: 1, K: 1})
+	if err != nil {
+		t.Fatalf("NewAnonOneShot: %v", err)
+	}
+	inputs := [][]int{{100}, {101}}
+	out := exhaustiveCheck(t, alg, inputs, explore.Options{MaxStates: 40_000, MaxDepth: 48})
+	t.Logf("visited %d states (truncated=%v)", out.States, out.Truncated)
+}
+
+func TestOneShotExhaustiveDecisionReachability(t *testing.T) {
+	// Liveness in the small: from every reachable configuration within
+	// the bound, letting process 0 run solo must lead to its decision
+	// (obstruction-freedom from arbitrary reachable configurations, not
+	// just the initial one).
+	p := core.Params{N: 2, M: 1, K: 1}
+	alg, err := core.NewOneShot(p)
+	if err != nil {
+		t.Fatalf("NewOneShot: %v", err)
+	}
+	inputs := [][]int{{100}, {101}}
+	memSpec, _ := core.System(alg, inputs)
+	procs := func() []sim.ProcSpec {
+		_, ps := core.System(alg, inputs)
+		return ps
+	}
+	checked := 0
+	_, err = explore.Run(memSpec, procs,
+		explore.Options{MaxStates: 800, MaxDepth: 14},
+		func(st *explore.State) (bool, error) {
+			if st.Runner.IsDone(0) {
+				return false, nil
+			}
+			// Replay this configuration privately and run proc 0 solo.
+			full := append([]int(nil), st.Suffix...)
+			r, err := sim.Replay(memSpec, procs(), full)
+			if err != nil {
+				return false, err
+			}
+			defer r.Abort()
+			for steps := 0; !r.IsDone(0); steps++ {
+				if steps > 10_000 {
+					return false, fmt.Errorf("solo run from %v did not decide", st.Suffix)
+				}
+				if _, err := r.Step(0); err != nil {
+					return false, err
+				}
+			}
+			checked++
+			return false, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 {
+		t.Fatal("no configurations checked")
+	}
+	t.Logf("solo-termination verified from %d configurations", checked)
+}

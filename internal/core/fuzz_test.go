@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"setagreement/internal/shmem"
+)
+
+// FuzzHistoryAppendAt: appends never corrupt earlier entries and At agrees
+// with Values for arbitrary histories.
+func FuzzHistoryAppendAt(f *testing.F) {
+	f.Add(0, 1, -5)
+	f.Add(1<<30, -(1 << 30), 0)
+	f.Fuzz(func(t *testing.T, a, b, c int) {
+		h := History("").Append(a).Append(b).Append(c)
+		if h.Len() != 3 {
+			t.Fatalf("Len = %d", h.Len())
+		}
+		vals := h.Values()
+		want := []int{a, b, c}
+		for i, w := range want {
+			if vals[i] != w || h.At(i+1) != w {
+				t.Fatalf("entry %d: %d/%d, want %d", i, vals[i], h.At(i+1), w)
+			}
+		}
+	})
+}
+
+// FuzzScanHelpers: the scan helpers never panic and satisfy their basic
+// contracts on arbitrary pair vectors.
+func FuzzScanHelpers(f *testing.F) {
+	f.Add(3, 1, 2, 1, 7, 7)
+	f.Add(0, 0, 0, 0, 0, 0)
+	f.Fuzz(func(t *testing.T, n, v1, id1, v2, id2, i int) {
+		size := ((n%6)+6)%6 + 2
+		vec := make([]shmem.Value, size)
+		for j := range vec {
+			switch j % 3 {
+			case 0:
+				vec[j] = Pair{Val: v1, ID: id1}
+			case 1:
+				vec[j] = Pair{Val: v2, ID: id2}
+			}
+		}
+		d := distinctCount(vec)
+		if d < 1 || d > size {
+			t.Fatalf("distinctCount = %d of %d", d, size)
+		}
+		if j, ok := minDupIndex(vec); ok {
+			if vec[j] == nil {
+				t.Fatal("duplicate index points at ⊥")
+			}
+			found := false
+			for j2 := j + 1; j2 < size; j2++ {
+				if vec[j2] == vec[j] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("index %d not actually duplicated", j)
+			}
+		}
+		idx := ((i % size) + size) % size
+		mine := vec[idx]
+		if mine == nil {
+			mine = Pair{Val: v1, ID: 99}
+		}
+		_ = allOthersForeign(vec, idx, mine)
+	})
+}

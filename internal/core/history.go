@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// History is the sequence of values a process has output in earlier
+// instances of repeated set agreement, encoded as a string so that the
+// register tuples carrying it stay comparable with == (the pseudocode
+// compares whole tuples for identity).
+//
+// The empty History is the empty sequence.
+type History string
+
+// HistoryOf builds a History from values.
+func HistoryOf(vals ...int) History {
+	var h History
+	for _, v := range vals {
+		h = h.Append(v)
+	}
+	return h
+}
+
+// Len returns the number of values in the sequence.
+func (h History) Len() int {
+	if h == "" {
+		return 0
+	}
+	return strings.Count(string(h), ",") + 1
+}
+
+// At returns the t-th value, 1-based as in the paper. It panics if t is out
+// of range; callers check Len first, exactly as the pseudocode does.
+func (h History) At(t int) int {
+	parts := strings.Split(string(h), ",")
+	if t < 1 || t > len(parts) || h == "" {
+		panic(fmt.Sprintf("core: history %q has no instance %d", h, t))
+	}
+	v, err := strconv.Atoi(parts[t-1])
+	if err != nil {
+		panic(fmt.Sprintf("core: corrupt history %q: %v", h, err))
+	}
+	return v
+}
+
+// Append returns the history extended with v.
+func (h History) Append(v int) History {
+	if h == "" {
+		return History(strconv.Itoa(v))
+	}
+	return h + History(","+strconv.Itoa(v))
+}
+
+// Values decodes the full sequence.
+func (h History) Values() []int {
+	if h == "" {
+		return nil
+	}
+	parts := strings.Split(string(h), ",")
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			panic(fmt.Sprintf("core: corrupt history %q: %v", h, err))
+		}
+		out[i] = v
+	}
+	return out
+}

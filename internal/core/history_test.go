@@ -1,0 +1,63 @@
+package core
+
+import "testing"
+
+func TestHistoryBasics(t *testing.T) {
+	var h History
+	if h.Len() != 0 {
+		t.Fatalf("empty history Len = %d, want 0", h.Len())
+	}
+	h = h.Append(5)
+	h = h.Append(-3)
+	h = h.Append(0)
+	if h.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", h.Len())
+	}
+	tests := []struct {
+		give int
+		want int
+	}{
+		{give: 1, want: 5},
+		{give: 2, want: -3},
+		{give: 3, want: 0},
+	}
+	for _, tt := range tests {
+		if got := h.At(tt.give); got != tt.want {
+			t.Errorf("At(%d) = %d, want %d", tt.give, got, tt.want)
+		}
+	}
+	vals := h.Values()
+	if len(vals) != 3 || vals[0] != 5 || vals[1] != -3 || vals[2] != 0 {
+		t.Fatalf("Values = %v", vals)
+	}
+}
+
+func TestHistoryOf(t *testing.T) {
+	h := HistoryOf(1, 2, 3)
+	if h.Len() != 3 || h.At(2) != 2 {
+		t.Fatalf("HistoryOf = %q", h)
+	}
+	if HistoryOf().Len() != 0 {
+		t.Fatal("HistoryOf() not empty")
+	}
+}
+
+func TestHistoryComparable(t *testing.T) {
+	a := HistoryOf(1, 2)
+	b := HistoryOf(1).Append(2)
+	if a != b {
+		t.Fatalf("equal histories compare unequal: %q vs %q", a, b)
+	}
+	if HistoryOf(12) == HistoryOf(1, 2) {
+		t.Fatal("distinct histories compare equal")
+	}
+}
+
+func TestHistoryAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At out of range did not panic")
+		}
+	}()
+	HistoryOf(1).At(2)
+}

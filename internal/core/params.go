@@ -1,0 +1,56 @@
+// Package core implements the three set-agreement algorithms of the paper
+// "On the Space Complexity of Set Agreement" (Delporte-Gallet, Fauconnier,
+// Kuznetsov, Ruppert; PODC 2015):
+//
+//   - OneShot: the m-obstruction-free one-shot k-set agreement algorithm of
+//     Figure 3, using a snapshot object with n+2m−k components.
+//   - Repeated: the repeated k-set agreement algorithm of Figure 4, same
+//     space, with history shortcuts across instances.
+//   - AnonRepeated / AnonOneShot: the anonymous algorithm of Figure 5, using
+//     a snapshot with (m+1)(n−k)+m² components plus (repeated only) one
+//     extra register H.
+//
+// Algorithms are written against shmem.Mem, so they run unchanged on the
+// deterministic simulator (package sim) and on the native in-process runtime
+// (package register).
+package core
+
+import (
+	"fmt"
+)
+
+// Params are the three parameters of m-obstruction-free k-set agreement
+// among n processes. The paper requires 1 ≤ m ≤ k < n: if k ≥ n the problem
+// is trivial (output your own input), and if m > k it is unsolvable with
+// registers (Lemma 1 of the paper).
+type Params struct {
+	N int // number of processes
+	M int // obstruction degree: termination promised when ≤ M processes run
+	K int // agreement degree: at most K distinct outputs per instance
+}
+
+// Validate reports whether the parameters are in the paper's range.
+func (p Params) Validate() error {
+	if p.N < 2 {
+		return fmt.Errorf("core: need n ≥ 2 processes, got n=%d", p.N)
+	}
+	if p.M < 1 {
+		return fmt.Errorf("core: need m ≥ 1, got m=%d", p.M)
+	}
+	if p.M > p.K {
+		return fmt.Errorf("core: m-obstruction-free k-set agreement requires m ≤ k (Lemma 1), got m=%d k=%d", p.M, p.K)
+	}
+	if p.K >= p.N {
+		return fmt.Errorf("core: k-set agreement is trivial for k ≥ n, got k=%d n=%d", p.K, p.N)
+	}
+	return nil
+}
+
+// Ell is ℓ = n−k+m, the number of "late" processes that the algorithms force
+// to agree on at most m values.
+func (p Params) Ell() int { return p.N - p.K + p.M }
+
+// String renders the parameters as "n=..,m=..,k=..".
+func (p Params) String() string {
+	return fmt.Sprintf("n=%d,m=%d,k=%d", p.N, p.M, p.K)
+}

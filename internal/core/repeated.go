@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+
+	"setagreement/internal/shmem"
+)
+
+// RTuple is the (value, identifier, instance, history) tuple the repeated
+// algorithm of Figure 4 stores in snapshot components. A tuple with T == t
+// is what the paper calls a "t-tuple".
+type RTuple struct {
+	Val int
+	ID  int
+	T   int
+	His History
+}
+
+// String renders the tuple as "(v,pid,t,his)".
+func (t RTuple) String() string {
+	return fmt.Sprintf("(%d,p%d,t%d,%q)", t.Val, t.ID, t.T, string(t.His))
+}
+
+// Repeated is the m-obstruction-free repeated k-set agreement algorithm of
+// Figure 4. Space matches the one-shot algorithm: a snapshot object with
+// r = n+2m−k components, min(n+2m−k, n) registers (Theorem 8).
+type Repeated struct {
+	params Params
+	r      int
+}
+
+var _ Algorithm = (*Repeated)(nil)
+
+// NewRepeated builds the algorithm for the given parameters.
+func NewRepeated(p Params) (*Repeated, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Repeated{params: p, r: p.N + 2*p.M - p.K}, nil
+}
+
+// NewRepeatedComponents builds the algorithm with an explicit component
+// count r. Values below n+2m−k are used by the Theorem 2 lower-bound
+// experiments; the algorithm then loses either k-agreement or liveness.
+func NewRepeatedComponents(p Params, r int) (*Repeated, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if r < 1 {
+		return nil, fmt.Errorf("core: repeated needs r ≥ 1 components, got %d", r)
+	}
+	return &Repeated{params: p, r: r}, nil
+}
+
+// Name implements Algorithm.
+func (a *Repeated) Name() string { return "repeated-fig4" }
+
+// Params implements Algorithm.
+func (a *Repeated) Params() Params { return a.params }
+
+// Components returns the snapshot component count r.
+func (a *Repeated) Components() int { return a.r }
+
+// Spec implements Algorithm.
+func (a *Repeated) Spec() shmem.Spec { return shmem.Spec{Snaps: []int{a.r}} }
+
+// Registers implements Algorithm: min(n+2m−k, n) per Theorem 8.
+func (a *Repeated) Registers() int { return min(a.r, a.params.N) }
+
+// Anonymous implements Algorithm.
+func (a *Repeated) Anonymous() bool { return false }
+
+// NewProcess implements Algorithm. The returned process owns the persistent
+// local variables i, t and history of the pseudocode.
+func (a *Repeated) NewProcess(id int) Process {
+	return &repeatedProc{alg: a, id: id}
+}
+
+type repeatedProc struct {
+	alg *Repeated
+	id  int
+	i   int     // persistent component index
+	t   int     // persistent instance counter
+	his History // persistent output history
+}
+
+// Propose is the code of Figure 4 for one invocation.
+func (p *repeatedProc) Propose(mem shmem.Mem, v int) int {
+	r, m := p.alg.r, p.alg.params.M
+
+	// lines 8-10: t ← t+1; if history already covers t, replay it.
+	p.t++
+	t := p.t
+	if p.his.Len() >= t {
+		return p.his.At(t)
+	}
+	// line 11: pref ← v
+	pref := v
+
+	for {
+		// line 13: update ith component with (pref, id, t, history).
+		mem.Update(0, p.i, RTuple{Val: pref, ID: p.id, T: t, His: p.his})
+		// line 14: s ← scan of A.
+		s := mem.Scan(0)
+
+		// lines 15-16: shortcut — adopt the history of any process
+		// already past instance t.
+		for _, x := range s {
+			if tu, ok := x.(RTuple); ok && tu.T > t {
+				p.his = tu.His
+				return p.his.At(t)
+			}
+		}
+
+		// lines 17-21: decide if at most m distinct entries and no
+		// entry is ⊥ or from an earlier instance. (Entries from later
+		// instances were handled above, so every entry is a t-tuple.)
+		if p.canDecide(s, t, m) {
+			if j1, ok := minDupIndex(s); ok {
+				w := s[j1].(RTuple).Val
+				p.his = p.his.Append(w)
+				return w
+			}
+			// Only reachable with an experimentally undersized
+			// r ≤ m: no duplicate to pick, keep looping.
+		}
+
+		// lines 22-24: adopt the value of the first duplicated
+		// t-tuple if my own tuple appears nowhere else and some
+		// t-tuple is duplicated. As in the one-shot algorithm, an
+		// iteration adopts only if it actually changes pref (the
+		// dichotomy of Lemma 5, reused by Lemma 14); otherwise it
+		// advances i.
+		mine := RTuple{Val: pref, ID: p.id, T: t, His: p.his}
+		adopted := false
+		if allOthersForeign(s, p.i, mine) {
+			if j1, ok := minDupIndexWhere(s, func(v shmem.Value) bool {
+				tu, ok := v.(RTuple)
+				return ok && tu.T == t
+			}); ok && s[j1].(RTuple).Val != pref {
+				pref = s[j1].(RTuple).Val
+				adopted = true
+			}
+		}
+		if !adopted {
+			// line 25: advance to the next component.
+			p.i = (p.i + 1) % r
+		}
+	}
+}
+
+// canDecide checks the condition of line 17: every component holds a tuple
+// of instance ≥ t (neither ⊥ nor a stale t′<t tuple) and at most m distinct
+// entries appear.
+func (p *repeatedProc) canDecide(s []shmem.Value, t, m int) bool {
+	for _, x := range s {
+		tu, ok := x.(RTuple)
+		if !ok || tu.T < t {
+			return false
+		}
+	}
+	return distinctCount(s) <= m
+}

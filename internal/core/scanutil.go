@@ -1,0 +1,81 @@
+package core
+
+import "setagreement/internal/shmem"
+
+// Helpers for analyzing scan results, shared by the three algorithms. All of
+// them treat nil as the paper's ⊥.
+
+// distinctCount returns |{s[j] : 0 ≤ j < r}|, the number of distinct entries
+// in the scan, counting ⊥ as one entry if present (the pseudocode's set
+// includes whatever the components hold).
+func distinctCount(s []shmem.Value) int {
+	seen := make(map[shmem.Value]bool, len(s))
+	for _, v := range s {
+		seen[v] = true
+	}
+	return len(seen)
+}
+
+// hasNil reports whether any component is ⊥.
+func hasNil(s []shmem.Value) bool {
+	for _, v := range s {
+		if v == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// minDupIndex returns the smallest j1 such that some j2 > j1 has
+// s[j1] == s[j2] with s[j1] ≠ ⊥, and whether one exists.
+func minDupIndex(s []shmem.Value) (int, bool) {
+	first := make(map[shmem.Value]int, len(s))
+	best, found := 0, false
+	for j, v := range s {
+		if v == nil {
+			continue
+		}
+		if f, ok := first[v]; ok {
+			if !found || f < best {
+				best, found = f, true
+			}
+			continue
+		}
+		first[v] = j
+	}
+	return best, found
+}
+
+// minDupIndexWhere is minDupIndex restricted to entries satisfying pred.
+func minDupIndexWhere(s []shmem.Value, pred func(shmem.Value) bool) (int, bool) {
+	first := make(map[shmem.Value]int, len(s))
+	best, found := 0, false
+	for j, v := range s {
+		if v == nil || !pred(v) {
+			continue
+		}
+		if f, ok := first[v]; ok {
+			if !found || f < best {
+				best, found = f, true
+			}
+			continue
+		}
+		first[v] = j
+	}
+	return best, found
+}
+
+// allOthersForeign reports the pseudocode condition
+// "∀j ≠ i, s[j] ∉ {⊥, mine}": every component other than i is a non-⊥ value
+// different from mine.
+func allOthersForeign(s []shmem.Value, i int, mine shmem.Value) bool {
+	for j, v := range s {
+		if j == i {
+			continue
+		}
+		if v == nil || v == mine {
+			return false
+		}
+	}
+	return true
+}

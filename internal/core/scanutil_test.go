@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"setagreement/internal/shmem"
+)
+
+func TestDistinctCount(t *testing.T) {
+	tests := []struct {
+		name string
+		give []shmem.Value
+		want int
+	}{
+		{name: "empty", give: nil, want: 0},
+		{name: "all nil", give: []shmem.Value{nil, nil}, want: 1},
+		{name: "mixed", give: []shmem.Value{Pair{1, 1}, Pair{1, 1}, Pair{2, 1}, nil}, want: 3},
+		{name: "distinct", give: []shmem.Value{1, 2, 3}, want: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := distinctCount(tt.give); got != tt.want {
+				t.Fatalf("distinctCount = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMinDupIndex(t *testing.T) {
+	tests := []struct {
+		name      string
+		give      []shmem.Value
+		wantIdx   int
+		wantFound bool
+	}{
+		{name: "no dup", give: []shmem.Value{1, 2, 3}, wantFound: false},
+		{name: "nil not dup", give: []shmem.Value{nil, nil, 1}, wantFound: false},
+		{name: "simple", give: []shmem.Value{7, 8, 7}, wantIdx: 0, wantFound: true},
+		{name: "min of two dups", give: []shmem.Value{9, 8, 8, 9}, wantIdx: 0, wantFound: true},
+		{name: "later dup", give: []shmem.Value{1, 8, 8}, wantIdx: 1, wantFound: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			idx, found := minDupIndex(tt.give)
+			if found != tt.wantFound || (found && idx != tt.wantIdx) {
+				t.Fatalf("minDupIndex = %d,%v want %d,%v", idx, found, tt.wantIdx, tt.wantFound)
+			}
+		})
+	}
+}
+
+func TestMinDupIndexWhere(t *testing.T) {
+	s := []shmem.Value{
+		RTuple{Val: 1, ID: 1, T: 1},
+		RTuple{Val: 1, ID: 1, T: 1},
+		RTuple{Val: 2, ID: 2, T: 2},
+		RTuple{Val: 2, ID: 2, T: 2},
+	}
+	isT2 := func(v shmem.Value) bool { return v.(RTuple).T == 2 }
+	idx, found := minDupIndexWhere(s, isT2)
+	if !found || idx != 2 {
+		t.Fatalf("minDupIndexWhere = %d,%v want 2,true", idx, found)
+	}
+	isT3 := func(v shmem.Value) bool { return v.(RTuple).T == 3 }
+	if _, found := minDupIndexWhere(s, isT3); found {
+		t.Fatal("found duplicate where predicate excludes all")
+	}
+}
+
+func TestAllOthersForeign(t *testing.T) {
+	mine := Pair{Val: 5, ID: 3}
+	tests := []struct {
+		name string
+		give []shmem.Value
+		i    int
+		want bool
+	}{
+		{name: "all foreign", give: []shmem.Value{Pair{1, 1}, mine, Pair{2, 2}}, i: 1, want: true},
+		{name: "nil elsewhere", give: []shmem.Value{nil, mine, Pair{2, 2}}, i: 1, want: false},
+		{name: "mine elsewhere", give: []shmem.Value{mine, mine, Pair{2, 2}}, i: 1, want: false},
+		{name: "own slot ignored", give: []shmem.Value{Pair{1, 1}, nil, Pair{2, 2}}, i: 1, want: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := allOthersForeign(tt.give, tt.i, mine); got != tt.want {
+				t.Fatalf("allOthersForeign = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestHasNil(t *testing.T) {
+	if hasNil([]shmem.Value{1, 2}) {
+		t.Fatal("hasNil on full scan")
+	}
+	if !hasNil([]shmem.Value{1, nil}) {
+		t.Fatal("hasNil missed nil")
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		give    Params
+		wantErr bool
+	}{
+		{name: "consensus 3", give: Params{N: 3, M: 1, K: 1}},
+		{name: "full range", give: Params{N: 10, M: 3, K: 7}},
+		{name: "m exceeds k", give: Params{N: 5, M: 3, K: 2}, wantErr: true},
+		{name: "k not below n", give: Params{N: 4, M: 1, K: 4}, wantErr: true},
+		{name: "m zero", give: Params{N: 4, M: 0, K: 1}, wantErr: true},
+		{name: "one process", give: Params{N: 1, M: 1, K: 1}, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.give.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate(%v) err = %v, wantErr %v", tt.give, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestEll(t *testing.T) {
+	p := Params{N: 10, M: 2, K: 5}
+	if got := p.Ell(); got != 7 {
+		t.Fatalf("Ell = %d, want 7", got)
+	}
+}

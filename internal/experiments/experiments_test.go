@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"setagreement/internal/core"
+	"setagreement/internal/lowerbound"
+)
+
+func TestValidateRepeated(t *testing.T) {
+	alg, err := core.NewRepeated(core.Params{N: 4, M: 1, K: 2})
+	if err != nil {
+		t.Fatalf("NewRepeated: %v", err)
+	}
+	res := Validate(alg, 2, 2)
+	if res.Err != nil {
+		t.Fatalf("Validate: %v", res.Err)
+	}
+	if !res.SafetyOK || !res.TerminationOK {
+		t.Fatalf("checks failed: %+v", res)
+	}
+	if res.SequentialSteps == 0 || res.ContendedSteps == 0 {
+		t.Fatalf("no steps measured: %+v", res)
+	}
+	if res.RegistersClaimed != 4 { // min(4+2-2, 4)
+		t.Fatalf("RegistersClaimed = %d", res.RegistersClaimed)
+	}
+	if res.LocationsWritten > res.RegistersClaimed {
+		t.Fatalf("wrote %d locations, claimed %d", res.LocationsWritten, res.RegistersClaimed)
+	}
+}
+
+func TestFig1SmallSweep(t *testing.T) {
+	points := []core.Params{
+		{N: 4, M: 1, K: 1},
+		{N: 5, M: 2, K: 3},
+	}
+	table, err := Fig1(points, 2, 1)
+	if err != nil {
+		t.Fatalf("Fig1: %v", err)
+	}
+	if len(table.Rows) != 8 { // 4 cells per point
+		t.Fatalf("rows = %d, want 8", len(table.Rows))
+	}
+	s := table.String()
+	if strings.Contains(s, "FAIL") {
+		t.Fatalf("Fig1 contains failures:\n%s", s)
+	}
+	if !strings.Contains(s, "non-anon repeated") || !strings.Contains(s, "anonymous one-shot") {
+		t.Fatalf("missing cells:\n%s", s)
+	}
+}
+
+func TestTheorem2SweepShape(t *testing.T) {
+	p := core.Params{N: 4, M: 1, K: 1}
+	table, err := Theorem2Sweep(p, lowerbound.DefaultCoverOptions())
+	if err != nil {
+		t.Fatalf("Theorem2Sweep: %v", err)
+	}
+	// r = 2..5: below bound (4) must be violations, at/above none.
+	for _, row := range table.Rows {
+		r, verdict := row[0], row[1]
+		switch r {
+		case "2", "3":
+			if verdict == lowerbound.VerdictNone.String() {
+				t.Errorf("r=%s: verdict %s, want violation", r, verdict)
+			}
+		case "4", "5":
+			if verdict != lowerbound.VerdictNone.String() {
+				t.Errorf("r=%s: verdict %s, want none", r, verdict)
+			}
+		}
+	}
+}
+
+func TestTheorem10SweepShape(t *testing.T) {
+	table, err := Theorem10Sweep(10, 1, 4, lowerbound.DefaultCloneOptions())
+	if err != nil {
+		t.Fatalf("Theorem10Sweep: %v", err)
+	}
+	// n=10, k=1: army 2(1+r(r-1)/2) = 4, 8, 14 for r=2,3,4:
+	// fits for r=2,3 (attack wins), not r=4.
+	want := map[string]string{
+		"2": lowerbound.VerdictSafety.String(),
+		"3": lowerbound.VerdictSafety.String(),
+		"4": lowerbound.VerdictNone.String(),
+	}
+	for _, row := range table.Rows {
+		if w, ok := want[row[0]]; ok && row[3] != w {
+			t.Errorf("r=%s: verdict %s, want %s (%s)", row[0], row[3], w, row[5])
+		}
+	}
+}
+
+func TestVsDFGR13Shape(t *testing.T) {
+	table, err := VsDFGR13(8)
+	if err != nil {
+		t.Fatalf("VsDFGR13: %v", err)
+	}
+	if len(table.Rows) != 6 { // k = 1..6
+		t.Fatalf("rows = %d, want 6", len(table.Rows))
+	}
+	// Paper claim: fig3 (n−k+2) ≤ dfgr13 (2(n−k)) for k ≤ n−2, strictly
+	// fewer for k < n−2.
+	for _, row := range table.Rows {
+		k, fig3, dfgr := atoi(t, row[0]), atoi(t, row[1]), atoi(t, row[2])
+		if k < 6 && fig3 >= dfgr {
+			t.Errorf("k=%d: fig3 %d not below dfgr13 %d", k, fig3, dfgr)
+		}
+		if k == 6 && fig3 != dfgr {
+			t.Errorf("k=n-2: fig3 %d != dfgr13 %d", fig3, dfgr)
+		}
+	}
+}
+
+func TestSnapshotAblationShape(t *testing.T) {
+	table, err := SnapshotAblation(core.Params{N: 4, M: 1, K: 2})
+	if err != nil {
+		t.Fatalf("SnapshotAblation: %v", err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[3] != "ok" {
+			t.Errorf("impl %s not safe", row[0])
+		}
+	}
+	// Register-based snapshots must cost strictly more steps than atomic.
+	atomic := atoi(t, table.Rows[0][2])
+	for _, row := range table.Rows[1:] {
+		if atoi(t, row[2]) <= atomic {
+			t.Errorf("impl %s steps %s not above atomic %d", row[0], row[2], atomic)
+		}
+	}
+}
+
+func TestComponentAblationShape(t *testing.T) {
+	table, err := ComponentAblation(core.Params{N: 5, M: 1, K: 2}, 3)
+	if err != nil {
+		t.Fatalf("ComponentAblation: %v", err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(table.Rows))
+	}
+	for _, row := range table.Rows {
+		if row[3] != "ok" {
+			t.Errorf("r=%s not safe", row[0])
+		}
+	}
+}
+
+func atoi(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			t.Fatalf("not a number: %q", s)
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"setagreement/internal/core"
+	"setagreement/internal/lowerbound"
+)
+
+func TestMinRegistersTable(t *testing.T) {
+	points := []core.Params{
+		{N: 4, M: 1, K: 1},
+		{N: 5, M: 1, K: 2},
+	}
+	table, err := MinRegistersTable(points, lowerbound.DefaultCoverOptions())
+	if err != nil {
+		t.Fatalf("MinRegistersTable: %v", err)
+	}
+	for _, row := range table.Rows {
+		if row[3] != "yes" {
+			t.Errorf("%s: empirical minimum %s != theorem %s", row[0], row[2], row[1])
+		}
+	}
+}
+
+func TestComponentProbe(t *testing.T) {
+	table, err := ComponentProbe(core.Params{N: 5, M: 1, K: 2}, 2)
+	if err != nil {
+		t.Fatalf("ComponentProbe: %v", err)
+	}
+	if len(table.Rows) == 0 {
+		t.Fatal("empty probe")
+	}
+	// The design point must be fully green and unattackable.
+	last := table.Rows[len(table.Rows)-1]
+	if last[1] != "ok" || last[2] != "ok" {
+		t.Fatalf("design point unhealthy: %v", last)
+	}
+	if last[3] != "no-counterexample" {
+		t.Fatalf("adversary won at the design point: %v", last)
+	}
+	if !strings.Contains(last[4], "design point") {
+		t.Fatalf("design point not labelled: %v", last)
+	}
+	// Below the Theorem 2 bound the adversary must win even though
+	// sampled schedules look fine.
+	first := table.Rows[0]
+	if first[3] == "no-counterexample" {
+		t.Fatalf("adversary failed below the bound: %v", first)
+	}
+}
+
+func TestLatencyProfile(t *testing.T) {
+	alg, err := core.NewRepeated(core.Params{N: 4, M: 1, K: 2})
+	if err != nil {
+		t.Fatalf("NewRepeated: %v", err)
+	}
+	table, err := LatencyProfile(alg, 2, 8)
+	if err != nil {
+		t.Fatalf("LatencyProfile: %v", err)
+	}
+	if len(table.Rows) != 4 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	// min ≤ median ≤ p90 ≤ max.
+	prev := 0
+	for _, row := range table.Rows {
+		v := atoi(t, row[1])
+		if v < prev {
+			t.Fatalf("profile not monotone: %v", table.Rows)
+		}
+		prev = v
+	}
+}

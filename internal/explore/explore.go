@@ -1,0 +1,154 @@
+// Package explore performs bounded exhaustive exploration of the
+// deterministic simulator's state space — model checking in the small.
+//
+// From a base configuration (an optional replayed schedule prefix) it
+// enumerates every configuration reachable by steps of a chosen process
+// subset, merging configurations with equal state signatures (sound for
+// deterministic programs; see sim.StateSignature). Uses:
+//
+//   - exhaustive safety verification of the agreement algorithms for tiny
+//     systems: every reachable configuration of every schedule is checked,
+//     not just sampled schedules;
+//   - the exact escape oracle of the Theorem 2 covering adversary for
+//     m > 1, where "no fragment by Q_j writes outside A_j" quantifies over
+//     all interleavings of Q_j;
+//   - the search for γ fragments in which a group of m processes decides m
+//     distinct values (Lemma 1 promises existence; exploration finds one).
+package explore
+
+import (
+	"fmt"
+
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+)
+
+// Options bound an exploration.
+type Options struct {
+	// MaxStates caps the number of distinct configurations visited.
+	MaxStates int
+	// MaxDepth caps the number of steps beyond the base prefix.
+	MaxDepth int
+	// Procs restricts branching to these process indices; empty means
+	// all processes.
+	Procs []int
+	// Base is a schedule prefix replayed before exploration starts.
+	Base []int
+	// Allow, when non-nil, filters transitions: a process is only
+	// stepped from a configuration if Allow returns true for it there
+	// (e.g. to prune fragments that would write outside a covered set).
+	Allow func(r *sim.Runner, pid int) bool
+}
+
+// DefaultOptions returns bounds suitable for tiny systems.
+func DefaultOptions() Options {
+	return Options{MaxStates: 20_000, MaxDepth: 200}
+}
+
+// State is one reachable configuration handed to the visit callback.
+type State struct {
+	// Runner is parked at the configuration. The callback must not step
+	// or abort it.
+	Runner *sim.Runner
+	// Suffix is the schedule from the base configuration to here.
+	Suffix []int
+	// Depth is len(Suffix).
+	Depth int
+}
+
+// Outcome summarizes an exploration.
+type Outcome struct {
+	// States is the number of distinct configurations visited.
+	States int
+	// Truncated reports whether MaxStates or MaxDepth cut the frontier:
+	// if false, every configuration reachable by the chosen processes
+	// was visited (the exploration is exhaustive).
+	Truncated bool
+	// Stopped reports whether the visit callback ended the search.
+	Stopped bool
+	// Found is the suffix at which the callback stopped the search.
+	Found []int
+}
+
+// Visit inspects a configuration. Returning stop=true ends the search with
+// Outcome.Stopped set; returning an error aborts it.
+type Visit func(st *State) (stop bool, err error)
+
+// Run explores breadth-first. procs is a factory for fresh process specs
+// (each replay needs fresh algorithm state).
+func Run(spec shmem.Spec, procs func() []sim.ProcSpec, opts Options, visit Visit) (*Outcome, error) {
+	if opts.MaxStates <= 0 || opts.MaxDepth <= 0 {
+		return nil, fmt.Errorf("explore: bounds must be positive, got %+v", opts)
+	}
+	out := &Outcome{}
+	seen := make(map[string]bool)
+	type node struct {
+		suffix []int
+		depth  int
+	}
+	queue := []node{{}}
+
+	replayTo := func(suffix []int) (*sim.Runner, error) {
+		full := make([]int, 0, len(opts.Base)+len(suffix))
+		full = append(full, opts.Base...)
+		full = append(full, suffix...)
+		return sim.Replay(spec, procs(), full)
+	}
+
+	branch := opts.Procs
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+
+		r, err := replayTo(cur.suffix)
+		if err != nil {
+			return nil, err
+		}
+		sig := r.StateSignature()
+		if seen[sig] {
+			r.Abort()
+			continue
+		}
+		seen[sig] = true
+		out.States++
+
+		stop, err := visit(&State{Runner: r, Suffix: cur.suffix, Depth: cur.depth})
+		if err != nil {
+			r.Abort()
+			return nil, err
+		}
+		if stop {
+			out.Stopped = true
+			out.Found = append([]int(nil), cur.suffix...)
+			r.Abort()
+			return out, nil
+		}
+		if out.States >= opts.MaxStates || cur.depth >= opts.MaxDepth {
+			out.Truncated = true
+			r.Abort()
+			continue
+		}
+
+		candidates := branch
+		if len(candidates) == 0 {
+			candidates = make([]int, r.NumProcs())
+			for i := range candidates {
+				candidates[i] = i
+			}
+		}
+		for _, pid := range candidates {
+			if r.IsDone(pid) {
+				continue
+			}
+			if opts.Allow != nil && !opts.Allow(r, pid) {
+				continue
+			}
+			next := make([]int, len(cur.suffix)+1)
+			copy(next, cur.suffix)
+			next[len(cur.suffix)] = pid
+			queue = append(queue, node{suffix: next, depth: cur.depth + 1})
+		}
+		r.Abort()
+	}
+	return out, nil
+}

@@ -1,0 +1,160 @@
+package explore
+
+import (
+	"errors"
+	"testing"
+
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+)
+
+// writerProgram writes its id to reg 0, reads it back, outputs.
+func writerProgram(p *sim.Proc) {
+	p.Write(0, p.ID())
+	p.Output(1, p.Read(0))
+}
+
+func writerProcs() []sim.ProcSpec {
+	return []sim.ProcSpec{
+		{ID: 1, Run: writerProgram},
+		{ID: 2, Run: writerProgram},
+	}
+}
+
+func TestRunVisitsAllStates(t *testing.T) {
+	var depths []int
+	out, err := Run(shmem.Spec{Regs: 1}, writerProcs, DefaultOptions(),
+		func(st *State) (bool, error) {
+			depths = append(depths, st.Depth)
+			return false, nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Truncated {
+		t.Fatal("tiny system truncated")
+	}
+	if out.States != len(depths) {
+		t.Fatalf("States = %d, visits = %d", out.States, len(depths))
+	}
+	// The initial state plus at least the four distinct orderings'
+	// states; with merging, strictly fewer than the 2^6 naive paths.
+	if out.States < 5 || out.States > 40 {
+		t.Fatalf("unexpected state count %d", out.States)
+	}
+}
+
+func TestRunStopsOnVisit(t *testing.T) {
+	out, err := Run(shmem.Spec{Regs: 1}, writerProcs, DefaultOptions(),
+		func(st *State) (bool, error) {
+			// Stop when both processes have decided.
+			return st.Runner.AllDone(), nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !out.Stopped {
+		t.Fatal("never reached an all-done state")
+	}
+	if len(out.Found) != 6 { // 3 steps per process
+		t.Fatalf("Found = %v", out.Found)
+	}
+}
+
+func TestRunRespectsProcsRestriction(t *testing.T) {
+	out, err := Run(shmem.Spec{Regs: 1}, writerProcs,
+		Options{MaxStates: 1000, MaxDepth: 50, Procs: []int{0}},
+		func(st *State) (bool, error) {
+			for _, pid := range st.Suffix {
+				if pid != 0 {
+					t.Fatalf("branched on process %d", pid)
+				}
+			}
+			return false, nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Solo runs are linear: exactly initial + 3 states.
+	if out.States != 4 {
+		t.Fatalf("States = %d, want 4", out.States)
+	}
+}
+
+func TestRunBaseSchedule(t *testing.T) {
+	// Base prefix runs process 0 to completion; exploration of process 1
+	// starts from there.
+	out, err := Run(shmem.Spec{Regs: 1}, writerProcs,
+		Options{MaxStates: 1000, MaxDepth: 50, Base: []int{0, 0, 0}, Procs: []int{1}},
+		func(st *State) (bool, error) {
+			if !st.Runner.IsDone(0) {
+				t.Fatal("base prefix not applied")
+			}
+			return false, nil
+		})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.States != 4 {
+		t.Fatalf("States = %d, want 4", out.States)
+	}
+}
+
+func TestRunTruncation(t *testing.T) {
+	// An infinite program must truncate at the depth bound.
+	loop := func() []sim.ProcSpec {
+		return []sim.ProcSpec{{ID: 0, Run: func(p *sim.Proc) {
+			for i := 0; ; i++ {
+				p.Write(0, i) // distinct values: no state merging
+			}
+		}}}
+	}
+	out, err := Run(shmem.Spec{Regs: 1}, loop,
+		Options{MaxStates: 100_000, MaxDepth: 10},
+		func(*State) (bool, error) { return false, nil })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !out.Truncated {
+		t.Fatal("infinite system not truncated")
+	}
+	if out.States != 11 { // depths 0..10
+		t.Fatalf("States = %d, want 11", out.States)
+	}
+}
+
+func TestRunMergesConvergentStates(t *testing.T) {
+	// Two processes writing the same constant: interleavings converge to
+	// identical configurations, which must merge.
+	procs := func() []sim.ProcSpec {
+		mk := func() sim.Program {
+			return func(p *sim.Proc) {
+				p.Write(0, "same")
+				p.Write(0, "same")
+			}
+		}
+		return []sim.ProcSpec{{ID: sim.Anonymous, Run: mk()}, {ID: sim.Anonymous, Run: mk()}}
+	}
+	out, err := Run(shmem.Spec{Regs: 1}, procs, DefaultOptions(),
+		func(*State) (bool, error) { return false, nil })
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Naive tree: sum over interleavings ≥ 20 nodes; with merging the
+	// count collapses (positions (i,j) with i,j ∈ 0..2, minus unreachable).
+	if out.Truncated || out.States >= 20 {
+		t.Fatalf("merging ineffective: %d states (truncated=%v)", out.States, out.Truncated)
+	}
+}
+
+func TestRunErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Run(shmem.Spec{Regs: 1}, writerProcs, DefaultOptions(),
+		func(*State) (bool, error) { return false, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if _, err := Run(shmem.Spec{Regs: 1}, writerProcs, Options{}, nil); err == nil {
+		t.Fatal("zero bounds accepted")
+	}
+}

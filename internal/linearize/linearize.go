@@ -1,0 +1,171 @@
+// Package linearize checks concurrent snapshot histories for
+// linearizability in the style of Wing and Gong: it searches for a total
+// order of the operations that respects real time (an operation that
+// finished before another began must come first) and snapshot semantics
+// (every Scan returns, for each component, the value of the latest
+// preceding Update to it, or the initial nil).
+//
+// It is used by the test suites to validate the register-based snapshot
+// constructions of package snapshot against executions of the deterministic
+// simulator, whose step indices provide exact operation intervals.
+package linearize
+
+import (
+	"fmt"
+	"sort"
+
+	"setagreement/internal/shmem"
+)
+
+// Op is one completed operation of a snapshot history.
+type Op struct {
+	// Proc identifies the calling process (used only for error text).
+	Proc int
+	// Inv and Res are the inclusive real-time interval of the operation:
+	// Inv is the first instant it may take effect, Res the last. Two
+	// operations are concurrent iff their intervals overlap.
+	Inv, Res int
+	// IsScan selects the semantics: Scan returns View; Update writes
+	// Val to component Comp.
+	IsScan bool
+	Comp   int
+	Val    shmem.Value
+	View   []shmem.Value
+}
+
+// String renders the op for failure messages.
+func (o Op) String() string {
+	if o.IsScan {
+		return fmt.Sprintf("p%d scan->%v @[%d,%d]", o.Proc, o.View, o.Inv, o.Res)
+	}
+	return fmt.Sprintf("p%d update(%d,%v) @[%d,%d]", o.Proc, o.Comp, o.Val, o.Inv, o.Res)
+}
+
+// Result is the outcome of a linearizability check.
+type Result struct {
+	OK bool
+	// Witness is a valid linearization (indices into the input ops) when
+	// OK.
+	Witness []int
+}
+
+// CheckSnapshot decides whether the history is linearizable as a snapshot
+// object with the given component count and all-nil initial state. The
+// search is exponential in the worst case; histories should stay small
+// (tens of operations).
+func CheckSnapshot(components int, ops []Op) Result {
+	c := &checker{
+		components: components,
+		ops:        ops,
+		state:      make([]shmem.Value, components),
+		used:       make([]bool, len(ops)),
+		memo:       make(map[string]bool),
+	}
+	// Candidate exploration in a fixed order keeps the search
+	// deterministic: earlier responses first.
+	c.order = make([]int, len(ops))
+	for i := range c.order {
+		c.order[i] = i
+	}
+	sort.SliceStable(c.order, func(a, b int) bool {
+		return ops[c.order[a]].Res < ops[c.order[b]].Res
+	})
+	if c.search(0) {
+		return Result{OK: true, Witness: c.witness}
+	}
+	return Result{OK: false}
+}
+
+type checker struct {
+	components int
+	ops        []Op
+	order      []int
+	state      []shmem.Value
+	used       []bool
+	witness    []int
+	memo       map[string]bool
+}
+
+// key encodes the used-set; the snapshot state is a function of the set of
+// applied updates only up to per-component order, so the memo key includes
+// the state too.
+func (c *checker) key() string {
+	b := make([]byte, 0, len(c.used)+16*c.components)
+	for _, u := range c.used {
+		if u {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
+	b = append(b, '|')
+	for _, v := range c.state {
+		b = append(b, fmt.Sprintf("%v;", v)...)
+	}
+	return string(b)
+}
+
+// search tries to linearize the remaining operations; done counts
+// linearized ops.
+func (c *checker) search(done int) bool {
+	if done == len(c.ops) {
+		return true
+	}
+	k := c.key()
+	if c.memo[k] {
+		return false
+	}
+
+	// minRes over unlinearized ops: a candidate must have Inv ≤ minRes,
+	// else the minRes op (already responded) would be ordered after an
+	// operation that had not yet been invoked.
+	minRes := int(^uint(0) >> 1)
+	for i, op := range c.ops {
+		if !c.used[i] && op.Res < minRes {
+			minRes = op.Res
+		}
+	}
+	for _, i := range c.order {
+		if c.used[i] || c.ops[i].Inv > minRes {
+			continue
+		}
+		op := c.ops[i]
+		if op.IsScan {
+			if !viewMatches(op.View, c.state) {
+				continue
+			}
+			c.used[i] = true
+			c.witness = append(c.witness, i)
+			if c.search(done + 1) {
+				return true
+			}
+			c.witness = c.witness[:len(c.witness)-1]
+			c.used[i] = false
+			continue
+		}
+		prev := c.state[op.Comp]
+		c.state[op.Comp] = op.Val
+		c.used[i] = true
+		c.witness = append(c.witness, i)
+		if c.search(done + 1) {
+			return true
+		}
+		c.witness = c.witness[:len(c.witness)-1]
+		c.used[i] = false
+		c.state[op.Comp] = prev
+	}
+	c.memo[k] = true
+	return false
+}
+
+func viewMatches(view, state []shmem.Value) bool {
+	if len(view) != len(state) {
+		return false
+	}
+	for i := range view {
+		if view[i] != state[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,149 @@
+package linearize
+
+import (
+	"testing"
+
+	"setagreement/internal/shmem"
+)
+
+func upd(proc, inv, res, comp int, val shmem.Value) Op {
+	return Op{Proc: proc, Inv: inv, Res: res, Comp: comp, Val: val}
+}
+
+func scan(proc, inv, res int, view ...shmem.Value) Op {
+	return Op{Proc: proc, Inv: inv, Res: res, IsScan: true, View: view}
+}
+
+func TestSequentialHistory(t *testing.T) {
+	ops := []Op{
+		upd(0, 0, 0, 0, "a"),
+		scan(0, 1, 1, "a", nil),
+		upd(1, 2, 2, 1, "b"),
+		scan(1, 3, 3, "a", "b"),
+	}
+	res := CheckSnapshot(2, ops)
+	if !res.OK {
+		t.Fatal("sequential history rejected")
+	}
+	if len(res.Witness) != 4 {
+		t.Fatalf("witness = %v", res.Witness)
+	}
+}
+
+func TestEmptyAndInitialState(t *testing.T) {
+	if !CheckSnapshot(3, nil).OK {
+		t.Fatal("empty history rejected")
+	}
+	if !CheckSnapshot(2, []Op{scan(0, 0, 5, nil, nil)}).OK {
+		t.Fatal("initial scan of nils rejected")
+	}
+	if CheckSnapshot(2, []Op{scan(0, 0, 5, "x", nil)}).OK {
+		t.Fatal("scan inventing a value accepted")
+	}
+}
+
+func TestConcurrentUpdateVisibleOrNot(t *testing.T) {
+	// An update concurrent with a scan may or may not be seen.
+	base := upd(0, 0, 10, 0, "a")
+	if !CheckSnapshot(1, []Op{base, scan(1, 5, 6, "a")}).OK {
+		t.Fatal("concurrent update seen: rejected")
+	}
+	if !CheckSnapshot(1, []Op{base, scan(1, 5, 6, nil)}).OK {
+		t.Fatal("concurrent update unseen: rejected")
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// The update finished before the scan began: it must be visible.
+	ops := []Op{
+		upd(0, 0, 1, 0, "a"),
+		scan(1, 5, 6, nil),
+	}
+	if CheckSnapshot(1, ops).OK {
+		t.Fatal("scan missing a completed update accepted")
+	}
+}
+
+func TestStaleViewRejected(t *testing.T) {
+	// Two sequential updates to the same component; a later scan must
+	// not return the first value.
+	ops := []Op{
+		upd(0, 0, 1, 0, "old"),
+		upd(0, 2, 3, 0, "new"),
+		scan(1, 4, 5, "old"),
+	}
+	if CheckSnapshot(1, ops).OK {
+		t.Fatal("stale view accepted")
+	}
+}
+
+func TestSnapshotAtomicityViolation(t *testing.T) {
+	// The classic non-atomic double-read anomaly: scans S1 and S2 that
+	// each see one of two sequential updates but in opposite orders
+	// cannot be linearized.
+	ops := []Op{
+		upd(0, 0, 1, 0, "x"), // comp0 ← x, done early
+		upd(0, 2, 3, 1, "y"), // comp1 ← y, strictly later
+		// S1 sees y but not x: impossible in any order.
+		scan(1, 4, 5, nil, "y"),
+	}
+	if CheckSnapshot(2, ops).OK {
+		t.Fatal("inverted visibility accepted")
+	}
+}
+
+func TestConcurrentScansMayDisagreeConsistently(t *testing.T) {
+	// Two scans concurrent with one update: one sees it, one does not —
+	// fine as long as the one that saw it can linearize after it.
+	ops := []Op{
+		upd(0, 0, 10, 0, "v"),
+		scan(1, 1, 2, nil),
+		scan(2, 3, 4, "v"),
+	}
+	if !CheckSnapshot(1, ops).OK {
+		t.Fatal("consistent disagreement rejected")
+	}
+	// Reversed real-time order of the two scans: the later scan returns
+	// the older view — not linearizable.
+	ops = []Op{
+		upd(0, 0, 10, 0, "v"),
+		scan(1, 1, 2, "v"),
+		scan(2, 3, 4, nil),
+	}
+	if CheckSnapshot(1, ops).OK {
+		t.Fatal("new-then-old visibility accepted")
+	}
+}
+
+func TestWitnessIsValidLinearization(t *testing.T) {
+	ops := []Op{
+		upd(0, 0, 4, 0, "a"),
+		upd(1, 1, 5, 0, "b"),
+		scan(2, 2, 6, "a"),
+		scan(2, 7, 8, "b"),
+	}
+	res := CheckSnapshot(1, ops)
+	if !res.OK {
+		t.Fatal("valid history rejected")
+	}
+	// Replay the witness and confirm semantics.
+	state := make([]shmem.Value, 1)
+	for _, i := range res.Witness {
+		op := ops[i]
+		if op.IsScan {
+			for c, v := range op.View {
+				if state[c] != v {
+					t.Fatalf("witness %v invalid at op %v", res.Witness, op)
+				}
+			}
+			continue
+		}
+		state[op.Comp] = op.Val
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if upd(1, 0, 1, 2, "v").String() == "" || scan(1, 0, 1, "v").String() == "" {
+		t.Fatal("empty op strings")
+	}
+}

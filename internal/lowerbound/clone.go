@@ -1,0 +1,432 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+
+	"setagreement/internal/core"
+	"setagreement/internal/sim"
+)
+
+// CloneOptions bound the Theorem 10 adversary.
+type CloneOptions struct {
+	// Values is how many distinct input values to probe for matching
+	// register signatures.
+	Values int
+	// SoloBudget is the step budget for each probing solo run; exceeding
+	// it is a liveness failure (a solo run must terminate).
+	SoloBudget int
+}
+
+// DefaultCloneOptions returns generous defaults for small systems.
+func DefaultCloneOptions() CloneOptions {
+	return CloneOptions{Values: 64, SoloBudget: 200_000}
+}
+
+// CloneReport is the outcome of the anonymous clone-and-glue adversary.
+type CloneReport struct {
+	Verdict Verdict
+	Detail  string
+	// Outputs are the distinct values decided in the glued execution.
+	Outputs []int
+	K       int
+	// Locations is the writable-location count of the attacked algorithm.
+	Locations int
+	// Signature is the shared register sequence R of the glued groups.
+	Signature []sim.Loc
+	// Groups is the number of value groups glued (k+1 on success).
+	Groups int
+	// ProcessesUsed counts mains plus clones in the glued execution.
+	ProcessesUsed int
+	// ProcessesNeeded is c·(m + q(q−1)/2) for the best candidate
+	// signature, even if it exceeded n.
+	ProcessesNeeded int
+}
+
+func (r *CloneReport) String() string {
+	return fmt.Sprintf("clone attack on %d locations (k=%d): %v — outputs %v, |R|=%d, procs %d/%d (%s)",
+		r.Locations, r.K, r.Verdict, r.Outputs, len(r.Signature), r.ProcessesUsed, r.ProcessesNeeded, r.Detail)
+}
+
+// soloTrace is the record of one value's solo execution.
+type soloTrace struct {
+	val    int
+	steps  []sim.Op // executed shared-memory ops in order
+	sig    []sim.Loc
+	output int
+}
+
+// sigKey renders a signature for grouping.
+func sigKey(sig []sim.Loc) string {
+	s := ""
+	for _, l := range sig {
+		s += l.String() + "|"
+	}
+	return s
+}
+
+// CloneAttack runs the Lemma 9 / Theorem 10 construction against an
+// anonymous one-shot algorithm for m = 1: it probes solo executions of many
+// input values, finds k+1 values whose executions write the same register
+// sequence R, and glues them together with paused clones so that every group
+// runs exactly as if solo, outputting k+1 distinct values.
+//
+// The attack needs n ≥ (k+1)(1 + q(q−1)/2) processes, q = |R|: this is the
+// source of the √(m(n/k−2)) bound. When n is too small for the clone army
+// the verdict is VerdictNone, which is the expected outcome at or above the
+// bound.
+func CloneAttack(alg core.Algorithm, opts CloneOptions) (*CloneReport, error) {
+	if !alg.Anonymous() {
+		return nil, fmt.Errorf("lowerbound: CloneAttack needs an anonymous algorithm (Theorem 10)")
+	}
+	p := alg.Params()
+	if p.M != 1 {
+		return nil, fmt.Errorf("lowerbound: CloneAttack implements the m=1 construction, got m=%d", p.M)
+	}
+	if opts.Values <= 0 || opts.SoloBudget <= 0 {
+		return nil, fmt.Errorf("lowerbound: all CloneOptions must be positive")
+	}
+
+	report := &CloneReport{K: p.K}
+	mem, err := sim.NewMemory(alg.Spec())
+	if err != nil {
+		return nil, err
+	}
+	report.Locations = mem.NumLocations()
+
+	// Phase 1: probe solo executions α(v) and group by signature R(v).
+	groups := make(map[string][]*soloTrace)
+	for v := 1; v <= opts.Values; v++ {
+		tr, verdict, detail, err := soloProbe(alg, v, opts.SoloBudget)
+		if err != nil {
+			return nil, err
+		}
+		if verdict == VerdictLiveness {
+			report.Verdict = VerdictLiveness
+			report.Detail = detail
+			return report, nil
+		}
+		groups[sigKey(tr.sig)] = append(groups[sigKey(tr.sig)], tr)
+	}
+
+	// Phase 2: find a signature shared by ≥ k+1 values that fits the
+	// process budget n.
+	c := p.K + 1
+	var best []*soloTrace
+	bestNeeded := 0
+	for _, g := range groups {
+		if len(g) < c {
+			continue
+		}
+		q := len(g[0].sig)
+		needed := c * (1 + q*(q-1)/2)
+		if best == nil || needed < bestNeeded {
+			best, bestNeeded = g[:c], needed
+		}
+	}
+	if best == nil {
+		report.Verdict = VerdictNone
+		report.Detail = fmt.Sprintf("no register sequence shared by %d of %d probed values", c, opts.Values)
+		return report, nil
+	}
+	report.Signature = best[0].sig
+	report.Groups = c
+	report.ProcessesNeeded = bestNeeded
+	if bestNeeded > p.N {
+		report.Verdict = VerdictNone
+		report.Detail = fmt.Sprintf("clone army needs %d processes but n=%d (the √(m(n/k−2)) bound holds here)",
+			bestNeeded, p.N)
+		return report, nil
+	}
+
+	// Phase 3: glue.
+	return glue(alg, best, report)
+}
+
+// soloProbe runs one anonymous process with input v solo, recording its
+// shared-memory trace and its distinct-first-write signature.
+func soloProbe(alg core.Algorithm, v, budget int) (*soloTrace, Verdict, string, error) {
+	procs := []sim.ProcSpec{{
+		ID:  sim.Anonymous,
+		Run: core.Driver(alg.NewProcess(sim.Anonymous), []int{v}),
+	}}
+	r, err := sim.NewRunner(alg.Spec(), procs)
+	if err != nil {
+		return nil, VerdictNone, "", err
+	}
+	defer r.Abort()
+	r.Record(true)
+
+	for steps := 0; !r.IsDone(0); steps++ {
+		if steps > budget {
+			return nil, VerdictLiveness,
+				fmt.Sprintf("solo run with input %d did not terminate in %d steps", v, budget), nil
+		}
+		if _, err := r.Step(0); err != nil {
+			return nil, VerdictNone, "", err
+		}
+		if err := r.Err(); err != nil {
+			return nil, VerdictNone, "", err
+		}
+	}
+	tr := &soloTrace{val: v}
+	seen := make(map[sim.Loc]bool)
+	for _, rec := range r.Log() {
+		tr.steps = append(tr.steps, rec.Op)
+		if rec.Op.IsWrite() {
+			if loc, ok := rec.Op.Target(); ok && !seen[loc] {
+				seen[loc] = true
+				tr.sig = append(tr.sig, loc)
+			}
+		}
+	}
+	outs := r.Outputs(0)
+	if len(outs) != 1 {
+		return nil, VerdictNone, "", fmt.Errorf("lowerbound: solo run decided %d instances, want 1", len(outs))
+	}
+	tr.output = outs[0].Val.(int)
+	return tr, VerdictNone, "", nil
+}
+
+// glueGroup is the runtime state of one value group during the glue.
+type glueGroup struct {
+	tr   *soloTrace
+	main int // runner index of the main process
+	// clones[j][u] is the runner index of the clone released in stage
+	// j+2's block write to restore R_{u+1} (0-based: stage j covers
+	// sig[0..j-1], clone pauses before the trace's last write to sig[u]
+	// prior to the stage boundary).
+	clones [][]int
+	// pauseAt[cloneIdx] is the main-trace write ordinal at which that
+	// clone freezes (it shadows the main until poised at that write).
+	// Keyed by runner index.
+	pauseAt map[int]int
+	// cuts[j] is the index in tr.steps of the first write to sig[j]
+	// (j = 0..q−1); cuts[q] = len(tr.steps).
+	cuts []int
+	// lastWrite[j][u] is the index in tr.steps of the last write to
+	// sig[u] strictly before cuts[j].
+	lastWrite [][]int
+}
+
+// glue builds and runs the glued execution of Lemma 9's claim, stages
+// j = 0..q, and counts distinct outputs.
+func glue(alg core.Algorithm, group []*soloTrace, report *CloneReport) (*CloneReport, error) {
+	q := len(report.Signature)
+	c := len(group)
+
+	// Build the process universe: per group, 1 main + q(q−1)/2 clones,
+	// all with the group's input (anonymous and identically programmed).
+	var procs []sim.ProcSpec
+	glueGroups := make([]*glueGroup, c)
+	for gi, tr := range group {
+		g := &glueGroup{tr: tr, pauseAt: make(map[int]int)}
+		g.main = len(procs)
+		procs = append(procs, sim.ProcSpec{
+			ID:  sim.Anonymous,
+			Run: core.Driver(alg.NewProcess(sim.Anonymous), []int{tr.val}),
+		})
+		g.computeCuts(report.Signature)
+
+		g.clones = make([][]int, q+1)
+		for j := 2; j <= q; j++ {
+			g.clones[j] = make([]int, j-1)
+			for u := 0; u < j-1; u++ {
+				idx := len(procs)
+				procs = append(procs, sim.ProcSpec{
+					ID:  sim.Anonymous,
+					Run: core.Driver(alg.NewProcess(sim.Anonymous), []int{tr.val}),
+				})
+				g.clones[j][u] = idx
+				g.pauseAt[idx] = g.lastWrite[j-1][u]
+			}
+		}
+		glueGroups[gi] = g
+	}
+	report.ProcessesUsed = len(procs)
+	if len(procs) > alg.Params().N {
+		report.Verdict = VerdictNone
+		report.Detail = fmt.Sprintf("universe of %d processes exceeds n=%d", len(procs), alg.Params().N)
+		return report, nil
+	}
+
+	r, err := sim.NewRunner(alg.Spec(), procs)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Abort()
+
+	gl := &gluer{r: r, groups: glueGroups, sig: report.Signature}
+	if err := gl.run(); err != nil {
+		return nil, fmt.Errorf("lowerbound: glue: %w", err)
+	}
+
+	distinct := make(map[int]bool)
+	for _, g := range glueGroups {
+		outs := r.Outputs(g.main)
+		if len(outs) != 1 {
+			return nil, fmt.Errorf("lowerbound: glued main for value %d decided %d instances", g.tr.val, len(outs))
+		}
+		distinct[outs[0].Val.(int)] = true
+	}
+	for v := range distinct {
+		report.Outputs = append(report.Outputs, v)
+	}
+	sort.Ints(report.Outputs)
+	if len(distinct) > report.K {
+		report.Verdict = VerdictSafety
+		report.Detail = fmt.Sprintf("%d distinct outputs exceed k=%d in a legal %d-process execution",
+			len(distinct), report.K, len(procs))
+	} else {
+		report.Verdict = VerdictNone
+		report.Detail = fmt.Sprintf("glued execution produced only %d distinct outputs", len(distinct))
+	}
+	return report, nil
+}
+
+// computeCuts fills cuts and lastWrite from the solo trace.
+func (g *glueGroup) computeCuts(sig []sim.Loc) {
+	q := len(sig)
+	locIdx := make(map[sim.Loc]int, q)
+	for i, l := range sig {
+		locIdx[l] = i
+	}
+	g.cuts = make([]int, q+1)
+	for i := range g.cuts {
+		g.cuts[i] = -1
+	}
+	g.cuts[q] = len(g.tr.steps)
+	// lastSeen[u] tracks the most recent write index to sig[u].
+	lastSeen := make([]int, q)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	g.lastWrite = make([][]int, q+1)
+	next := 0 // next signature register expected to be first-written
+	for si, op := range g.tr.steps {
+		if !op.IsWrite() {
+			continue
+		}
+		loc, _ := op.Target()
+		u := locIdx[loc]
+		if u == next {
+			g.cuts[next] = si
+			// Record lastWrite snapshot at this cut: last writes
+			// strictly before the first write to sig[next].
+			snap := make([]int, q)
+			copy(snap, lastSeen)
+			g.lastWrite[next] = snap
+			next++
+		}
+		lastSeen[u] = si
+	}
+	// Snapshot at the end (stage q uses lastWrite[q] only conceptually).
+	final := make([]int, q)
+	copy(final, lastSeen)
+	g.lastWrite[q] = final
+}
+
+// gluer drives the staged glued execution. It tracks per-process executed
+// step counts so that clones can shadow their main and freeze exactly at
+// their pause ordinals.
+type gluer struct {
+	r      *sim.Runner
+	groups []*glueGroup
+	sig    []sim.Loc
+	steps  map[int]int // runner index -> executed step count
+}
+
+func (gl *gluer) step(idx int) (sim.Op, error) {
+	op, err := gl.r.Step(idx)
+	if err != nil {
+		return op, err
+	}
+	if gl.steps == nil {
+		gl.steps = make(map[int]int)
+	}
+	gl.steps[idx]++
+	return op, gl.r.Err()
+}
+
+// run executes β_0 then stages 1..q of the claim in Lemma 9's proof.
+func (gl *gluer) run() error {
+	q := len(gl.sig)
+	// β_0: every main (with shadows) runs its maximal write-free prefix,
+	// parking poised at its first write.
+	for _, g := range gl.groups {
+		if err := gl.advanceMain(g, g.cuts0()); err != nil {
+			return err
+		}
+	}
+	for j := 1; j <= q; j++ {
+		for _, g := range gl.groups {
+			// Block write: release the stage-j clones, one step
+			// each, restoring sig[0..j-2] to the group's own last
+			// written values.
+			for _, cl := range g.stageClones(j) {
+				if _, err := gl.step(cl); err != nil {
+					return fmt.Errorf("block write stage %d: %w", j, err)
+				}
+			}
+			// Main continues: first step writes sig[j-1], then on
+			// to poised at the first write to sig[j] (or to
+			// completion in the final stage).
+			target := len(g.tr.steps)
+			if j < q {
+				target = g.cuts[j]
+			}
+			if err := gl.advanceMain(g, target); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *glueGroup) cuts0() int {
+	if len(g.cuts) > 0 && g.cuts[0] >= 0 {
+		return g.cuts[0]
+	}
+	return len(g.tr.steps)
+}
+
+func (g *glueGroup) stageClones(j int) []int {
+	if j < 2 || j >= len(g.clones) || g.clones[j] == nil {
+		return nil
+	}
+	return g.clones[j]
+}
+
+// advanceMain steps the main until it has executed `until` trace steps,
+// shadowing each step with every clone that has not yet reached its pause
+// ordinal, and verifying the main replays its solo trace exactly (the
+// invisibility invariant of the construction).
+func (gl *gluer) advanceMain(g *glueGroup, until int) error {
+	for done := gl.steps[g.main]; done < until; done = gl.steps[g.main] {
+		op, err := gl.step(g.main)
+		if err != nil {
+			return fmt.Errorf("main step %d (value %d): %w", done, g.tr.val, err)
+		}
+		if op != g.tr.steps[done] {
+			return fmt.Errorf("glued main for value %d diverged from its solo trace at step %d: %v vs %v",
+				g.tr.val, done, op, g.tr.steps[done])
+		}
+		// Shadows replicate the step immediately, in deterministic
+		// stage order; a clone whose pause ordinal is this step stays
+		// poised instead.
+		for j := 2; j < len(g.clones); j++ {
+			for _, cl := range g.clones[j] {
+				// A clone shadows while strictly below its pause
+				// ordinal; at the ordinal it stays poised, and
+				// once released (count = pause+1) it never moves
+				// again.
+				if gl.steps[cl] == done && done < g.pauseAt[cl] {
+					if _, err := gl.step(cl); err != nil {
+						return fmt.Errorf("clone shadow step: %w", err)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

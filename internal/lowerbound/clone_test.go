@@ -1,0 +1,120 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"setagreement/internal/core"
+)
+
+func mustAnon(t *testing.T, p core.Params, r int) core.Algorithm {
+	t.Helper()
+	alg, err := core.NewAnonComponents(p, r, false)
+	if err != nil {
+		t.Fatalf("NewAnonComponents: %v", err)
+	}
+	return alg
+}
+
+func TestCloneAttackBeatsUndersizedAnonymous(t *testing.T) {
+	// With few components and many processes, the clone army fits and
+	// the glued execution must output k+1 distinct values.
+	tests := []struct {
+		p core.Params
+		r int
+	}{
+		// k=1: needs n ≥ 2(1+r(r-1)/2).
+		{p: core.Params{N: 8, M: 1, K: 1}, r: 2},  // needs 4
+		{p: core.Params{N: 10, M: 1, K: 1}, r: 3}, // needs 8
+		{p: core.Params{N: 16, M: 1, K: 1}, r: 4}, // needs 14
+		// k=2: needs n ≥ 3(1+r(r-1)/2).
+		{p: core.Params{N: 9, M: 1, K: 2}, r: 2},  // needs 6
+		{p: core.Params{N: 12, M: 1, K: 2}, r: 3}, // needs 12
+	}
+	for _, tt := range tests {
+		rep, err := CloneAttack(mustAnon(t, tt.p, tt.r), DefaultCloneOptions())
+		if err != nil {
+			t.Fatalf("%v r=%d: %v", tt.p, tt.r, err)
+		}
+		if rep.Verdict != VerdictSafety {
+			t.Errorf("%v r=%d: verdict %v (%s), want safety violation",
+				tt.p, tt.r, rep.Verdict, rep.Detail)
+			continue
+		}
+		if len(rep.Outputs) != tt.p.K+1 {
+			t.Errorf("%v r=%d: %d distinct outputs, want %d", tt.p, tt.r, len(rep.Outputs), tt.p.K+1)
+		}
+		if rep.ProcessesUsed > tt.p.N {
+			t.Errorf("%v r=%d: used %d processes > n", tt.p, tt.r, rep.ProcessesUsed)
+		}
+	}
+}
+
+func TestCloneAttackFailsWhenCloneArmyTooBig(t *testing.T) {
+	// Same component counts but too few processes: the attack must
+	// report that the bound holds (n < (k+1)(1 + r(r-1)/2)).
+	tests := []struct {
+		p core.Params
+		r int
+	}{
+		{p: core.Params{N: 3, M: 1, K: 1}, r: 2},  // needs 4 > 3
+		{p: core.Params{N: 7, M: 1, K: 1}, r: 3},  // needs 8 > 7
+		{p: core.Params{N: 11, M: 1, K: 2}, r: 3}, // needs 12 > 11
+	}
+	for _, tt := range tests {
+		rep, err := CloneAttack(mustAnon(t, tt.p, tt.r), DefaultCloneOptions())
+		if err != nil {
+			t.Fatalf("%v r=%d: %v", tt.p, tt.r, err)
+		}
+		if rep.Verdict != VerdictNone {
+			t.Errorf("%v r=%d: verdict %v (%s), want none", tt.p, tt.r, rep.Verdict, rep.Detail)
+		}
+		if rep.ProcessesNeeded <= tt.p.N && rep.ProcessesNeeded != 0 {
+			t.Errorf("%v r=%d: ProcessesNeeded=%d should exceed n=%d",
+				tt.p, tt.r, rep.ProcessesNeeded, tt.p.N)
+		}
+	}
+}
+
+func TestCloneAttackOnPaperSizedAlgorithm(t *testing.T) {
+	// The paper-sized anonymous algorithm has r = (m+1)(n−k)+m² > √n
+	// components, so the clone army can never fit: verdict none.
+	p := core.Params{N: 6, M: 1, K: 2}
+	alg, err := core.NewAnonOneShot(p)
+	if err != nil {
+		t.Fatalf("NewAnonOneShot: %v", err)
+	}
+	rep, err := CloneAttack(alg, DefaultCloneOptions())
+	if err != nil {
+		t.Fatalf("CloneAttack: %v", err)
+	}
+	if rep.Verdict != VerdictNone {
+		t.Errorf("verdict %v (%s), want none", rep.Verdict, rep.Detail)
+	}
+}
+
+func TestCloneAttackRejectsNonAnonymous(t *testing.T) {
+	alg, err := core.NewOneShot(core.Params{N: 4, M: 1, K: 1})
+	if err != nil {
+		t.Fatalf("NewOneShot: %v", err)
+	}
+	if _, err := CloneAttack(alg, DefaultCloneOptions()); err == nil {
+		t.Fatal("CloneAttack accepted a non-anonymous algorithm")
+	}
+}
+
+func TestCloneAttackRejectsMGreaterThanOne(t *testing.T) {
+	alg, err := core.NewAnonOneShot(core.Params{N: 6, M: 2, K: 3})
+	if err != nil {
+		t.Fatalf("NewAnonOneShot: %v", err)
+	}
+	if _, err := CloneAttack(alg, DefaultCloneOptions()); err == nil {
+		t.Fatal("CloneAttack accepted m>1")
+	}
+}
+
+func TestCloneReportString(t *testing.T) {
+	rep := &CloneReport{Verdict: VerdictSafety, K: 1, Outputs: []int{1, 2}}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}

@@ -1,0 +1,715 @@
+package lowerbound
+
+import (
+	"fmt"
+	"sort"
+
+	"setagreement/internal/core"
+	"setagreement/internal/explore"
+	"setagreement/internal/sim"
+)
+
+// CoverOptions bound the Theorem 2 adversary.
+type CoverOptions struct {
+	// FragmentBudget is the maximum number of solo steps per member when
+	// hunting for a write outside the covered set before declaring the
+	// group covered. Exceeded budgets are re-validated during the splice.
+	FragmentBudget int
+	// GammaBudget is the maximum number of steps a spliced fragment may
+	// take to finish instance s+1; exceeding it is a liveness failure
+	// (the fragment runs with at most m movers).
+	GammaBudget int
+	// MaxInstances is the input supply per process. The attack fails with
+	// an error if the covering execution consumes it.
+	MaxInstances int
+	// ExploreStates and ExploreDepth bound the exhaustive escape oracle
+	// used for groups of more than one process (m > 1); an exploration
+	// that finishes within the bounds makes the covering exact.
+	ExploreStates int
+	ExploreDepth  int
+	// SplitProbes bounds the per-group search for a γ interleaving in
+	// which all group members decide distinct values (the execution
+	// Lemma 1 promises). Zero disables the search (groups then run
+	// sequentially and may under-deliver for m > 1).
+	SplitProbes int
+}
+
+// DefaultCoverOptions returns generous defaults for small systems.
+func DefaultCoverOptions() CoverOptions {
+	return CoverOptions{
+		FragmentBudget: 5000,
+		GammaBudget:    100_000,
+		MaxInstances:   64,
+		ExploreStates:  30_000,
+		ExploreDepth:   60,
+		SplitProbes:    400,
+	}
+}
+
+// CoverPhase records one phase of the covering construction: the final group
+// Q_j, the frozen block writers P_j, and the covered locations A_j
+// (parallel to P_j: P_j[i] is poised to write A_j[i]).
+type CoverPhase struct {
+	Q []int
+	P []int
+	A []sim.Loc
+}
+
+// CoverReport is the adversary's outcome.
+type CoverReport struct {
+	Verdict  Verdict
+	Detail   string
+	Instance int // the attacked instance s+1
+	// Outputs are the distinct values decided in the attacked instance of
+	// the spliced execution, sorted.
+	Outputs []int
+	K       int
+	// Locations is the number of writable locations of the attacked
+	// algorithm (the register count under attack).
+	Locations int
+	Phases    []CoverPhase
+	// ScheduleLen is the length of the covering execution α (pass 1).
+	ScheduleLen int
+	// SpliceSteps is the total steps of the spliced witness execution.
+	SpliceSteps int
+}
+
+func (r *CoverReport) String() string {
+	return fmt.Sprintf("cover attack on %d locations (k=%d): %v — instance %d outputs %v (%s)",
+		r.Locations, r.K, r.Verdict, r.Instance, r.Outputs, r.Detail)
+}
+
+// coverInput is the deterministic input of process id for instance t
+// (1-based): distinct across processes and instances, so the fresh instance
+// s+1 has pairwise distinct inputs.
+func coverInput(id, t int) int { return 1000*t + id }
+
+// CoverAttack runs the Theorem 2 construction against a repeated
+// set-agreement algorithm. The algorithm's writable locations play the role
+// of the registers; to attack below the bound, build the algorithm with
+// fewer than n+m−k locations (e.g. core.NewRepeatedComponents).
+//
+// Anonymous algorithms are attacked too: the construction distinguishes
+// processes by position and input, never by identifier, and the n+m−k
+// bound applies to anonymous repeated agreement as a corollary (the
+// anonymous-repeated row of the paper's Figure 1).
+func CoverAttack(alg core.Algorithm, opts CoverOptions) (*CoverReport, error) {
+	if opts.FragmentBudget <= 0 || opts.GammaBudget <= 0 || opts.MaxInstances <= 0 {
+		return nil, fmt.Errorf("lowerbound: all CoverOptions budgets must be positive")
+	}
+	p := alg.Params()
+	b := &coverBuilder{alg: alg, p: p, opts: opts}
+	return b.run()
+}
+
+type coverBuilder struct {
+	alg  core.Algorithm
+	p    core.Params
+	opts CoverOptions
+
+	schedule []int
+	splice2  []int // pass-2 schedule: α segments plus γ steps
+	phases   []*coverPhase
+	memAfter []*sim.Memory // memory after each β_j (pass-1 ground truth)
+}
+
+type coverPhase struct {
+	q     []int
+	pList []int
+	aList []sim.Loc
+	aSet  map[sim.Loc]bool
+	djPos int // schedule position of D_j (γ_j insertion point)
+}
+
+func (ph *coverPhase) export() CoverPhase {
+	out := CoverPhase{
+		Q: append([]int(nil), ph.q...),
+		P: append([]int(nil), ph.pList...),
+		A: append([]sim.Loc(nil), ph.aList...),
+	}
+	return out
+}
+
+// newProcs builds fresh process specs; pass 1 and pass 2 must use fresh
+// algorithm state. Anonymous algorithms get no identifier — the adversary
+// only ever addresses processes by index.
+func (b *coverBuilder) newProcs() []sim.ProcSpec {
+	procs := make([]sim.ProcSpec, b.p.N)
+	for i := 0; i < b.p.N; i++ {
+		inputs := make([]int, b.opts.MaxInstances)
+		for t := range inputs {
+			inputs[t] = coverInput(i, t+1)
+		}
+		id := i
+		if b.alg.Anonymous() {
+			id = sim.Anonymous
+		}
+		procs[i] = sim.ProcSpec{ID: id, Run: core.Driver(b.alg.NewProcess(id), inputs)}
+	}
+	return procs
+}
+
+func (b *coverBuilder) run() (*CoverReport, error) {
+	report := &CoverReport{K: b.p.K}
+
+	// Pass 1: build the covering execution α.
+	r1, err := sim.NewRunner(b.alg.Spec(), b.newProcs())
+	if err != nil {
+		return nil, err
+	}
+	defer r1.Abort()
+	report.Locations = r1.Memory().NumLocations()
+
+	verdict, detail, err := b.buildAlpha(r1)
+	if err != nil {
+		return nil, err
+	}
+	if verdict != VerdictSafety { // construction could not proceed
+		report.Verdict = verdict
+		report.Detail = detail
+		report.ScheduleLen = len(b.schedule)
+		for _, ph := range b.phases {
+			report.Phases = append(report.Phases, ph.export())
+		}
+		return report, nil
+	}
+	report.ScheduleLen = len(b.schedule)
+	for _, ph := range b.phases {
+		report.Phases = append(report.Phases, ph.export())
+	}
+
+	// s = one more than the largest completed instance count: no process
+	// of α has started instance s+1.
+	s := 0
+	for i := 0; i < r1.NumProcs(); i++ {
+		if c := len(r1.Outputs(i)); c > s {
+			s = c
+		}
+	}
+	s++
+	target := s + 1
+	report.Instance = target
+	if target > b.opts.MaxInstances {
+		return nil, fmt.Errorf("lowerbound: covering execution reached instance %d; raise MaxInstances (%d)",
+			target, b.opts.MaxInstances)
+	}
+
+	// Pass 2: splice the γ fragments into α and re-execute.
+	return b.splice(report, target)
+}
+
+// buildAlpha runs the construction of Figure 2, phase by phase, on r1.
+// It returns VerdictSafety when the construction completed (the splice will
+// decide the final verdict), or VerdictNone with a reason when it could not.
+func (b *coverBuilder) buildAlpha(r1 *sim.Runner) (Verdict, string, error) {
+	k, m, n := b.p.K, b.p.M, b.p.N
+	c := (k + 1 + m - 1) / m // ⌈(k+1)/m⌉
+
+	inQ := make(map[int]bool)  // current members of any group (final so far)
+	ever := make(map[int]bool) // ever rostered, for fresh-first picking
+
+	// pick selects count processes outside `exclude`, preferring processes
+	// never rostered before.
+	pick := func(count int, exclude map[int]bool) ([]int, bool) {
+		var fresh, reused []int
+		for i := 0; i < n; i++ {
+			if exclude[i] {
+				continue
+			}
+			if ever[i] {
+				reused = append(reused, i)
+			} else {
+				fresh = append(fresh, i)
+			}
+		}
+		pool := append(fresh, reused...)
+		if len(pool) < count {
+			return nil, false
+		}
+		return pool[:count], true
+	}
+
+	step := func(pid int) error {
+		if _, err := r1.Step(pid); err != nil {
+			return err
+		}
+		b.schedule = append(b.schedule, pid)
+		return r1.Err()
+	}
+
+	for j := 1; j <= c-1; j++ {
+		size := m
+		if j == 1 {
+			size = k + 1 - (c-1)*m
+		}
+		ph := &coverPhase{aSet: make(map[sim.Loc]bool)}
+		frozen := make(map[int]bool)
+
+		members, ok := pick(size, union(inQ, frozen))
+		if !ok {
+			return VerdictNone, fmt.Sprintf("phase %d: not enough processes to form Q_%d", j, j), nil
+		}
+		ph.q = members
+		for _, q := range members {
+			inQ[q] = true
+			ever[q] = true
+		}
+
+		// Covering loop: extend α_j until no fragment by Q_j escapes A_j.
+		for {
+			if len(ph.aSet) == r1.Memory().NumLocations() {
+				break // every location covered: exact
+			}
+			escQ, escLoc, found, err := b.findEscape(r1, ph, step)
+			if err != nil {
+				return VerdictNone, "", err
+			}
+			if !found {
+				break // budget-covered; re-validated during splice
+			}
+			// Freeze escQ poised at its write to escLoc; swap in a
+			// replacement.
+			ph.pList = append(ph.pList, escQ)
+			ph.aList = append(ph.aList, escLoc)
+			ph.aSet[escLoc] = true
+			frozen[escQ] = true
+			delete(inQ, escQ)
+			repl, ok := pick(1, union(inQ, frozen))
+			if !ok {
+				return VerdictNone,
+					fmt.Sprintf("phase %d: no replacement process after covering %d locations (the bound holds here)",
+						j, len(ph.aSet)), nil
+			}
+			for i, q := range ph.q {
+				if q == escQ {
+					ph.q[i] = repl[0]
+				}
+			}
+			inQ[repl[0]] = true
+			ever[repl[0]] = true
+		}
+
+		ph.djPos = len(b.schedule)
+		b.phases = append(b.phases, ph)
+
+		// β_j: the frozen processes perform their poised writes, one
+		// step each, obliterating A_j.
+		for _, pid := range ph.pList {
+			if err := step(pid); err != nil {
+				return VerdictNone, "", err
+			}
+		}
+		b.memAfter = append(b.memAfter, r1.Memory().Clone())
+	}
+
+	// Q_c: m fresh processes; D_c is the end of α.
+	qc, ok := pick(m, inQ)
+	if !ok {
+		return VerdictNone, "not enough processes to form Q_c", nil
+	}
+	phc := &coverPhase{q: qc, djPos: len(b.schedule), aSet: make(map[sim.Loc]bool)}
+	b.phases = append(b.phases, phc)
+	return VerdictSafety, "", nil
+}
+
+// findEscape extends α_j by steps of Q_j members until some member is poised
+// to write outside A_j. Solo fragments per member decide the question for
+// m = 1 (fragments of a single deterministic process are solo runs); for
+// larger groups a bounded exhaustive exploration over all interleavings of
+// the group decides it — exactly, when the exploration completes within its
+// bounds.
+func (b *coverBuilder) findEscape(r1 *sim.Runner, ph *coverPhase, step func(int) error) (int, sim.Loc, bool, error) {
+	escapeAt := func(r *sim.Runner, pid int) (sim.Loc, bool) {
+		op, ok := r.Poised(pid)
+		if !ok || !op.IsWrite() {
+			return sim.Loc{}, false
+		}
+		loc, ok := op.Target()
+		return loc, ok && !ph.aSet[loc]
+	}
+
+	// Solo fragments per member.
+	for _, q := range ph.q {
+		for budget := b.opts.FragmentBudget; budget > 0; budget-- {
+			if _, ok := r1.Poised(q); !ok {
+				return 0, sim.Loc{}, false,
+					fmt.Errorf("lowerbound: process %d exhausted its %d instances during covering; raise MaxInstances",
+						q, b.opts.MaxInstances)
+			}
+			if loc, esc := escapeAt(r1, q); esc {
+				return q, loc, true, nil
+			}
+			if err := step(q); err != nil {
+				return 0, sim.Loc{}, false, err
+			}
+		}
+	}
+	if len(ph.q) == 1 {
+		return 0, sim.Loc{}, false, nil
+	}
+
+	// Interleaved fragments: exhaustive bounded search over Q_j-only
+	// continuations from the current configuration.
+	out, err := explore.Run(b.alg.Spec(), b.newProcs, explore.Options{
+		MaxStates: b.opts.ExploreStates,
+		MaxDepth:  b.opts.ExploreDepth,
+		Procs:     append([]int(nil), ph.q...),
+		Base:      append([]int(nil), b.schedule...),
+	}, func(st *explore.State) (bool, error) {
+		for _, q := range ph.q {
+			if _, esc := escapeAt(st.Runner, q); esc {
+				return true, nil
+			}
+		}
+		return false, nil
+	})
+	if err != nil {
+		return 0, sim.Loc{}, false, err
+	}
+	if !out.Stopped {
+		return 0, sim.Loc{}, false, nil
+	}
+	// Apply the escaping fragment to α and report the poised member.
+	for _, pid := range out.Found {
+		if err := step(pid); err != nil {
+			return 0, sim.Loc{}, false, err
+		}
+	}
+	for _, q := range ph.q {
+		if loc, esc := escapeAt(r1, q); esc {
+			return q, loc, true, nil
+		}
+	}
+	return 0, sim.Loc{}, false, fmt.Errorf("lowerbound: internal error: explored escape vanished on replay")
+}
+
+// gammaFailure reports a γ fragment that could not proceed: a liveness
+// failure or an approximate covering detected at splice time.
+type gammaFailure struct {
+	verdict Verdict
+	detail  string
+}
+
+// stepGamma advances process q by one step within γ of phase ph, enforcing
+// the A_j containment (except in the last phase) and appending the step to
+// the splice schedule. A non-nil *gammaFailure means the fragment is
+// invalid; error means infrastructure failure.
+func (b *coverBuilder) stepGamma(r2 *sim.Runner, ph *coverPhase, phaseIdx, q int, last bool) (*gammaFailure, error) {
+	op, ok := r2.Poised(q)
+	if !ok {
+		return nil, fmt.Errorf("lowerbound: γ process %d terminated early; raise MaxInstances", q)
+	}
+	if !last && op.IsWrite() {
+		if loc, ok := op.Target(); ok && !ph.aSet[loc] {
+			return &gammaFailure{
+				verdict: VerdictNone,
+				detail: fmt.Sprintf("covering of phase %d was approximate: γ fragment wrote %v outside A_%d",
+					phaseIdx+1, loc, phaseIdx+1),
+			}, nil
+		}
+	}
+	if _, err := r2.Step(q); err != nil {
+		return nil, fmt.Errorf("lowerbound: γ step: %w", err)
+	}
+	b.splice2 = append(b.splice2, q)
+	return nil, r2.Err()
+}
+
+// runGammaMember steps q until it has output instance `until`.
+func (b *coverBuilder) runGammaMember(r2 *sim.Runner, ph *coverPhase, phaseIdx, q, until int, last bool) (*gammaFailure, error) {
+	for steps := 0; !hasInstance(r2.Outputs(q), until); steps++ {
+		if steps > b.opts.GammaBudget {
+			return &gammaFailure{
+				verdict: VerdictLiveness,
+				detail: fmt.Sprintf("γ_%d: process %d did not complete instance %d within %d steps (m-obstruction-freedom violated)",
+					phaseIdx+1, q, until, b.opts.GammaBudget),
+			}, nil
+		}
+		if fail, err := b.stepGamma(r2, ph, phaseIdx, q, last); fail != nil || err != nil {
+			return fail, err
+		}
+	}
+	return nil, nil
+}
+
+// splice re-executes α with the γ fragments inserted at each D_j and counts
+// the distinct outputs of the fresh instance.
+func (b *coverBuilder) splice(report *CoverReport, target int) (*CoverReport, error) {
+	r2, err := sim.NewRunner(b.alg.Spec(), b.newProcs())
+	if err != nil {
+		return nil, err
+	}
+	defer r2.Abort()
+
+	runSegment := func(seg []int) error {
+		if err := r2.RunSchedule(seg); err != nil {
+			return fmt.Errorf("lowerbound: splice α segment: %w", err)
+		}
+		b.splice2 = append(b.splice2, seg...)
+		return nil
+	}
+
+	pos := 0
+	for j, ph := range b.phases {
+		// α segment up to D_j.
+		if err := runSegment(b.schedule[pos:ph.djPos]); err != nil {
+			return nil, err
+		}
+		pos = ph.djPos
+
+		// γ_j: the group runs with ≤ m movers until every member has
+		// output the attacked instance. Members first reach the
+		// instance's doorstep one by one; then, for groups larger
+		// than one, an interleaving is searched in which the members
+		// decide pairwise distinct values (Lemma 1 promises one
+		// exists); sequential execution is the fallback.
+		last := j == len(b.phases)-1
+		for _, q := range ph.q {
+			fail, err := b.runGammaMember(r2, ph, j, q, target-1, last)
+			if err != nil {
+				return nil, err
+			}
+			if fail != nil {
+				report.Verdict = fail.verdict
+				report.Detail = fail.detail
+				return report, nil
+			}
+		}
+		if len(ph.q) > 1 && b.opts.SplitProbes > 0 {
+			if err := b.searchSplit(r2, ph, j, target, last); err != nil {
+				return nil, err
+			}
+		}
+		for _, q := range ph.q {
+			fail, err := b.runGammaMember(r2, ph, j, q, target, last)
+			if err != nil {
+				return nil, err
+			}
+			if fail != nil {
+				report.Verdict = fail.verdict
+				report.Detail = fail.detail
+				return report, nil
+			}
+		}
+
+		// β_j follows immediately in α; run it and verify the splice
+		// restored pass-1 memory exactly.
+		if !last {
+			end := pos + len(ph.pList)
+			if err := runSegment(b.schedule[pos:end]); err != nil {
+				return nil, err
+			}
+			pos = end
+			if !r2.Memory().Equal(b.memAfter[j]) {
+				return nil, fmt.Errorf("lowerbound: internal error: memory diverged after β_%d", j+1)
+			}
+		}
+	}
+
+	// Count distinct outputs of the attacked instance.
+	distinct := make(map[int]bool)
+	for i := 0; i < r2.NumProcs(); i++ {
+		for _, d := range r2.Outputs(i) {
+			if d.Instance == target {
+				if v, ok := d.Val.(int); ok {
+					distinct[v] = true
+				}
+			}
+		}
+	}
+	for v := range distinct {
+		report.Outputs = append(report.Outputs, v)
+	}
+	sort.Ints(report.Outputs)
+	report.SpliceSteps = r2.Steps()
+	if len(distinct) > b.p.K {
+		report.Verdict = VerdictSafety
+		report.Detail = fmt.Sprintf("%d distinct outputs in instance %d exceed k=%d", len(distinct), target, b.p.K)
+	} else {
+		report.Verdict = VerdictNone
+		report.Detail = fmt.Sprintf("spliced execution produced only %d distinct outputs (≤ k=%d)", len(distinct), b.p.K)
+	}
+	return report, nil
+}
+
+// searchSplit looks for an interleaving of the group's instance-target runs
+// in which the members decide pairwise distinct values, probing patterns of
+// the form "leader runs u steps solo, then round-robin" on private replays
+// of the current splice prefix. The winning probe's schedule is applied to
+// r2. Finding nothing is not an error — the caller falls back to the
+// sequential fragment.
+func (b *coverBuilder) searchSplit(r2 *sim.Runner, ph *coverPhase, phaseIdx, target int, last bool) error {
+	g := len(ph.q)
+	base := append([]int(nil), b.splice2...)
+	perLeader := b.opts.SplitProbes / g
+	if perLeader < 1 {
+		perLeader = 1
+	}
+	apply := func(sched []int) error {
+		for _, pid := range sched {
+			fail, err := b.stepGamma(r2, ph, phaseIdx, pid, last)
+			if err != nil {
+				return err
+			}
+			if fail != nil {
+				return fmt.Errorf("lowerbound: internal error: winning probe invalid on replay: %s", fail.detail)
+			}
+		}
+		return nil
+	}
+
+	// Fast path: cheap leader/offset patterns.
+	for leader := 0; leader < g; leader++ {
+		for offset := 0; offset < perLeader; offset++ {
+			sched, found, err := b.probeSplit(base, ph, target, last, leader, offset)
+			if err != nil {
+				return err
+			}
+			if found {
+				return apply(sched)
+			}
+		}
+	}
+
+	// Exhaustive bounded search over the group's interleavings, pruning
+	// fragments that would leave the covered set.
+	allow := func(r *sim.Runner, pid int) bool {
+		if last {
+			return true
+		}
+		op, ok := r.Poised(pid)
+		if !ok || !op.IsWrite() {
+			return true
+		}
+		loc, ok := op.Target()
+		return !ok || ph.aSet[loc]
+	}
+	distinctTargets := func(r *sim.Runner) (int, bool) {
+		distinct := make(map[int]bool, g)
+		for _, q := range ph.q {
+			found := false
+			for _, d := range r.Outputs(q) {
+				if d.Instance == target {
+					found = true
+					if v, ok := d.Val.(int); ok {
+						distinct[v] = true
+					}
+				}
+			}
+			if !found {
+				return 0, false
+			}
+		}
+		return len(distinct), true
+	}
+	depth := g * (4*b.alg.Spec().RegisterCost(b.p.N) + 4*len(ph.aSet) + 30)
+	out, err := explore.Run(b.alg.Spec(), b.newProcs, explore.Options{
+		MaxStates: b.opts.ExploreStates,
+		MaxDepth:  depth,
+		Procs:     append([]int(nil), ph.q...),
+		Base:      base,
+		Allow:     allow,
+	}, func(st *explore.State) (bool, error) {
+		d, all := distinctTargets(st.Runner)
+		return all && d == g, nil
+	})
+	if err != nil {
+		return err
+	}
+	if out.Stopped {
+		return apply(out.Found)
+	}
+	return nil
+}
+
+// probeSplit replays the splice prefix privately and drives the group with
+// one candidate pattern until every member outputs the target instance. It
+// reports the recorded schedule when the members' target outputs are
+// pairwise distinct.
+func (b *coverBuilder) probeSplit(base []int, ph *coverPhase, target int, last bool, leader, offset int) ([]int, bool, error) {
+	r, err := sim.Replay(b.alg.Spec(), b.newProcs(), base)
+	if err != nil {
+		return nil, false, err
+	}
+	defer r.Abort()
+
+	var recorded []int
+	step := func(q int) (ok bool, err error) {
+		op, poised := r.Poised(q)
+		if !poised {
+			return false, nil // inputs exhausted: invalid probe
+		}
+		if !last && op.IsWrite() {
+			if loc, lok := op.Target(); lok && !ph.aSet[loc] {
+				return false, nil // fragment escapes A_j: invalid probe
+			}
+		}
+		if _, err := r.Step(q); err != nil {
+			return false, err
+		}
+		recorded = append(recorded, q)
+		return true, r.Err()
+	}
+	decided := func(q int) bool { return hasInstance(r.Outputs(q), target) }
+
+	lead := ph.q[leader]
+	for i := 0; i < offset && !decided(lead); i++ {
+		ok, err := step(lead)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+	}
+	for budget := b.opts.GammaBudget; budget > 0; budget-- {
+		all := true
+		progressed := false
+		for i := 0; i < len(ph.q); i++ {
+			q := ph.q[(leader+1+i)%len(ph.q)]
+			if decided(q) {
+				continue
+			}
+			all = false
+			ok, err := step(q)
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			progressed = true
+		}
+		if all {
+			distinct := make(map[int]bool, len(ph.q))
+			for _, q := range ph.q {
+				for _, d := range r.Outputs(q) {
+					if d.Instance == target {
+						if v, vok := d.Val.(int); vok {
+							distinct[v] = true
+						}
+					}
+				}
+			}
+			return recorded, len(distinct) == len(ph.q), nil
+		}
+		if !progressed {
+			return nil, false, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func hasInstance(ds []sim.Decision, inst int) bool {
+	for _, d := range ds {
+		if d.Instance == inst {
+			return true
+		}
+	}
+	return false
+}
+
+func union(a, b map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(a)+len(b))
+	for k := range a {
+		out[k] = true
+	}
+	for k := range b {
+		out[k] = true
+	}
+	return out
+}

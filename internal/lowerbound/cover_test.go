@@ -1,0 +1,207 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"setagreement/internal/core"
+)
+
+func mustRepeated(t *testing.T, p core.Params, r int) core.Algorithm {
+	t.Helper()
+	alg, err := core.NewRepeatedComponents(p, r)
+	if err != nil {
+		t.Fatalf("NewRepeatedComponents: %v", err)
+	}
+	return alg
+}
+
+func TestCoverAttackBeatsUndersizedConsensus(t *testing.T) {
+	// Repeated consensus (m=k=1) needs n registers (Theorem 2 with
+	// m=k=1: n+m−k = n). With r < n the covering adversary must win.
+	for _, n := range []int{3, 4, 5, 6} {
+		for r := 2; r < n; r++ {
+			p := core.Params{N: n, M: 1, K: 1}
+			rep, err := CoverAttack(mustRepeated(t, p, r), DefaultCoverOptions())
+			if err != nil {
+				t.Fatalf("n=%d r=%d: %v", n, r, err)
+			}
+			if rep.Verdict != VerdictSafety && rep.Verdict != VerdictLiveness {
+				t.Errorf("n=%d r=%d: verdict %v (%s), want a violation", n, r, rep.Verdict, rep.Detail)
+			}
+			if rep.Verdict == VerdictSafety && len(rep.Outputs) <= p.K {
+				t.Errorf("n=%d r=%d: safety verdict with %v outputs", n, r, rep.Outputs)
+			}
+		}
+	}
+}
+
+func TestCoverAttackFailsAtTheBound(t *testing.T) {
+	// At r = n+m−k (and above) the construction must run out of
+	// processes or fail to splice: no counterexample.
+	tests := []core.Params{
+		{N: 3, M: 1, K: 1},
+		{N: 4, M: 1, K: 1},
+		{N: 5, M: 1, K: 2},
+		{N: 5, M: 2, K: 2},
+		{N: 6, M: 1, K: 3},
+	}
+	for _, p := range tests {
+		bound := p.N + p.M - p.K
+		for _, r := range []int{bound, bound + 1} {
+			rep, err := CoverAttack(mustRepeated(t, p, r), DefaultCoverOptions())
+			if err != nil {
+				t.Fatalf("%v r=%d: %v", p, r, err)
+			}
+			if rep.Verdict != VerdictNone {
+				t.Errorf("%v r=%d (at/above bound): verdict %v (%s), want none",
+					p, r, rep.Verdict, rep.Detail)
+			}
+		}
+	}
+}
+
+func TestCoverAttackBeatsUndersizedSetAgreement(t *testing.T) {
+	// k > m cases below the bound n+m−k.
+	tests := []struct {
+		p core.Params
+		r int
+	}{
+		{p: core.Params{N: 5, M: 1, K: 2}, r: 3}, // bound 4
+		{p: core.Params{N: 6, M: 1, K: 2}, r: 4}, // bound 5
+		{p: core.Params{N: 6, M: 1, K: 3}, r: 3}, // bound 4
+		{p: core.Params{N: 7, M: 1, K: 3}, r: 4}, // bound 5
+	}
+	for _, tt := range tests {
+		rep, err := CoverAttack(mustRepeated(t, tt.p, tt.r), DefaultCoverOptions())
+		if err != nil {
+			t.Fatalf("%v r=%d: %v", tt.p, tt.r, err)
+		}
+		if rep.Verdict == VerdictNone {
+			t.Errorf("%v r=%d (below bound %d): no violation found (%s)",
+				tt.p, tt.r, tt.p.N+tt.p.M-tt.p.K, rep.Detail)
+		}
+		if rep.Verdict == VerdictSafety {
+			if len(rep.Outputs) <= tt.p.K {
+				t.Errorf("%v r=%d: safety verdict with outputs %v", tt.p, tt.r, rep.Outputs)
+			}
+			if len(rep.Phases) == 0 {
+				t.Errorf("%v r=%d: no phases recorded", tt.p, tt.r)
+			}
+		}
+	}
+}
+
+func TestCoverAttackBeatsUndersizedMTwo(t *testing.T) {
+	// m=2 groups: the γ split search must find interleavings where each
+	// group of 2 decides 2 distinct values, so k+1 outputs land in total.
+	tests := []struct {
+		p core.Params
+		r int
+	}{
+		{p: core.Params{N: 5, M: 2, K: 2}, r: 4}, // bound 5
+		{p: core.Params{N: 5, M: 2, K: 2}, r: 3},
+		{p: core.Params{N: 6, M: 2, K: 3}, r: 4}, // bound 5
+		{p: core.Params{N: 6, M: 2, K: 2}, r: 5}, // bound 6
+	}
+	for _, tt := range tests {
+		rep, err := CoverAttack(mustRepeated(t, tt.p, tt.r), DefaultCoverOptions())
+		if err != nil {
+			t.Fatalf("%v r=%d: %v", tt.p, tt.r, err)
+		}
+		if rep.Verdict != VerdictSafety {
+			t.Errorf("%v r=%d (below bound %d): verdict %v (%s), want safety violation",
+				tt.p, tt.r, tt.p.N+tt.p.M-tt.p.K, rep.Verdict, rep.Detail)
+			continue
+		}
+		if len(rep.Outputs) <= tt.p.K {
+			t.Errorf("%v r=%d: only %d outputs", tt.p, tt.r, len(rep.Outputs))
+		}
+	}
+}
+
+func TestCoverAttackFailsAtTheBoundMTwo(t *testing.T) {
+	tests := []struct {
+		p core.Params
+		r int
+	}{
+		{p: core.Params{N: 5, M: 2, K: 2}, r: 5},
+		{p: core.Params{N: 6, M: 2, K: 3}, r: 5},
+	}
+	for _, tt := range tests {
+		rep, err := CoverAttack(mustRepeated(t, tt.p, tt.r), DefaultCoverOptions())
+		if err != nil {
+			t.Fatalf("%v r=%d: %v", tt.p, tt.r, err)
+		}
+		if rep.Verdict != VerdictNone {
+			t.Errorf("%v r=%d (at bound): verdict %v (%s), want none",
+				tt.p, tt.r, rep.Verdict, rep.Detail)
+		}
+	}
+}
+
+func TestCoverAttackBeatsUndersizedAnonymousRepeated(t *testing.T) {
+	// The anonymous-repeated row of Figure 1 has the same n+m−k lower
+	// bound (a corollary of Theorem 2); the covering adversary applies
+	// unchanged because it never uses identifiers.
+	tests := []struct {
+		p core.Params
+		r int
+	}{
+		{p: core.Params{N: 4, M: 1, K: 1}, r: 3}, // bound 4
+		{p: core.Params{N: 5, M: 1, K: 2}, r: 3}, // bound 4
+		{p: core.Params{N: 6, M: 1, K: 3}, r: 3}, // bound 4
+	}
+	for _, tt := range tests {
+		// withH=false: H is only a helper register; disabling it keeps
+		// the algorithm repeated while making the location count
+		// exactly r (the count under attack).
+		alg, err := core.NewAnonComponents(tt.p, tt.r, false)
+		if err != nil {
+			t.Fatalf("NewAnonComponents: %v", err)
+		}
+		rep, err := CoverAttack(alg, DefaultCoverOptions())
+		if err != nil {
+			t.Fatalf("%v r=%d: %v", tt.p, tt.r, err)
+		}
+		if rep.Verdict == VerdictNone {
+			t.Errorf("%v r=%d (below bound %d): no violation found (%s)",
+				tt.p, tt.r, tt.p.N+tt.p.M-tt.p.K, rep.Detail)
+		}
+	}
+}
+
+func TestCoverAttackAnonymousRepeatedHoldsAtBound(t *testing.T) {
+	p := core.Params{N: 4, M: 1, K: 1}
+	// The paper-sized anonymous algorithm has (m+1)(n−k)+m²+1 = 8
+	// registers, far above the bound of 4: no counterexample.
+	alg, err := core.NewAnonRepeated(p)
+	if err != nil {
+		t.Fatalf("NewAnonRepeated: %v", err)
+	}
+	rep, err := CoverAttack(alg, DefaultCoverOptions())
+	if err != nil {
+		t.Fatalf("CoverAttack: %v", err)
+	}
+	if rep.Verdict != VerdictNone {
+		t.Errorf("verdict %v (%s), want none", rep.Verdict, rep.Detail)
+	}
+}
+
+func TestCoverAttackRejectsBadOptions(t *testing.T) {
+	alg := mustRepeated(t, core.Params{N: 4, M: 1, K: 1}, 3)
+	if _, err := CoverAttack(alg, CoverOptions{}); err == nil {
+		t.Fatal("zero budgets accepted")
+	}
+}
+
+func TestCoverReportString(t *testing.T) {
+	rep := &CoverReport{Verdict: VerdictSafety, K: 1, Locations: 2, Instance: 2, Outputs: []int{1, 2}}
+	if rep.String() == "" {
+		t.Fatal("empty report string")
+	}
+	for _, v := range []Verdict{VerdictNone, VerdictSafety, VerdictLiveness, Verdict(99)} {
+		if v.String() == "" {
+			t.Fatal("empty verdict string")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package lowerbound
+
+import (
+	"testing"
+
+	"setagreement/internal/core"
+)
+
+func TestMinRegistersMatchesTheorem2(t *testing.T) {
+	// The empirical minimum must be exactly n+m−k everywhere.
+	tests := []core.Params{
+		{N: 3, M: 1, K: 1},
+		{N: 4, M: 1, K: 1},
+		{N: 5, M: 1, K: 2},
+		{N: 6, M: 1, K: 3},
+		{N: 5, M: 2, K: 2},
+	}
+	for _, p := range tests {
+		want := p.N + p.M - p.K
+		got, reports, err := MinRegisters(p, want+2, DefaultCoverOptions())
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got != want {
+			t.Errorf("%v: empirical minimum %d, theorem says %d", p, got, want)
+		}
+		// Every count below the minimum had a counterexample.
+		for i, rep := range reports[:len(reports)-1] {
+			if rep.Verdict == VerdictNone {
+				t.Errorf("%v: no counterexample at %d registers (below minimum)", p, i+2)
+			}
+		}
+	}
+}
+
+func TestMinRegistersValidation(t *testing.T) {
+	if _, _, err := MinRegisters(core.Params{N: 1, M: 1, K: 1}, 5, DefaultCoverOptions()); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, _, err := MinRegisters(core.Params{N: 4, M: 1, K: 1}, 1, DefaultCoverOptions()); err == nil {
+		t.Fatal("maxR < 2 accepted")
+	}
+	// maxR below the true bound: the adversary keeps winning.
+	if _, _, err := MinRegisters(core.Params{N: 5, M: 1, K: 1}, 3, DefaultCoverOptions()); err == nil {
+		t.Fatal("expected an error when the sweep is capped below the bound")
+	}
+}

@@ -1,0 +1,89 @@
+package lowerbound
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"setagreement/internal/core"
+)
+
+// TestQuickCoverVerdictBoundary: for random small m=1 parameter points and
+// register counts, the covering adversary's verdict is exactly determined
+// by whether the count is below n+m−k. This is Theorem 2 as a property
+// test.
+func TestQuickCoverVerdictBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversary sweeps are slow")
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(4) // 3..6
+		k := 1 + rng.Intn(n-1)
+		p := core.Params{N: n, M: 1, K: k}
+		bound := p.N + p.M - p.K
+		r := 2 + rng.Intn(bound) // 2..bound+1
+		alg, err := core.NewRepeatedComponents(p, r)
+		if err != nil {
+			t.Logf("build %v r=%d: %v", p, r, err)
+			return false
+		}
+		rep, err := CoverAttack(alg, DefaultCoverOptions())
+		if err != nil {
+			t.Logf("attack %v r=%d: %v", p, r, err)
+			return false
+		}
+		if r < bound {
+			if rep.Verdict == VerdictNone {
+				t.Logf("%v r=%d below bound %d: %s", p, r, bound, rep.Detail)
+				return false
+			}
+			return true
+		}
+		if rep.Verdict != VerdictNone {
+			t.Logf("%v r=%d at/above bound %d: %v", p, r, bound, rep.Verdict)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneVerdictBoundary: the clone adversary's verdict is exactly
+// determined by whether the clone army fits in n — Theorem 10 as a
+// property test.
+func TestQuickCloneVerdictBoundary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("adversary sweeps are slow")
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(12) // 4..15
+		k := 1 + rng.Intn(2)  // 1..2
+		if k >= n {
+			return true
+		}
+		r := 2 + rng.Intn(3) // 2..4
+		p := core.Params{N: n, M: 1, K: k}
+		alg, err := core.NewAnonComponents(p, r, false)
+		if err != nil {
+			t.Logf("build: %v", err)
+			return false
+		}
+		rep, err := CloneAttack(alg, DefaultCloneOptions())
+		if err != nil {
+			t.Logf("attack: %v", err)
+			return false
+		}
+		army := (k + 1) * (1 + r*(r-1)/2)
+		if army <= n {
+			return rep.Verdict == VerdictSafety && len(rep.Outputs) == k+1
+		}
+		return rep.Verdict == VerdictNone
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+// Package lowerbound makes the paper's two lower-bound proofs executable as
+// adversaries:
+//
+//   - CoverAttack implements the covering construction of Theorem 2
+//     (Figure 2 of the paper): against a repeated set-agreement algorithm
+//     using fewer than n+m−k registers, it builds an execution in which
+//     groups of processes run invisibly (their writes are obliterated by
+//     block writes of frozen "covering" processes) and splices in fragments
+//     that decide k+1 distinct values in a fresh instance.
+//
+//   - CloneAttack implements the anonymous clone-and-glue construction of
+//     Lemma 9 / Theorem 10: against an anonymous one-shot algorithm it finds
+//     k+1 input values whose solo executions write the same register
+//     sequence, then interleaves them with paused clones so that each run is
+//     invisible to the others, producing k+1 distinct outputs.
+//
+// A lower bound is a proof about all algorithms, so the adversaries report a
+// three-valued verdict: VerdictSafety (a concrete execution violating
+// k-agreement was constructed and re-executed), VerdictLiveness (the
+// algorithm failed to terminate where m-obstruction-freedom requires it), or
+// VerdictNone (no counterexample found within the configured bounds — the
+// expected outcome at or above the bound).
+//
+// The constructions are exact for m = 1, where execution fragments by a
+// single process are deterministic solo runs (the covering oracle closes
+// either by saturating all registers or by a bounded solo run, and every
+// approximation is re-validated during the splice). For m > 1 the escape
+// search is a heuristic over per-member solo fragments; a wrongly declared
+// cover is detected during the splice and reported as VerdictNone rather
+// than a false violation.
+package lowerbound
+
+// Verdict classifies the outcome of an adversary run.
+type Verdict int
+
+const (
+	// VerdictNone means no counterexample was found within bounds.
+	VerdictNone Verdict = iota
+	// VerdictSafety means a concrete execution with more than k distinct
+	// outputs in one instance was constructed and verified by re-execution.
+	VerdictSafety
+	// VerdictLiveness means a process running with at most m movers
+	// failed to complete a Propose within the step budget.
+	VerdictLiveness
+)
+
+// String returns the verdict name.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNone:
+		return "no-counterexample"
+	case VerdictSafety:
+		return "safety-violation"
+	case VerdictLiveness:
+		return "liveness-failure"
+	default:
+		return "verdict(?)"
+	}
+}

@@ -1,0 +1,62 @@
+package register_test
+
+import (
+	"sync"
+	"testing"
+
+	"setagreement/internal/linearize"
+	"setagreement/internal/register"
+	"setagreement/internal/shmem"
+)
+
+// TestNativeSnapshotLinearizability validates the native runtime's snapshot
+// primitive against the linearizability checker under real goroutine
+// concurrency. Operation intervals come from the runtime's operation
+// counter: an op was invoked after the caller's previous op completed and
+// took effect by its own completion count.
+func TestNativeSnapshotLinearizability(t *testing.T) {
+	const comps, procs, rounds = 2, 3, 3
+	for trial := 0; trial < 20; trial++ {
+		n, err := register.NewNative(shmem.Spec{Snaps: []int{comps}})
+		if err != nil {
+			t.Fatalf("NewNative: %v", err)
+		}
+		var (
+			mu  sync.Mutex
+			ops []linearize.Op
+		)
+		record := func(op linearize.Op) {
+			mu.Lock()
+			ops = append(ops, op)
+			mu.Unlock()
+		}
+		var wg sync.WaitGroup
+		for id := 0; id < procs; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				prev := int(n.Steps())
+				for round := 0; round < rounds; round++ {
+					val := id*100 + round
+					n.Update(0, id%comps, val)
+					now := int(n.Steps())
+					record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
+						Comp: id % comps, Val: val})
+					prev = now
+					view := n.Scan(0)
+					now = int(n.Steps())
+					record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
+						IsScan: true, View: view})
+					prev = now
+				}
+			}(id)
+		}
+		wg.Wait()
+		if res := linearize.CheckSnapshot(comps, ops); !res.OK {
+			for _, op := range ops {
+				t.Logf("  %v", op)
+			}
+			t.Fatalf("trial %d: native snapshot history not linearizable", trial)
+		}
+	}
+}

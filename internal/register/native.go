@@ -1,0 +1,85 @@
+// Package register provides the native in-process shared-memory runtime: the
+// substrate for running the paper's algorithms between real goroutines
+// rather than simulated processes.
+//
+// Registers and snapshot objects are linearizable by construction (a single
+// mutex guards each operation), which matches the atomic-register model of
+// the paper. Register-based snapshot constructions from package snapshot can
+// be layered on top via snapshot.Wire for end-to-end register-only runs.
+package register
+
+import (
+	"sync"
+
+	"setagreement/internal/shmem"
+)
+
+// Native is an in-process shared memory. All processes share one Native; its
+// methods are safe for concurrent use. Values stored must be treated as
+// immutable by callers, as everywhere in this module.
+type Native struct {
+	mu    sync.Mutex
+	regs  []shmem.Value
+	snaps [][]shmem.Value
+
+	steps int64 // operations executed, for reporting
+}
+
+var _ shmem.Mem = (*Native)(nil)
+
+// NewNative allocates native memory for the spec.
+func NewNative(spec shmem.Spec) (*Native, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Native{
+		regs:  make([]shmem.Value, spec.Regs),
+		snaps: make([][]shmem.Value, len(spec.Snaps)),
+	}
+	for i, r := range spec.Snaps {
+		n.snaps[i] = make([]shmem.Value, r)
+	}
+	return n, nil
+}
+
+// Read implements shmem.Mem.
+func (n *Native) Read(reg int) shmem.Value {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.steps++
+	return n.regs[reg]
+}
+
+// Write implements shmem.Mem.
+func (n *Native) Write(reg int, v shmem.Value) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.steps++
+	n.regs[reg] = v
+}
+
+// Update implements shmem.Mem.
+func (n *Native) Update(snap, comp int, v shmem.Value) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.steps++
+	n.snaps[snap][comp] = v
+}
+
+// Scan implements shmem.Mem.
+func (n *Native) Scan(snap int) []shmem.Value {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.steps++
+	src := n.snaps[snap]
+	out := make([]shmem.Value, len(src))
+	copy(out, src)
+	return out
+}
+
+// Steps returns the number of shared-memory operations executed so far.
+func (n *Native) Steps() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.steps
+}

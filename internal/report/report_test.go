@@ -1,0 +1,52 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("Bounds", "case", "lower", "upper")
+	t.Add("repeated", 5, 6)
+	t.Add("one-shot, long", 2, "min(n+2m-k, n)")
+	return t
+}
+
+func TestString(t *testing.T) {
+	s := sample().String()
+	if !strings.Contains(s, "Bounds") || !strings.Contains(s, "min(n+2m-k, n)") {
+		t.Fatalf("missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("line count = %d:\n%s", len(lines), s)
+	}
+	// Alignment: both data rows start their second column at the same
+	// offset as the header's.
+	if strings.Index(lines[1], "lower") != strings.Index(lines[4], "2") {
+		t.Fatalf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	md := sample().Markdown()
+	if !strings.Contains(md, "### Bounds") {
+		t.Fatalf("missing title:\n%s", md)
+	}
+	if !strings.Contains(md, "| case | lower | upper |") {
+		t.Fatalf("missing header:\n%s", md)
+	}
+	if !strings.Contains(md, "| --- | --- | --- |") {
+		t.Fatalf("missing separator:\n%s", md)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("x,y", `say "hi"`)
+	csv := tb.CSV()
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if csv != want {
+		t.Fatalf("CSV = %q, want %q", csv, want)
+	}
+}

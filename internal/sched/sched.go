@@ -1,0 +1,279 @@
+// Package sched provides schedulers for the deterministic simulator: the
+// sources of asynchrony in an execution. A scheduler chooses, step by step,
+// which process moves next.
+//
+// The m-obstruction-freedom progress condition of the paper quantifies over
+// executions in which at most m processes take infinitely many steps; the
+// EventuallyM scheduler generates exactly such executions (an arbitrary
+// finite contended prefix followed by steps of at most m movers), which is
+// how termination is tested.
+package sched
+
+import (
+	"math/rand"
+
+	"setagreement/internal/sim"
+)
+
+// live returns the indices of processes that have not terminated.
+func live(r *sim.Runner) []int {
+	var out []int
+	for i := 0; i < r.NumProcs(); i++ {
+		if !r.IsDone(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// RoundRobin steps live processes in cyclic index order.
+type RoundRobin struct {
+	next int
+}
+
+var _ sim.Scheduler = (*RoundRobin)(nil)
+
+// Next implements sim.Scheduler.
+func (s *RoundRobin) Next(r *sim.Runner) (int, bool) {
+	n := r.NumProcs()
+	for tries := 0; tries < n; tries++ {
+		pid := s.next % n
+		s.next++
+		if !r.IsDone(pid) {
+			return pid, true
+		}
+	}
+	return 0, false
+}
+
+// Random steps a uniformly random live process, from a seeded source so runs
+// are reproducible.
+type Random struct {
+	rng *rand.Rand
+}
+
+var _ sim.Scheduler = (*Random)(nil)
+
+// NewRandom returns a Random scheduler with the given seed.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next implements sim.Scheduler.
+func (s *Random) Next(r *sim.Runner) (int, bool) {
+	l := live(r)
+	if len(l) == 0 {
+		return 0, false
+	}
+	return l[s.rng.Intn(len(l))], true
+}
+
+// Solo runs a single process to completion, then stops. It generates the
+// executions quantified over by plain obstruction-freedom.
+type Solo struct {
+	// Proc is the index of the process allowed to move.
+	Proc int
+}
+
+var _ sim.Scheduler = (*Solo)(nil)
+
+// Next implements sim.Scheduler.
+func (s *Solo) Next(r *sim.Runner) (int, bool) {
+	if r.IsDone(s.Proc) {
+		return 0, false
+	}
+	return s.Proc, true
+}
+
+// Sequential runs each live process to completion in index order: process 0
+// solo until done, then process 1, and so on.
+type Sequential struct{}
+
+var _ sim.Scheduler = (*Sequential)(nil)
+
+// Next implements sim.Scheduler.
+func (s *Sequential) Next(r *sim.Runner) (int, bool) {
+	for i := 0; i < r.NumProcs(); i++ {
+		if !r.IsDone(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// EventuallyM generates m-obstruction-free executions: a random contended
+// prefix of PrefixSteps steps in which every process may move, after which
+// only the processes in Movers move (round-robin among live movers). The
+// paper's m-obstruction-freedom property promises that each mover then
+// completes every operation.
+type EventuallyM struct {
+	Movers      []int
+	PrefixSteps int
+	rng         *rand.Rand
+}
+
+var _ sim.Scheduler = (*EventuallyM)(nil)
+
+// NewEventuallyM returns an EventuallyM scheduler with a seeded random
+// contended prefix.
+func NewEventuallyM(movers []int, prefixSteps int, seed int64) *EventuallyM {
+	m := make([]int, len(movers))
+	copy(m, movers)
+	return &EventuallyM{
+		Movers:      m,
+		PrefixSteps: prefixSteps,
+		rng:         rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next implements sim.Scheduler.
+func (s *EventuallyM) Next(r *sim.Runner) (int, bool) {
+	if r.Steps() < s.PrefixSteps {
+		l := live(r)
+		if len(l) == 0 {
+			return 0, false
+		}
+		return l[s.rng.Intn(len(l))], true
+	}
+	// Round-robin over live movers, starting from a rotating offset so
+	// that all movers advance.
+	n := len(s.Movers)
+	for tries := 0; tries < n; tries++ {
+		pid := s.Movers[(r.Steps()+tries)%n]
+		if !r.IsDone(pid) {
+			return pid, true
+		}
+	}
+	return 0, false
+}
+
+// Fixed replays a predetermined schedule, skipping entries for terminated
+// processes, then stops.
+type Fixed struct {
+	Schedule []int
+	pos      int
+}
+
+var _ sim.Scheduler = (*Fixed)(nil)
+
+// Next implements sim.Scheduler.
+func (s *Fixed) Next(r *sim.Runner) (int, bool) {
+	for s.pos < len(s.Schedule) {
+		pid := s.Schedule[s.pos]
+		s.pos++
+		if pid >= 0 && pid < r.NumProcs() && !r.IsDone(pid) {
+			return pid, true
+		}
+	}
+	return 0, false
+}
+
+// Crashing wraps another scheduler with permanent crash faults: each
+// process in Quota is allowed that many steps and then never scheduled
+// again. A crash in the asynchronous model is indistinguishable from never
+// being scheduled, which is exactly what this produces; combined with at
+// most m surviving movers it generates the fault-prone executions for which
+// m-obstruction-freedom still promises termination.
+type Crashing struct {
+	Inner sim.Scheduler
+	Quota map[int]int
+	taken map[int]int
+}
+
+var _ sim.Scheduler = (*Crashing)(nil)
+
+// NewCrashing wraps inner, crashing each process in quota after its steps.
+func NewCrashing(inner sim.Scheduler, quota map[int]int) *Crashing {
+	q := make(map[int]int, len(quota))
+	for pid, steps := range quota {
+		q[pid] = steps
+	}
+	return &Crashing{Inner: inner, Quota: q, taken: make(map[int]int)}
+}
+
+// Crashed reports whether pid has exhausted its quota.
+func (s *Crashing) Crashed(pid int) bool {
+	quota, limited := s.Quota[pid]
+	return limited && s.taken[pid] >= quota
+}
+
+// Next implements sim.Scheduler.
+func (s *Crashing) Next(r *sim.Runner) (int, bool) {
+	if s.taken == nil {
+		s.taken = make(map[int]int)
+	}
+	for tries := 0; tries < 4*r.NumProcs(); tries++ {
+		pid, ok := s.Inner.Next(r)
+		if !ok {
+			return 0, false
+		}
+		if s.Crashed(pid) {
+			continue
+		}
+		s.taken[pid]++
+		return pid, true
+	}
+	return 0, false
+}
+
+// Blocker is an adversarial heuristic that tries to keep processes from
+// deciding: whenever some live process is poised to write, it prefers the
+// poised writer whose target was least recently written (spreading writes to
+// maximize disruption of others' scans); otherwise it steps the live process
+// with the fewest steps so far. It never violates safety — no scheduler can —
+// but it stresses the convergence arguments of the algorithms.
+type Blocker struct {
+	stepsBy  map[int]int
+	lastW    map[sim.Loc]int
+	tick     int
+	prefRead bool
+}
+
+var _ sim.Scheduler = (*Blocker)(nil)
+
+// NewBlocker returns a Blocker scheduler.
+func NewBlocker() *Blocker {
+	return &Blocker{stepsBy: make(map[int]int), lastW: make(map[sim.Loc]int)}
+}
+
+// Next implements sim.Scheduler.
+func (s *Blocker) Next(r *sim.Runner) (int, bool) {
+	l := live(r)
+	if len(l) == 0 {
+		return 0, false
+	}
+	s.tick++
+	best, bestScore := -1, 0
+	for _, pid := range l {
+		op, ok := r.Poised(pid)
+		if !ok {
+			continue
+		}
+		if op.IsWrite() {
+			loc, _ := op.Target()
+			score := s.tick - s.lastW[loc]
+			if best == -1 || score > bestScore {
+				best, bestScore = pid, score
+			}
+		}
+	}
+	if best >= 0 && !s.prefRead {
+		s.prefRead = true
+		op, _ := r.Poised(best)
+		if loc, ok := op.Target(); ok {
+			s.lastW[loc] = s.tick
+		}
+		s.stepsBy[best]++
+		return best, true
+	}
+	s.prefRead = false
+	// Step the laggard.
+	best = l[0]
+	for _, pid := range l {
+		if s.stepsBy[pid] < s.stepsBy[best] {
+			best = pid
+		}
+	}
+	s.stepsBy[best]++
+	return best, true
+}

@@ -1,0 +1,226 @@
+package sched
+
+import (
+	"testing"
+
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+)
+
+// loopProgram writes forever.
+func loopProgram(p *sim.Proc) {
+	for {
+		p.Write(0, p.ID())
+	}
+}
+
+// finiteProgram writes `steps` times then outputs.
+func finiteProgram(steps int) sim.Program {
+	return func(p *sim.Proc) {
+		for i := 0; i < steps; i++ {
+			p.Write(0, p.ID())
+		}
+		p.Output(1, p.ID())
+	}
+}
+
+func newRunner(t *testing.T, progs ...sim.Program) *sim.Runner {
+	t.Helper()
+	specs := make([]sim.ProcSpec, len(progs))
+	for i, pr := range progs {
+		specs[i] = sim.ProcSpec{ID: i, Run: pr}
+	}
+	r, err := sim.NewRunner(shmem.Spec{Regs: 1}, specs)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	t.Cleanup(r.Abort)
+	return r
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	r := newRunner(t, loopProgram, loopProgram, loopProgram)
+	s := &RoundRobin{}
+	var order []int
+	for i := 0; i < 6; i++ {
+		pid, ok := s.Next(r)
+		if !ok {
+			t.Fatal("scheduler stopped early")
+		}
+		order = append(order, pid)
+		if _, err := r.Step(pid); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRoundRobinSkipsDone(t *testing.T) {
+	r := newRunner(t, finiteProgram(1), loopProgram)
+	s := &RoundRobin{}
+	res, err := r.Run(s, 50)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !r.IsDone(0) {
+		t.Fatal("finite process not done")
+	}
+	if res.Steps != 50 {
+		t.Fatalf("steps = %d, want budget exhausted (50)", res.Steps)
+	}
+}
+
+func TestRandomIsSeeded(t *testing.T) {
+	runOrder := func(seed int64) []int {
+		r := newRunner(t, loopProgram, loopProgram, loopProgram)
+		s := NewRandom(seed)
+		var order []int
+		for i := 0; i < 20; i++ {
+			pid, ok := s.Next(r)
+			if !ok {
+				t.Fatal("stopped early")
+			}
+			order = append(order, pid)
+			if _, err := r.Step(pid); err != nil {
+				t.Fatalf("step: %v", err)
+			}
+		}
+		return order
+	}
+	a, b := runOrder(7), runOrder(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSoloOnlyMovesOneProcess(t *testing.T) {
+	r := newRunner(t, loopProgram, finiteProgram(3))
+	s := &Solo{Proc: 1}
+	res, err := r.Run(s, 100)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !r.IsDone(1) {
+		t.Fatal("solo process did not finish")
+	}
+	if res.Steps != 4 { // 3 writes + output
+		t.Fatalf("steps = %d, want 4", res.Steps)
+	}
+	for _, pid := range res.Schedule {
+		if pid != 1 {
+			t.Fatalf("solo schedule moved process %d", pid)
+		}
+	}
+}
+
+func TestSequentialRunsInOrder(t *testing.T) {
+	r := newRunner(t, finiteProgram(2), finiteProgram(2))
+	s := &Sequential{}
+	res, err := r.Run(s, 100)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("not completed")
+	}
+	// All of process 0's steps precede process 1's.
+	seenOne := false
+	for _, pid := range res.Schedule {
+		if pid == 1 {
+			seenOne = true
+		} else if seenOne {
+			t.Fatalf("schedule interleaved: %v", res.Schedule)
+		}
+	}
+}
+
+func TestEventuallyMRestrictsMovers(t *testing.T) {
+	r := newRunner(t, loopProgram, loopProgram, loopProgram, finiteProgram(5))
+	s := NewEventuallyM([]int{3}, 20, 1)
+	res, err := r.Run(s, 200)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !r.IsDone(3) {
+		t.Fatal("mover did not finish")
+	}
+	for idx, pid := range res.Schedule {
+		if idx >= 20 && pid != 3 {
+			t.Fatalf("non-mover %d stepped at %d after prefix", pid, idx)
+		}
+	}
+}
+
+func TestFixedSchedule(t *testing.T) {
+	r := newRunner(t, finiteProgram(2), finiteProgram(2))
+	s := &Fixed{Schedule: []int{0, 1, 0, 1, 0, 1}}
+	res, err := r.Run(s, 100)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("not completed; schedule run: %v", res.Schedule)
+	}
+}
+
+func TestCrashingEnforcesQuotas(t *testing.T) {
+	r := newRunner(t, loopProgram, loopProgram, finiteProgram(10))
+	s := NewCrashing(&RoundRobin{}, map[int]int{0: 2, 1: 0})
+	res, err := r.Run(s, 200)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	counts := make(map[int]int)
+	for _, pid := range res.Schedule {
+		counts[pid]++
+	}
+	if counts[0] != 2 {
+		t.Fatalf("process 0 took %d steps, quota 2", counts[0])
+	}
+	if counts[1] != 0 {
+		t.Fatalf("process 1 took %d steps, quota 0", counts[1])
+	}
+	if !r.IsDone(2) {
+		t.Fatal("unrestricted process did not finish")
+	}
+	if !s.Crashed(0) || !s.Crashed(1) || s.Crashed(2) {
+		t.Fatal("Crashed reporting wrong")
+	}
+}
+
+func TestCrashingStopsWhenAllCrashedOrDone(t *testing.T) {
+	r := newRunner(t, loopProgram, finiteProgram(2))
+	s := NewCrashing(&RoundRobin{}, map[int]int{0: 1})
+	res, err := r.Run(s, 1000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Process 0 crashed after 1 step, process 1 finished: the schedule
+	// must terminate well under the budget.
+	if res.Steps >= 1000 {
+		t.Fatalf("scheduler spun: %d steps", res.Steps)
+	}
+	if !r.IsDone(1) {
+		t.Fatal("finite process did not finish")
+	}
+}
+
+func TestBlockerMaintainsProgressAccounting(t *testing.T) {
+	// Blocker is adversarial but must still only pick live processes.
+	r := newRunner(t, finiteProgram(4), finiteProgram(4), finiteProgram(4))
+	s := NewBlocker()
+	res, err := r.Run(s, 1000)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatal("blocker failed to eventually finish finite programs")
+	}
+}

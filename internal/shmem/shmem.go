@@ -1,0 +1,84 @@
+// Package shmem defines the shared-memory interface that all set-agreement
+// algorithms in this repository are written against.
+//
+// The same algorithm code runs on two substrates:
+//
+//   - the deterministic simulator (package sim), where every shared-memory
+//     operation is a scheduler-granted step, and
+//   - the native in-process runtime (package register), where operations are
+//     executed directly by goroutines against mutex-protected memory.
+//
+// The model is the standard asynchronous shared memory of the paper: a fixed
+// set of multi-writer multi-reader atomic registers, plus multi-writer atomic
+// snapshot objects (which the paper builds from registers, citing its
+// references [1,5,7,13]; this repository also provides register-based
+// snapshot constructions in package snapshot).
+package shmem
+
+import "fmt"
+
+// Value is the contents of a register or snapshot component. Algorithms store
+// comparable values (ints and small comparable structs) so that scan results
+// can be compared with ==, as the paper's pseudocode does.
+type Value any
+
+// Mem is one process's handle to shared memory. Each method is a single
+// atomic operation (a "step" in the paper's model). Implementations must be
+// safe for concurrent use by the processes they were handed to; a single Mem
+// value is used by one process only.
+type Mem interface {
+	// Read returns the current value of register reg.
+	Read(reg int) Value
+	// Write sets register reg to v.
+	Write(reg int, v Value)
+	// Update writes v to component comp of snapshot object snap.
+	Update(snap, comp int, v Value)
+	// Scan returns an atomic view of all components of snapshot object snap.
+	// The returned slice is owned by the caller.
+	Scan(snap int) []Value
+}
+
+// TryScanner is an optional capability of a Mem: a bounded scan attempt.
+// Wait-free snapshot substrates always succeed; non-blocking ones (the
+// anonymous double-collect of the paper's reference [7]) may fail after the
+// given number of retry rounds, letting the caller interleave other work —
+// which is how Figure 5's thread 2 (the H-register poll) is realized when
+// the snapshot below the algorithm can starve.
+type TryScanner interface {
+	// TryScan attempts a scan of snapshot snap with at most `attempts`
+	// internal retry rounds. ok=false means no consistent view was
+	// obtained; the caller may retry.
+	TryScan(snap, attempts int) (view []Value, ok bool)
+}
+
+// Spec describes how much shared memory an algorithm needs: a number of plain
+// MWMR registers and, for each snapshot object, its component count.
+type Spec struct {
+	Regs  int
+	Snaps []int
+}
+
+// RegisterCost is the total number of registers the specified memory costs
+// when every snapshot object is implemented from registers, charging each
+// r-component snapshot min(r, n) registers as in Theorems 7, 8 and 11 of the
+// paper (r MWMR registers when r <= n, else n single-writer registers).
+func (s Spec) RegisterCost(n int) int {
+	total := s.Regs
+	for _, r := range s.Snaps {
+		total += min(r, n)
+	}
+	return total
+}
+
+// Validate reports whether the spec is well formed.
+func (s Spec) Validate() error {
+	if s.Regs < 0 {
+		return fmt.Errorf("shmem: negative register count %d", s.Regs)
+	}
+	for i, r := range s.Snaps {
+		if r <= 0 {
+			return fmt.Errorf("shmem: snapshot %d has non-positive component count %d", i, r)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"setagreement/internal/shmem"
+)
+
+// TestLastStepTracksGlobalIndices: a process's LastStep matches the global
+// position of each of its executed steps.
+func TestLastStepTracksGlobalIndices(t *testing.T) {
+	var observed []int
+	prog := func(p *Proc) {
+		if p.LastStep() != -1 {
+			t.Error("LastStep before any step should be -1")
+		}
+		for i := 0; i < 3; i++ {
+			p.Write(0, i)
+			observed = append(observed, p.LastStep())
+		}
+	}
+	idle := func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Write(1, i)
+		}
+	}
+	r, err := NewRunner(shmem.Spec{Regs: 2}, []ProcSpec{{ID: 0, Run: prog}, {ID: 1, Run: idle}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	// Interleave: 1, 0, 1, 0, 1, 0 → proc 0's steps are globals 1, 3, 5.
+	if err := r.RunSchedule([]int{1, 0, 1, 0, 1, 0}); err != nil {
+		t.Fatalf("RunSchedule: %v", err)
+	}
+	want := []int{1, 3, 5}
+	if len(observed) != len(want) {
+		t.Fatalf("observed %v", observed)
+	}
+	for i := range want {
+		if observed[i] != want[i] {
+			t.Fatalf("observed %v, want %v", observed, want)
+		}
+	}
+}
+
+// TestPoisedAfterOutput: a process that outputs mid-program is poised at its
+// next operation afterwards, and the output op itself is inspectable.
+func TestPoisedAfterOutput(t *testing.T) {
+	prog := func(p *Proc) {
+		p.Output(1, 42)
+		p.Write(0, 1)
+	}
+	r, err := NewRunner(shmem.Spec{Regs: 1}, []ProcSpec{{ID: 0, Run: prog}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	op, ok := r.Poised(0)
+	if !ok || op.Kind != OpOutput || op.Reg != 1 || op.Val != 42 {
+		t.Fatalf("poised = %v, %v", op, ok)
+	}
+	if _, err := r.Step(0); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	op, ok = r.Poised(0)
+	if !ok || op.Kind != OpWrite {
+		t.Fatalf("poised after output = %v, %v", op, ok)
+	}
+}
+
+// TestOpStringAndTarget covers the Op helpers.
+func TestOpStringAndTarget(t *testing.T) {
+	tests := []struct {
+		op        Op
+		wantWrite bool
+		wantLoc   bool
+	}{
+		{op: Op{Kind: OpRead, Snap: SnapNone, Reg: 3}, wantLoc: true},
+		{op: Op{Kind: OpWrite, Snap: SnapNone, Reg: 1, Val: 5}, wantWrite: true, wantLoc: true},
+		{op: Op{Kind: OpUpdate, Snap: 0, Reg: 2, Val: "x"}, wantWrite: true, wantLoc: true},
+		{op: Op{Kind: OpScan, Snap: 0}, wantLoc: true},
+		{op: Op{Kind: OpOutput, Reg: 1, Val: 9}},
+	}
+	for _, tt := range tests {
+		if tt.op.String() == "" {
+			t.Fatalf("empty string for %v", tt.op.Kind)
+		}
+		if tt.op.IsWrite() != tt.wantWrite {
+			t.Fatalf("%v IsWrite = %v", tt.op, tt.op.IsWrite())
+		}
+		if _, ok := tt.op.Target(); ok != tt.wantLoc {
+			t.Fatalf("%v Target ok = %v", tt.op, ok)
+		}
+	}
+	loc := Loc{Snap: SnapNone, Reg: 2}
+	if loc.String() != "r2" {
+		t.Fatalf("loc string = %s", loc.String())
+	}
+	loc = Loc{Snap: 1, Reg: 0}
+	if loc.String() != "s1[0]" {
+		t.Fatalf("loc string = %s", loc.String())
+	}
+}

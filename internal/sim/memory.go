@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"fmt"
+
+	"setagreement/internal/shmem"
+)
+
+// Memory is the shared state of a simulated system: a bank of plain MWMR
+// registers plus zero or more multi-writer snapshot objects. All registers
+// and components are initially nil (the paper's ⊥).
+//
+// Memory is owned by the Runner; simulated processes access it only through
+// scheduler-granted steps, so no locking is needed.
+type Memory struct {
+	regs  []shmem.Value
+	snaps [][]shmem.Value
+}
+
+// NewMemory allocates memory for the given spec.
+func NewMemory(spec shmem.Spec) (*Memory, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Memory{
+		regs:  make([]shmem.Value, spec.Regs),
+		snaps: make([][]shmem.Value, len(spec.Snaps)),
+	}
+	for i, r := range spec.Snaps {
+		m.snaps[i] = make([]shmem.Value, r)
+	}
+	return m, nil
+}
+
+// Spec returns the shape of the memory.
+func (m *Memory) Spec() shmem.Spec {
+	spec := shmem.Spec{Regs: len(m.regs), Snaps: make([]int, len(m.snaps))}
+	for i, s := range m.snaps {
+		spec.Snaps[i] = len(s)
+	}
+	return spec
+}
+
+// Read returns register reg.
+func (m *Memory) Read(reg int) shmem.Value {
+	return m.regs[reg]
+}
+
+// Write sets register reg.
+func (m *Memory) Write(reg int, v shmem.Value) {
+	m.regs[reg] = v
+}
+
+// Update sets component comp of snapshot snap.
+func (m *Memory) Update(snap, comp int, v shmem.Value) {
+	m.snaps[snap][comp] = v
+}
+
+// Scan copies out the components of snapshot snap.
+func (m *Memory) Scan(snap int) []shmem.Value {
+	src := m.snaps[snap]
+	out := make([]shmem.Value, len(src))
+	copy(out, src)
+	return out
+}
+
+// Get returns the value at an arbitrary location.
+func (m *Memory) Get(l Loc) shmem.Value {
+	if l.Snap == SnapNone {
+		return m.regs[l.Reg]
+	}
+	return m.snaps[l.Snap][l.Reg]
+}
+
+// Set stores a value at an arbitrary location.
+func (m *Memory) Set(l Loc, v shmem.Value) {
+	if l.Snap == SnapNone {
+		m.regs[l.Reg] = v
+		return
+	}
+	m.snaps[l.Snap][l.Reg] = v
+}
+
+// Locations returns every writable location in the memory, registers first,
+// then snapshot components in object order.
+func (m *Memory) Locations() []Loc {
+	locs := make([]Loc, 0, m.NumLocations())
+	for r := range m.regs {
+		locs = append(locs, Loc{Snap: SnapNone, Reg: r})
+	}
+	for s, comps := range m.snaps {
+		for c := range comps {
+			locs = append(locs, Loc{Snap: s, Reg: c})
+		}
+	}
+	return locs
+}
+
+// NumLocations returns the total count of writable locations.
+func (m *Memory) NumLocations() int {
+	n := len(m.regs)
+	for _, s := range m.snaps {
+		n += len(s)
+	}
+	return n
+}
+
+// Clone returns a deep copy of the memory shape and contents. Values
+// themselves are immutable by convention (ints, strings, small comparable
+// structs), so a shallow copy of each cell suffices.
+func (m *Memory) Clone() *Memory {
+	c := &Memory{
+		regs:  make([]shmem.Value, len(m.regs)),
+		snaps: make([][]shmem.Value, len(m.snaps)),
+	}
+	copy(c.regs, m.regs)
+	for i, s := range m.snaps {
+		c.snaps[i] = make([]shmem.Value, len(s))
+		copy(c.snaps[i], s)
+	}
+	return c
+}
+
+// Equal reports whether two memories have identical shape and contents.
+// Values must be comparable; non-comparable values make Equal return false.
+func (m *Memory) Equal(o *Memory) bool {
+	if len(m.regs) != len(o.regs) || len(m.snaps) != len(o.snaps) {
+		return false
+	}
+	for i := range m.regs {
+		if !valueEqual(m.regs[i], o.regs[i]) {
+			return false
+		}
+	}
+	for i := range m.snaps {
+		if len(m.snaps[i]) != len(o.snaps[i]) {
+			return false
+		}
+		for j := range m.snaps[i] {
+			if !valueEqual(m.snaps[i][j], o.snaps[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func valueEqual(a, b shmem.Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	defer func() { recover() }() //nolint:errcheck // non-comparable values compare unequal
+	return a == b
+}
+
+// String renders the memory contents for debugging.
+func (m *Memory) String() string {
+	s := "regs["
+	for i, v := range m.regs {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%v", v)
+	}
+	s += "]"
+	for i, snap := range m.snaps {
+		s += fmt.Sprintf(" s%d[", i)
+		for j, v := range snap {
+			if j > 0 {
+				s += " "
+			}
+			s += fmt.Sprintf("%v", v)
+		}
+		s += "]"
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package sim
+
+import (
+	"fmt"
+
+	"setagreement/internal/shmem"
+)
+
+// OpKind enumerates the kinds of steps a simulated process can take.
+type OpKind uint8
+
+// The step kinds. Read/Write touch plain registers, Update/Scan touch
+// snapshot objects, Output records a decision without touching shared memory
+// (it corresponds to the "response" step of the paper's model).
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpUpdate
+	OpScan
+	OpOutput
+)
+
+// String returns the conventional lower-case name of the op kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpUpdate:
+		return "update"
+	case OpScan:
+		return "scan"
+	case OpOutput:
+		return "output"
+	default:
+		return fmt.Sprintf("opkind(%d)", uint8(k))
+	}
+}
+
+// Op is a single poised or executed shared-memory operation.
+type Op struct {
+	Kind OpKind
+	// Snap is the snapshot object index for Update/Scan, and SnapNone for
+	// plain register operations.
+	Snap int
+	// Reg is the register index (Read/Write), the component index
+	// (Update), or the agreement instance number (Output).
+	Reg int
+	// Val is the value being written (Write/Update) or decided (Output).
+	Val shmem.Value
+}
+
+// SnapNone marks an Op that targets a plain register rather than a snapshot.
+const SnapNone = -1
+
+// IsWrite reports whether the op mutates shared memory.
+func (o Op) IsWrite() bool { return o.Kind == OpWrite || o.Kind == OpUpdate }
+
+// Target returns the memory location the op addresses and whether it
+// addresses one at all (Output does not).
+func (o Op) Target() (Loc, bool) {
+	switch o.Kind {
+	case OpRead, OpWrite:
+		return Loc{Snap: SnapNone, Reg: o.Reg}, true
+	case OpUpdate:
+		return Loc{Snap: o.Snap, Reg: o.Reg}, true
+	case OpScan:
+		// A scan reads the whole object; report component 0 as its
+		// nominal target. Callers that care about full coverage use
+		// Op.Kind directly.
+		return Loc{Snap: o.Snap, Reg: 0}, true
+	default:
+		return Loc{}, false
+	}
+}
+
+// String renders the op compactly, e.g. "write r3=v" or "update s0[2]=v".
+func (o Op) String() string {
+	switch o.Kind {
+	case OpRead:
+		return fmt.Sprintf("read r%d", o.Reg)
+	case OpWrite:
+		return fmt.Sprintf("write r%d=%v", o.Reg, o.Val)
+	case OpUpdate:
+		return fmt.Sprintf("update s%d[%d]=%v", o.Snap, o.Reg, o.Val)
+	case OpScan:
+		return fmt.Sprintf("scan s%d", o.Snap)
+	case OpOutput:
+		return fmt.Sprintf("output inst%d=%v", o.Reg, o.Val)
+	default:
+		return o.Kind.String()
+	}
+}
+
+// Loc identifies a single writable shared-memory location: a plain register
+// (Snap == SnapNone) or one component of a snapshot object.
+type Loc struct {
+	Snap int
+	Reg  int
+}
+
+// String renders the location, e.g. "r3" or "s0[2]".
+func (l Loc) String() string {
+	if l.Snap == SnapNone {
+		return fmt.Sprintf("r%d", l.Reg)
+	}
+	return fmt.Sprintf("s%d[%d]", l.Snap, l.Reg)
+}

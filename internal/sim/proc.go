@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"fmt"
+
+	"setagreement/internal/shmem"
+)
+
+// Program is the code of one simulated process. It runs in its own goroutine
+// and interacts with shared memory exclusively through the Proc it is given;
+// every shared-memory call blocks until the scheduler grants the step.
+//
+// Programs must be deterministic functions of their inputs and of the values
+// returned by their shared-memory operations. This is what makes executions
+// replayable from schedules, which the lower-bound adversaries rely on.
+type Program func(p *Proc)
+
+// ProcSpec describes one process to simulate: its algorithm-visible
+// identifier (Anonymous for anonymous algorithms) and its program.
+type ProcSpec struct {
+	ID  int
+	Run Program
+}
+
+// Anonymous is the ID given to processes of anonymous algorithms. The
+// simulator never reveals the process index to such programs.
+const Anonymous = -1
+
+// Decision records one output produced by a process: the agreement instance
+// it belongss to (1-based, as in the paper) and the decided value.
+type Decision struct {
+	Instance int
+	Val      shmem.Value
+}
+
+type procEvent struct {
+	op    Op
+	done  bool
+	panic any // non-nil if the program panicked (excluding aborts)
+}
+
+type grantMsg struct {
+	val    shmem.Value
+	vec    []shmem.Value
+	step   int // global index of the step that produced this grant
+	poison bool
+}
+
+// abortSignal is the sentinel panic value used to unwind program goroutines
+// when a Runner is aborted.
+type abortSignal struct{}
+
+// Proc is a simulated process's handle to shared memory. It implements
+// shmem.Mem. All methods must be called from the process's own program
+// goroutine.
+type Proc struct {
+	idx      int // index within the runner
+	id       int // algorithm-visible identifier, or Anonymous
+	events   chan procEvent
+	grant    chan grantMsg
+	lastStep int // global index of this process's most recent step
+}
+
+var _ shmem.Mem = (*Proc)(nil)
+
+// ID returns the process's algorithm-visible identifier, or Anonymous.
+func (p *Proc) ID() int { return p.id }
+
+// Read performs an atomic register read as one step.
+func (p *Proc) Read(reg int) shmem.Value {
+	g := p.do(Op{Kind: OpRead, Snap: SnapNone, Reg: reg})
+	return g.val
+}
+
+// Write performs an atomic register write as one step.
+func (p *Proc) Write(reg int, v shmem.Value) {
+	p.do(Op{Kind: OpWrite, Snap: SnapNone, Reg: reg, Val: v})
+}
+
+// Update performs an atomic snapshot update as one step.
+func (p *Proc) Update(snap, comp int, v shmem.Value) {
+	p.do(Op{Kind: OpUpdate, Snap: snap, Reg: comp, Val: v})
+}
+
+// Scan performs an atomic snapshot scan as one step.
+func (p *Proc) Scan(snap int) []shmem.Value {
+	g := p.do(Op{Kind: OpScan, Snap: snap})
+	return g.vec
+}
+
+// Output records a decision for the given agreement instance. It is a step
+// (so schedulers control when responses happen) but touches no shared memory.
+func (p *Proc) Output(instance int, v shmem.Value) {
+	p.do(Op{Kind: OpOutput, Reg: instance, Val: v})
+}
+
+// LastStep returns the global index of the process's most recent executed
+// step, or -1 before its first step. Only the process's own goroutine may
+// call it; it is the logical clock used to timestamp operation intervals
+// for linearizability checking.
+func (p *Proc) LastStep() int { return p.lastStep }
+
+func (p *Proc) do(op Op) grantMsg {
+	p.events <- procEvent{op: op}
+	g := <-p.grant
+	if g.poison {
+		panic(abortSignal{})
+	}
+	p.lastStep = g.step
+	return g
+}
+
+func (p *Proc) start(run Program) {
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(abortSignal); ok {
+					// Aborted by the runner, which is already
+					// draining; report a clean exit.
+					p.events <- procEvent{done: true}
+					return
+				}
+				p.events <- procEvent{done: true, panic: r}
+				return
+			}
+			p.events <- procEvent{done: true}
+		}()
+		run(p)
+	}()
+}
+
+// ProgramError is returned by Runner methods when a program goroutine
+// panicked.
+type ProgramError struct {
+	Proc  int
+	Panic any
+}
+
+func (e *ProgramError) Error() string {
+	return fmt.Sprintf("sim: process %d panicked: %v", e.Proc, e.Panic)
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"setagreement/internal/shmem"
+)
+
+// quickProgram builds a deterministic program parameterized by a seed: a
+// fixed sequence of reads and writes derived from the seed and from the
+// values it reads.
+func quickProgram(seed int64, regs, length int) Program {
+	return func(p *Proc) {
+		x := uint64(seed)*2654435761 + 11
+		acc := 0
+		for i := 0; i < length; i++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			reg := int(x % uint64(regs))
+			if x&1 == 0 {
+				p.Write(reg, acc+i)
+			} else {
+				if v, ok := p.Read(reg).(int); ok {
+					acc += v % 7
+				}
+			}
+		}
+		p.Output(1, acc)
+	}
+}
+
+// TestQuickReplayDeterminism: any system replayed through the same schedule
+// reaches the same signature, memory and outputs.
+func TestQuickReplayDeterminism(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)
+		regs := 1 + rng.Intn(4)
+		lengths := make([]int, n)
+		for i := range lengths {
+			lengths[i] = 8 + rng.Intn(6)
+		}
+		spec := shmem.Spec{Regs: regs}
+		mk := func() []ProcSpec {
+			ps := make([]ProcSpec, n)
+			for i := range ps {
+				ps[i] = ProcSpec{ID: i, Run: quickProgram(seed+int64(i), regs, lengths[i])}
+			}
+			return ps
+		}
+		schedule := make([]int, 30+rng.Intn(40))
+		for i := range schedule {
+			schedule[i] = rng.Intn(n)
+		}
+		r1, err := Replay(spec, mk(), schedule)
+		if err != nil {
+			return false
+		}
+		defer r1.Abort()
+		r2, err := Replay(spec, mk(), schedule)
+		if err != nil {
+			return false
+		}
+		defer r2.Abort()
+		return r1.StateSignature() == r2.StateSignature() &&
+			r1.Memory().Equal(r2.Memory()) &&
+			r1.Steps() == r2.Steps()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSignatureSeparatesSchedules: runs that diverge in memory or
+// poised state have different signatures.
+func TestQuickSignatureSeparatesSchedules(t *testing.T) {
+	prop := func(seed int64) bool {
+		spec := shmem.Spec{Regs: 2}
+		mk := func() []ProcSpec {
+			return []ProcSpec{
+				{ID: 0, Run: quickProgram(seed, 2, 8)},
+				{ID: 1, Run: quickProgram(seed+999, 2, 8)},
+			}
+		}
+		r1, err := Replay(spec, mk(), []int{0, 0, 0})
+		if err != nil {
+			return false
+		}
+		defer r1.Abort()
+		r2, err := Replay(spec, mk(), []int{1, 1, 1})
+		if err != nil {
+			return false
+		}
+		defer r2.Abort()
+		// The two schedules advance different processes: poised state
+		// differs, so signatures must differ.
+		return r1.StateSignature() != r2.StateSignature()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMemoryCloneIndependence: mutating a clone never affects the
+// original and Equal agrees with deep comparison.
+func TestQuickMemoryCloneIndependence(t *testing.T) {
+	prop := func(vals []int, snapVals []int) bool {
+		m, err := NewMemory(shmem.Spec{Regs: 4, Snaps: []int{3}})
+		if err != nil {
+			return false
+		}
+		for i, v := range vals {
+			m.Write(i%4, v)
+		}
+		for i, v := range snapVals {
+			m.Update(0, i%3, v)
+		}
+		c := m.Clone()
+		if !m.Equal(c) || !c.Equal(m) {
+			return false
+		}
+		c.Write(0, "mutated")
+		return m.Read(0) != shmem.Value("mutated")
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWriteAccounting: the distinct-writes count equals the number of
+// distinct locations named by write ops in the schedule.
+func TestQuickWriteAccounting(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		regs := 2 + rng.Intn(4)
+		writes := make([]int, 10+rng.Intn(20))
+		want := make(map[int]bool)
+		for i := range writes {
+			writes[i] = rng.Intn(regs)
+			want[writes[i]] = true
+		}
+		prog := func(p *Proc) {
+			for _, reg := range writes {
+				p.Write(reg, reg)
+			}
+		}
+		r, err := NewRunner(shmem.Spec{Regs: regs}, []ProcSpec{{ID: 0, Run: prog}})
+		if err != nil {
+			return false
+		}
+		defer r.Abort()
+		for !r.AllDone() {
+			if _, err := r.Step(0); err != nil {
+				return false
+			}
+		}
+		return r.DistinctWrites() == len(want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"setagreement/internal/shmem"
+)
+
+// Runner drives a set of simulated processes over a shared Memory. It is the
+// single owner of the memory: processes advance only when Step (or a helper
+// built on it) executes their poised operation, so an execution is fully
+// determined by the sequence of process indices stepped.
+//
+// A Runner must be released with Abort (or run to completion) so that its
+// program goroutines exit; helpers such as Replay and RunSchedule do this
+// automatically when asked.
+type Runner struct {
+	mem     *Memory
+	procs   []*Proc
+	pending []*Op
+	done    []bool
+	failed  []error
+	outputs [][]Decision
+	steps   int
+	aborted bool
+
+	written map[Loc]int // location -> write count
+	read    map[Loc]int
+
+	// digests[i] hashes the sequence of results process i has received.
+	// Deterministic programs are functions of (input, past results), so
+	// equal memory + equal digests + equal poised ops identify
+	// configurations with identical futures — the soundness basis of
+	// state-space exploration (package explore).
+	digests []uint64
+
+	recording bool
+	log       []StepRecord
+}
+
+// StepRecord is one executed step of an execution trace.
+type StepRecord struct {
+	Index int // 0-based position in the execution
+	Proc  int // process index
+	Op    Op
+	// Result is the value returned to the process: the read value for
+	// OpRead, nil otherwise. Scan results are recorded in ScanResult.
+	Result shmem.Value
+	// ScanResult is the vector returned for OpScan, nil otherwise.
+	ScanResult []shmem.Value
+}
+
+// ErrProcDone is returned by Step when the target process has already
+// finished its program.
+var ErrProcDone = errors.New("sim: process has terminated")
+
+// ErrAborted is returned by Step after the runner has been aborted.
+var ErrAborted = errors.New("sim: runner aborted")
+
+// NewRunner allocates memory for spec, launches one goroutine per process
+// spec and parks each at its first operation (or termination).
+func NewRunner(spec shmem.Spec, procs []ProcSpec) (*Runner, error) {
+	mem, err := NewMemory(spec)
+	if err != nil {
+		return nil, err
+	}
+	if len(procs) == 0 {
+		return nil, errors.New("sim: no processes")
+	}
+	r := &Runner{
+		mem:     mem,
+		procs:   make([]*Proc, len(procs)),
+		pending: make([]*Op, len(procs)),
+		done:    make([]bool, len(procs)),
+		failed:  make([]error, len(procs)),
+		outputs: make([][]Decision, len(procs)),
+		written: make(map[Loc]int),
+		read:    make(map[Loc]int),
+		digests: make([]uint64, len(procs)),
+	}
+	for i := range r.digests {
+		r.digests[i] = fnvOffset
+	}
+	for i, ps := range procs {
+		p := &Proc{
+			idx:      i,
+			id:       ps.ID,
+			events:   make(chan procEvent),
+			grant:    make(chan grantMsg),
+			lastStep: -1,
+		}
+		r.procs[i] = p
+		p.start(ps.Run)
+	}
+	for i := range r.procs {
+		r.sync(i)
+	}
+	return r, nil
+}
+
+// sync waits until process i is parked at a poised op or has terminated.
+func (r *Runner) sync(i int) {
+	if r.done[i] || r.pending[i] != nil {
+		return
+	}
+	ev := <-r.procs[i].events
+	if ev.done {
+		r.done[i] = true
+		if ev.panic != nil {
+			r.failed[i] = &ProgramError{Proc: i, Panic: ev.panic}
+		}
+		return
+	}
+	op := ev.op
+	r.pending[i] = &op
+}
+
+// Record turns step logging on or off. Logging is off by default; traces of
+// long executions are large.
+func (r *Runner) Record(on bool) { r.recording = on }
+
+// NumProcs returns the number of simulated processes.
+func (r *Runner) NumProcs() int { return len(r.procs) }
+
+// Steps returns the number of steps executed so far.
+func (r *Runner) Steps() int { return r.steps }
+
+// Memory returns the shared memory. Callers must not mutate it while the
+// execution is still being extended, except through Step.
+func (r *Runner) Memory() *Memory { return r.mem }
+
+// IsDone reports whether process i has terminated.
+func (r *Runner) IsDone(i int) bool { return r.done[i] }
+
+// AllDone reports whether every process has terminated.
+func (r *Runner) AllDone() bool {
+	for _, d := range r.done {
+		if !d {
+			return false
+		}
+	}
+	return true
+}
+
+// Err returns the first program panic observed, if any.
+func (r *Runner) Err() error {
+	for _, e := range r.failed {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Poised returns the operation process i will perform on its next step. The
+// second result is false if the process has terminated.
+func (r *Runner) Poised(i int) (Op, bool) {
+	if r.pending[i] == nil {
+		return Op{}, false
+	}
+	return *r.pending[i], true
+}
+
+// Outputs returns the decisions recorded by process i so far. The returned
+// slice is shared; callers must not mutate it.
+func (r *Runner) Outputs(i int) []Decision { return r.outputs[i] }
+
+// Log returns the recorded step log (empty unless Record(true) was set).
+func (r *Runner) Log() []StepRecord { return r.log }
+
+// WriteCount returns the number of writes executed per location.
+func (r *Runner) WriteCount() map[Loc]int { return r.written }
+
+// DistinctWrites returns how many distinct locations have been written.
+// This is the space-use metric audited against the paper's bounds.
+func (r *Runner) DistinctWrites() int { return len(r.written) }
+
+// WriteSet returns the set of written locations.
+func (r *Runner) WriteSet() map[Loc]bool {
+	set := make(map[Loc]bool, len(r.written))
+	for l := range r.written {
+		set[l] = true
+	}
+	return set
+}
+
+// Step executes the poised operation of process i and parks the process at
+// its next operation (or termination). It returns the executed operation.
+func (r *Runner) Step(i int) (Op, error) {
+	if r.aborted {
+		return Op{}, ErrAborted
+	}
+	if i < 0 || i >= len(r.procs) {
+		return Op{}, fmt.Errorf("sim: no process %d", i)
+	}
+	if r.done[i] {
+		return Op{}, ErrProcDone
+	}
+	op := *r.pending[i]
+	rec := StepRecord{Index: r.steps, Proc: i, Op: op}
+
+	var g grantMsg
+	switch op.Kind {
+	case OpRead:
+		g.val = r.mem.Read(op.Reg)
+		rec.Result = g.val
+		r.read[Loc{Snap: SnapNone, Reg: op.Reg}]++
+	case OpWrite:
+		r.mem.Write(op.Reg, op.Val)
+		r.written[Loc{Snap: SnapNone, Reg: op.Reg}]++
+	case OpUpdate:
+		r.mem.Update(op.Snap, op.Reg, op.Val)
+		r.written[Loc{Snap: op.Snap, Reg: op.Reg}]++
+	case OpScan:
+		g.vec = r.mem.Scan(op.Snap)
+		rec.ScanResult = g.vec
+		for c := range g.vec {
+			r.read[Loc{Snap: op.Snap, Reg: c}]++
+		}
+	case OpOutput:
+		r.outputs[i] = append(r.outputs[i], Decision{Instance: op.Reg, Val: op.Val})
+	default:
+		return Op{}, fmt.Errorf("sim: process %d poised invalid op kind %v", i, op.Kind)
+	}
+	r.steps++
+	if r.recording {
+		r.log = append(r.log, rec)
+	}
+	r.digests[i] = mixStep(r.digests[i], op, g)
+
+	r.pending[i] = nil
+	g.step = r.steps - 1
+	r.procs[i].grant <- g
+	r.sync(i)
+	return op, nil
+}
+
+// Abort unwinds every still-running program goroutine. The runner cannot be
+// stepped afterwards. Abort is idempotent.
+func (r *Runner) Abort() {
+	if r.aborted {
+		return
+	}
+	r.aborted = true
+	for i, p := range r.procs {
+		if r.done[i] {
+			continue
+		}
+		// The process is parked waiting for a grant; poison it and
+		// wait for the clean-exit event.
+		r.pending[i] = nil
+		p.grant <- grantMsg{poison: true}
+		for {
+			ev := <-p.events
+			if ev.done {
+				r.done[i] = true
+				break
+			}
+			// The program swallowed the poison (e.g. its own
+			// recover) and issued another op; poison again.
+			p.grant <- grantMsg{poison: true}
+		}
+	}
+}
+
+// Scheduler chooses which process takes the next step of an execution.
+type Scheduler interface {
+	// Next returns the index of the process to step. ok=false ends the
+	// execution. Next must only return processes that are not done.
+	Next(r *Runner) (pid int, ok bool)
+}
+
+// RunResult summarizes a completed (or truncated) execution.
+type RunResult struct {
+	Steps     int
+	Completed bool // every process terminated
+	Schedule  []int
+}
+
+// Run drives the runner with the scheduler for at most maxSteps steps or
+// until every process terminates or the scheduler stops. It records the
+// schedule it followed so the execution can be replayed.
+func (r *Runner) Run(s Scheduler, maxSteps int) (RunResult, error) {
+	res := RunResult{}
+	for r.steps < maxSteps && !r.AllDone() {
+		pid, ok := s.Next(r)
+		if !ok {
+			break
+		}
+		if _, err := r.Step(pid); err != nil {
+			return res, fmt.Errorf("sim: schedule step %d (proc %d): %w", r.steps, pid, err)
+		}
+		res.Schedule = append(res.Schedule, pid)
+		if err := r.Err(); err != nil {
+			return res, err
+		}
+	}
+	res.Steps = r.steps
+	res.Completed = r.AllDone()
+	return res, nil
+}
+
+// RunSchedule steps the runner through a fixed schedule, skipping entries for
+// processes that have already terminated (this makes prefixes of recorded
+// schedules safely replayable even when the suffix changes decisions).
+func (r *Runner) RunSchedule(schedule []int) error {
+	for _, pid := range schedule {
+		if pid < 0 || pid >= len(r.procs) {
+			return fmt.Errorf("sim: schedule names process %d of %d", pid, len(r.procs))
+		}
+		if r.done[pid] {
+			continue
+		}
+		if _, err := r.Step(pid); err != nil {
+			return err
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Replay builds a fresh runner and steps it through the schedule. The caller
+// owns the returned runner and must Abort it when finished.
+func Replay(spec shmem.Spec, procs []ProcSpec, schedule []int) (*Runner, error) {
+	r, err := NewRunner(spec, procs)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.RunSchedule(schedule); err != nil {
+		r.Abort()
+		return nil, err
+	}
+	return r, nil
+}

@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// FNV-1a constants for the per-process result digests.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func mixBytes(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// mixStep folds one executed step into a process digest: the op and, for
+// reads and scans, the returned values — everything the program's local
+// state can depend on.
+func mixStep(h uint64, op Op, g grantMsg) uint64 {
+	h = mixBytes(h, op.String())
+	switch op.Kind {
+	case OpRead:
+		h = mixBytes(h, fmt.Sprintf("=%v", g.val))
+	case OpScan:
+		h = mixBytes(h, fmt.Sprintf("=%v", g.vec))
+	}
+	return h
+}
+
+// StateSignature identifies the runner's configuration: the shared memory,
+// each process's liveness and poised operation, and each process's result
+// digest. Two runners of the same system with equal signatures have
+// identical futures under identical schedules (programs are deterministic
+// functions of their inputs and past results), which makes the signature a
+// sound merge key for state-space exploration.
+func (r *Runner) StateSignature() string {
+	var b strings.Builder
+	b.WriteString(r.mem.String())
+	for i := range r.procs {
+		if r.done[i] {
+			fmt.Fprintf(&b, "|p%d:done", i)
+			continue
+		}
+		fmt.Fprintf(&b, "|p%d:%016x:", i, r.digests[i])
+		if r.pending[i] != nil {
+			b.WriteString(r.pending[i].String())
+		}
+	}
+	return b.String()
+}

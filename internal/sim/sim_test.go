@@ -1,0 +1,284 @@
+package sim
+
+import (
+	"testing"
+
+	"setagreement/internal/shmem"
+)
+
+// pingProgram writes its id to register 0, reads register 1 and outputs it.
+func pingProgram(out int) Program {
+	return func(p *Proc) {
+		p.Write(0, p.ID())
+		v := p.Read(1)
+		_ = v
+		p.Output(1, out)
+	}
+}
+
+func TestRunnerBasicSteps(t *testing.T) {
+	spec := shmem.Spec{Regs: 2}
+	r, err := NewRunner(spec, []ProcSpec{{ID: 7, Run: pingProgram(42)}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+
+	op, ok := r.Poised(0)
+	if !ok || op.Kind != OpWrite || op.Reg != 0 {
+		t.Fatalf("poised = %v, %v; want write r0", op, ok)
+	}
+	if _, err := r.Step(0); err != nil {
+		t.Fatalf("step 1: %v", err)
+	}
+	if got := r.Memory().Read(0); got != 7 {
+		t.Fatalf("reg0 = %v, want 7", got)
+	}
+	op, ok = r.Poised(0)
+	if !ok || op.Kind != OpRead || op.Reg != 1 {
+		t.Fatalf("poised = %v, %v; want read r1", op, ok)
+	}
+	if _, err := r.Step(0); err != nil {
+		t.Fatalf("step 2: %v", err)
+	}
+	if _, err := r.Step(0); err != nil { // output
+		t.Fatalf("step 3: %v", err)
+	}
+	if !r.IsDone(0) {
+		t.Fatal("process not done after output")
+	}
+	outs := r.Outputs(0)
+	if len(outs) != 1 || outs[0].Instance != 1 || outs[0].Val != 42 {
+		t.Fatalf("outputs = %v, want [{1 42}]", outs)
+	}
+	if _, err := r.Step(0); err != ErrProcDone {
+		t.Fatalf("step after done: err = %v, want ErrProcDone", err)
+	}
+}
+
+func TestRunnerSnapshotOps(t *testing.T) {
+	spec := shmem.Spec{Snaps: []int{3}}
+	prog := func(p *Proc) {
+		p.Update(0, 1, "x")
+		s := p.Scan(0)
+		if s[1] != "x" {
+			p.Output(1, "bad")
+			return
+		}
+		p.Output(1, "ok")
+	}
+	r, err := NewRunner(spec, []ProcSpec{{ID: 0, Run: prog}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	for !r.AllDone() {
+		if _, err := r.Step(0); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if got := r.Outputs(0)[0].Val; got != "ok" {
+		t.Fatalf("scan result check = %v, want ok", got)
+	}
+	if r.DistinctWrites() != 1 {
+		t.Fatalf("distinct writes = %d, want 1", r.DistinctWrites())
+	}
+	want := Loc{Snap: 0, Reg: 1}
+	if !r.WriteSet()[want] {
+		t.Fatalf("write set %v missing %v", r.WriteSet(), want)
+	}
+}
+
+func TestRunnerInterleavingIsScheduleDetermined(t *testing.T) {
+	// Two processes race on register 0; the scheduled order decides what
+	// each reads.
+	prog := func(p *Proc) {
+		p.Write(0, p.ID())
+		p.Output(1, p.Read(0))
+	}
+	specs := []ProcSpec{{ID: 1, Run: prog}, {ID: 2, Run: prog}}
+	mem := shmem.Spec{Regs: 1}
+
+	run := func(schedule []int) (a, b shmem.Value) {
+		r, err := Replay(mem, specs, schedule)
+		if err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+		defer r.Abort()
+		return r.Outputs(0)[0].Val, r.Outputs(1)[0].Val
+	}
+
+	a, b := run([]int{0, 1, 0, 1, 0, 1})
+	if a != 2 || b != 2 {
+		t.Fatalf("alternating: outputs %v,%v want 2,2", a, b)
+	}
+	a, b = run([]int{0, 0, 0, 1, 1, 1})
+	if a != 1 || b != 2 {
+		t.Fatalf("sequential: outputs %v,%v want 1,2", a, b)
+	}
+}
+
+func TestRunnerDeterministicReplay(t *testing.T) {
+	prog := func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Write(i%2, p.ID()*10+i)
+			_ = p.Read((i + 1) % 2)
+		}
+		p.Output(1, p.ID())
+	}
+	specs := []ProcSpec{{ID: 1, Run: prog}, {ID: 2, Run: prog}, {ID: 3, Run: prog}}
+	mem := shmem.Spec{Regs: 2}
+	schedule := []int{0, 1, 2, 2, 1, 0, 0, 1, 2, 1, 1, 1, 2, 2, 0, 0, 0, 2, 2, 1, 0}
+
+	r1, err := Replay(mem, specs, schedule)
+	if err != nil {
+		t.Fatalf("replay 1: %v", err)
+	}
+	defer r1.Abort()
+	r2, err := Replay(mem, specs, schedule)
+	if err != nil {
+		t.Fatalf("replay 2: %v", err)
+	}
+	defer r2.Abort()
+
+	if !r1.Memory().Equal(r2.Memory()) {
+		t.Fatalf("memories differ:\n%v\n%v", r1.Memory(), r2.Memory())
+	}
+	if r1.Steps() != r2.Steps() {
+		t.Fatalf("steps differ: %d vs %d", r1.Steps(), r2.Steps())
+	}
+}
+
+func TestRunnerAbortMidExecution(t *testing.T) {
+	// A program that loops forever; Abort must unwind it cleanly.
+	prog := func(p *Proc) {
+		for {
+			p.Write(0, 1)
+			_ = p.Read(0)
+		}
+	}
+	r, err := NewRunner(shmem.Spec{Regs: 1}, []ProcSpec{{ID: 0, Run: prog}, {ID: 1, Run: prog}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := r.Step(i % 2); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	r.Abort()
+	if _, err := r.Step(0); err != ErrAborted {
+		t.Fatalf("step after abort: err = %v, want ErrAborted", err)
+	}
+	r.Abort() // idempotent
+}
+
+func TestRunnerProgramPanicSurfaced(t *testing.T) {
+	prog := func(p *Proc) {
+		p.Write(0, 1)
+		panic("boom")
+	}
+	r, err := NewRunner(shmem.Spec{Regs: 1}, []ProcSpec{{ID: 0, Run: prog}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	if _, err := r.Step(0); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	if err := r.Err(); err == nil {
+		t.Fatal("expected program panic to surface via Err")
+	}
+}
+
+func TestRunnerRecording(t *testing.T) {
+	r, err := NewRunner(shmem.Spec{Regs: 2}, []ProcSpec{{ID: 5, Run: pingProgram(1)}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	r.Record(true)
+	for !r.AllDone() {
+		if _, err := r.Step(0); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	log := r.Log()
+	if len(log) != 3 {
+		t.Fatalf("log length = %d, want 3", len(log))
+	}
+	if log[0].Op.Kind != OpWrite || log[1].Op.Kind != OpRead || log[2].Op.Kind != OpOutput {
+		t.Fatalf("log ops = %v %v %v", log[0].Op, log[1].Op, log[2].Op)
+	}
+}
+
+func TestRunScheduleSkipsDoneProcs(t *testing.T) {
+	short := func(p *Proc) { p.Write(0, 1) }
+	long := func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Write(0, i)
+		}
+	}
+	r, err := NewRunner(shmem.Spec{Regs: 1}, []ProcSpec{{ID: 0, Run: short}, {ID: 1, Run: long}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	// Schedule names proc 0 more often than it has steps.
+	if err := r.RunSchedule([]int{0, 0, 0, 1, 0, 1, 1, 1, 1}); err != nil {
+		t.Fatalf("RunSchedule: %v", err)
+	}
+	if !r.AllDone() {
+		t.Fatal("expected both processes done")
+	}
+}
+
+func TestMemoryCloneAndEqual(t *testing.T) {
+	m, err := NewMemory(shmem.Spec{Regs: 2, Snaps: []int{3}})
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	m.Write(0, 10)
+	m.Update(0, 2, "z")
+	c := m.Clone()
+	if !m.Equal(c) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Write(1, 99)
+	if m.Equal(c) {
+		t.Fatal("mutating clone affected equality unexpectedly")
+	}
+	if m.Read(1) != nil {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if got := m.NumLocations(); got != 5 {
+		t.Fatalf("NumLocations = %d, want 5", got)
+	}
+}
+
+func TestMemorySpecRoundTrip(t *testing.T) {
+	spec := shmem.Spec{Regs: 4, Snaps: []int{2, 6}}
+	m, err := NewMemory(spec)
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	got := m.Spec()
+	if got.Regs != 4 || len(got.Snaps) != 2 || got.Snaps[0] != 2 || got.Snaps[1] != 6 {
+		t.Fatalf("Spec round trip = %+v", got)
+	}
+	if got.RegisterCost(5) != 4+2+5 {
+		t.Fatalf("RegisterCost = %d, want 11", got.RegisterCost(5))
+	}
+}
+
+func TestBadSpecRejected(t *testing.T) {
+	if _, err := NewMemory(shmem.Spec{Regs: -1}); err == nil {
+		t.Fatal("negative regs accepted")
+	}
+	if _, err := NewMemory(shmem.Spec{Snaps: []int{0}}); err == nil {
+		t.Fatal("zero-component snapshot accepted")
+	}
+	if _, err := NewRunner(shmem.Spec{Regs: 1}, nil); err == nil {
+		t.Fatal("empty process list accepted")
+	}
+}

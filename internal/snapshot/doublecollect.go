@@ -1,0 +1,105 @@
+package snapshot
+
+import "setagreement/internal/shmem"
+
+// dcCell is one register of a DoubleCollect snapshot: the value plus a tag
+// for change detection.
+type dcCell struct {
+	Val shmem.Value
+	Wid int // writer identifier; Anonymous (-1) for anonymous processes
+	Seq int // writer-local write counter
+}
+
+// Anonymous marks cells written by anonymous processes.
+const Anonymous = -1
+
+// DoubleCollect is a non-blocking r-component snapshot from r MWMR
+// registers: a Scan repeats collects until two consecutive collects are
+// identical; an Update writes its register directly. Scans may starve under
+// continual updates (non-blocking, not wait-free), which is the progress
+// level the paper's anonymous algorithm is designed to tolerate — its H
+// register rescues processes starved in the snapshot.
+//
+// Substitution note (DESIGN.md §4): the paper's anonymous algorithm cites
+// the Guerraoui-Ruppert anonymous snapshot [7], whose change detection
+// embeds unboundedly growing views. Here cells are tagged with a
+// writer-local sequence number instead; identically-programmed anonymous
+// processes can in principle write identical (value, seq) cells and mask a
+// change. For the tuples the Figure 5 algorithm stores, identical cells are
+// interchangeable (the algorithm's decisions depend only on multisets of
+// tuples), so the substitution preserves its safety and progress behaviour.
+// Identified processes (Wid ≥ 0) get sound change detection outright.
+type DoubleCollect struct {
+	mem  shmem.Mem
+	base int
+	r    int
+	id   int
+	seq  int
+}
+
+var _ Object = (*DoubleCollect)(nil)
+
+// NewDoubleCollect returns a handle for the snapshot in registers
+// [base, base+r) of mem. id may be Anonymous.
+func NewDoubleCollect(mem shmem.Mem, base, r, id int) *DoubleCollect {
+	return &DoubleCollect{mem: mem, base: base, r: r, id: id}
+}
+
+// Components implements Object.
+func (s *DoubleCollect) Components() int { return s.r }
+
+// RegistersNeeded returns the register cost of the snapshot.
+func (s *DoubleCollect) RegistersNeeded() int { return s.r }
+
+// Update implements Object.
+func (s *DoubleCollect) Update(comp int, v shmem.Value) {
+	s.seq++
+	s.mem.Write(s.base+comp, dcCell{Val: v, Wid: s.id, Seq: s.seq})
+}
+
+func (s *DoubleCollect) collect() []dcCell {
+	out := make([]dcCell, s.r)
+	for j := 0; j < s.r; j++ {
+		if c, ok := s.mem.Read(s.base + j).(dcCell); ok {
+			out[j] = c
+		}
+	}
+	return out
+}
+
+// Scan implements Object.
+func (s *DoubleCollect) Scan() []shmem.Value {
+	for {
+		if out, ok := s.TryScan(16); ok {
+			return out
+		}
+	}
+}
+
+// TryScan attempts at most `attempts` collect rounds, reporting failure if
+// no two consecutive collects agree — the bounded form through which
+// callers interleave other work (shmem.TryScanner).
+func (s *DoubleCollect) TryScan(attempts int) ([]shmem.Value, bool) {
+	prev := s.collect()
+	for round := 0; round < attempts; round++ {
+		cur := s.collect()
+		same := true
+		for j := range cur {
+			if cur[j] != prev[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			out := make([]shmem.Value, s.r)
+			for j, c := range cur {
+				if c.Seq > 0 {
+					out[j] = c.Val
+				}
+			}
+			return out, true
+		}
+		prev = cur
+	}
+	return nil, false
+}

@@ -1,0 +1,101 @@
+package snapshot
+
+import "setagreement/internal/shmem"
+
+// mwCell is the content of one register of an MW snapshot: the component
+// value, a per-register sequence number, the writer's identifier, and the
+// writer's embedded scan. Change detection compares (Seq, Wid) pairs; views
+// are never compared.
+type mwCell struct {
+	Val  shmem.Value
+	Seq  int
+	Wid  int
+	View []shmem.Value
+}
+
+// MW is a wait-free r-component multi-writer snapshot implemented from r
+// MWMR registers with unbounded sequence numbers and embedded scans.
+//
+// Update(j, v) performs an (embedded) Scan, reads register j, and writes
+// (v, seq+1, id, view). Scan repeatedly collects all registers; if two
+// consecutive collects are identical it returns the direct view; otherwise,
+// as soon as it has observed two writes by the same process, it borrows that
+// process's embedded view. Because each process performs its embedded scan
+// after its previous write, a twice-observed writer's second view was
+// obtained entirely within the scanner's interval — the classic argument of
+// Afek et al., counted per writer rather than per register to remain sound
+// with multi-writer registers.
+type MW struct {
+	mem  shmem.Mem
+	base int // registers [base, base+r)
+	r    int
+	id   int // writer identifier; must be non-negative
+}
+
+var _ Object = (*MW)(nil)
+
+// NewMW returns process id's handle to the snapshot living in registers
+// [base, base+r) of mem.
+func NewMW(mem shmem.Mem, base, r, id int) *MW {
+	return &MW{mem: mem, base: base, r: r, id: id}
+}
+
+// Components implements Object.
+func (s *MW) Components() int { return s.r }
+
+// RegistersNeeded returns the register cost of an r-component MW snapshot.
+func (s *MW) RegistersNeeded() int { return s.r }
+
+func (s *MW) collect() []mwCell {
+	out := make([]mwCell, s.r)
+	for j := 0; j < s.r; j++ {
+		if c, ok := s.mem.Read(s.base + j).(mwCell); ok {
+			out[j] = c
+		}
+	}
+	return out
+}
+
+func values(cells []mwCell) []shmem.Value {
+	out := make([]shmem.Value, len(cells))
+	for j, c := range cells {
+		if c.Seq > 0 {
+			out[j] = c.Val
+		}
+	}
+	return out
+}
+
+// Update implements Object.
+func (s *MW) Update(comp int, v shmem.Value) {
+	view := s.Scan()
+	cur, _ := s.mem.Read(s.base + comp).(mwCell)
+	s.mem.Write(s.base+comp, mwCell{Val: v, Seq: cur.Seq + 1, Wid: s.id, View: view})
+}
+
+// Scan implements Object.
+func (s *MW) Scan() []shmem.Value {
+	moved := make(map[int]int) // writer id -> observed writes
+	prev := s.collect()
+	for {
+		cur := s.collect()
+		same := true
+		for j := range cur {
+			if cur[j].Seq != prev[j].Seq || cur[j].Wid != prev[j].Wid {
+				same = false
+				moved[cur[j].Wid]++
+				if moved[cur[j].Wid] >= 2 {
+					// Borrow the embedded view of the
+					// twice-observed writer's latest write.
+					out := make([]shmem.Value, s.r)
+					copy(out, cur[j].View)
+					return out
+				}
+			}
+		}
+		if same {
+			return values(cur)
+		}
+		prev = cur
+	}
+}

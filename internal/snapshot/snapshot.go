@@ -1,0 +1,58 @@
+// Package snapshot provides the multi-writer snapshot objects the paper's
+// algorithms are written against, in four implementations:
+//
+//   - Atomic: the snapshot as a primitive of the underlying memory (one
+//     atomic step per operation). This is the default substrate; the paper
+//     treats snapshots as given, citing register constructions [1,5,7,13].
+//   - MW: a wait-free r-component multi-writer snapshot from r MWMR
+//     registers using embedded scans (the construction family of Afek et
+//     al. [1], multi-writer variant as used by Ellen-Fatourou-Ruppert [5]).
+//   - SWEmulation: an r-component multi-writer snapshot from n single-writer
+//     components (Vitányi-Awerbuch-style [13] timestamped emulation layered
+//     over an inner snapshot), realizing the min(·, n) branch of Theorems
+//     7/8.
+//   - DoubleCollect: a non-blocking snapshot from r registers usable by
+//     anonymous processes, standing in for the Guerraoui-Ruppert anonymous
+//     construction [7] (see the type's documentation for the substitution).
+//
+// All register-based implementations are expressed against shmem.Mem
+// Read/Write only, so they run on both the simulator and the native runtime,
+// and their step costs are visible to the simulator's accounting.
+package snapshot
+
+import "setagreement/internal/shmem"
+
+// Object is a multi-writer snapshot object handle held by one process.
+type Object interface {
+	// Update writes v to component comp.
+	Update(comp int, v shmem.Value)
+	// Scan returns a consistent view of all components. The caller owns
+	// the returned slice.
+	Scan() []shmem.Value
+	// Components returns the component count.
+	Components() int
+}
+
+// Atomic delegates to the memory's built-in snapshot object: every Update
+// and Scan is a single atomic step.
+type Atomic struct {
+	mem   shmem.Mem
+	snap  int
+	comps int
+}
+
+var _ Object = (*Atomic)(nil)
+
+// NewAtomic wraps snapshot object snap (with comps components) of mem.
+func NewAtomic(mem shmem.Mem, snap, comps int) *Atomic {
+	return &Atomic{mem: mem, snap: snap, comps: comps}
+}
+
+// Update implements Object.
+func (a *Atomic) Update(comp int, v shmem.Value) { a.mem.Update(a.snap, comp, v) }
+
+// Scan implements Object.
+func (a *Atomic) Scan() []shmem.Value { return a.mem.Scan(a.snap) }
+
+// Components implements Object.
+func (a *Atomic) Components() int { return a.comps }

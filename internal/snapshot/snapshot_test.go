@@ -1,0 +1,268 @@
+package snapshot_test
+
+import (
+	"fmt"
+	"testing"
+
+	"setagreement/internal/core"
+	"setagreement/internal/sched"
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+	"setagreement/internal/snapshot"
+	"setagreement/internal/spec"
+)
+
+// seqMem is a trivial single-threaded shmem.Mem for sequential semantics
+// tests.
+type seqMem struct {
+	regs []shmem.Value
+}
+
+func newSeqMem(n int) *seqMem { return &seqMem{regs: make([]shmem.Value, n)} }
+
+func (m *seqMem) Read(reg int) shmem.Value       { return m.regs[reg] }
+func (m *seqMem) Write(reg int, v shmem.Value)   { m.regs[reg] = v }
+func (m *seqMem) Update(_, _ int, _ shmem.Value) { panic("seqMem has no snapshot primitive") }
+func (m *seqMem) Scan(_ int) []shmem.Value       { panic("seqMem has no snapshot primitive") }
+
+// sequentialObjects builds each register-based implementation over a fresh
+// sequential memory.
+func sequentialObjects(r int) map[string]snapshot.Object {
+	return map[string]snapshot.Object{
+		"mw":             snapshot.NewMW(newSeqMem(r), 0, r, 0),
+		"sw-emulation":   snapshot.NewSWEmulation(snapshot.NewMW(newSeqMem(4), 0, 4, 0), r, 0),
+		"double-collect": snapshot.NewDoubleCollect(newSeqMem(r), 0, r, 0),
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	for name, obj := range sequentialObjects(3) {
+		t.Run(name, func(t *testing.T) {
+			if got := obj.Components(); got != 3 {
+				t.Fatalf("Components = %d, want 3", got)
+			}
+			s := obj.Scan()
+			for j, v := range s {
+				if v != nil {
+					t.Fatalf("initial scan[%d] = %v, want nil", j, v)
+				}
+			}
+			obj.Update(1, "a")
+			obj.Update(2, 7)
+			obj.Update(1, "b") // overwrite
+			s = obj.Scan()
+			if s[0] != nil || s[1] != "b" || s[2] != 7 {
+				t.Fatalf("scan = %v, want [nil b 7]", s)
+			}
+		})
+	}
+}
+
+func TestSequentialMultiProcess(t *testing.T) {
+	// Two handles over the same memory, used alternately (sequentially):
+	// later writes win.
+	r := 2
+	mems := map[string]func() (snapshot.Object, snapshot.Object){
+		"mw": func() (snapshot.Object, snapshot.Object) {
+			m := newSeqMem(r)
+			return snapshot.NewMW(m, 0, r, 0), snapshot.NewMW(m, 0, r, 1)
+		},
+		"sw-emulation": func() (snapshot.Object, snapshot.Object) {
+			m := newSeqMem(3)
+			mk := func(id int) snapshot.Object {
+				return snapshot.NewSWEmulation(snapshot.NewMW(m, 0, 3, id), r, id)
+			}
+			return mk(0), mk(1)
+		},
+		"double-collect": func() (snapshot.Object, snapshot.Object) {
+			m := newSeqMem(r)
+			return snapshot.NewDoubleCollect(m, 0, r, 0), snapshot.NewDoubleCollect(m, 0, r, 1)
+		},
+	}
+	for name, mk := range mems {
+		t.Run(name, func(t *testing.T) {
+			a, b := mk()
+			a.Update(0, "a0")
+			b.Update(0, "b0")
+			a.Update(1, "a1")
+			sa, sb := a.Scan(), b.Scan()
+			for _, s := range [][]shmem.Value{sa, sb} {
+				if s[0] != "b0" || s[1] != "a1" {
+					t.Fatalf("scan = %v, want [b0 a1]", s)
+				}
+			}
+		})
+	}
+}
+
+// snapOp is one logged operation for linearizability checking.
+type snapOp struct {
+	proc  int
+	isUpd bool
+	comp  int
+	val   shmem.Value
+	view  []shmem.Value
+	start int // step index of first memory access
+	end   int // step index of last memory access
+}
+
+// runConcurrent drives `procs` processes over one shared snapshot in the
+// simulator under the given schedule, each performing its ops list
+// (comp, val) updates interleaved with scans, and returns the op log.
+func runConcurrent(t *testing.T, impl snapshot.Impl, r, n int, schedule []int, script func(id int, obj snapshot.Object, log func(snapOp))) []snapOp {
+	t.Helper()
+	logical := shmem.Spec{Snaps: []int{r}}
+	physical, wrap, err := snapshot.Wire(logical, impl, n)
+	if err != nil {
+		t.Fatalf("Wire: %v", err)
+	}
+	var (
+		logged []snapOp
+		specs  []sim.ProcSpec
+	)
+	for i := 0; i < n; i++ {
+		id := i
+		specs = append(specs, sim.ProcSpec{ID: id, Run: func(p *sim.Proc) {
+			mem := wrap(p, id)
+			obj := snapshot.NewAtomic(mem, 0, r)
+			script(id, obj, func(op snapOp) {
+				op.proc = id
+				logged = append(logged, op)
+			})
+		}})
+	}
+	runner, err := sim.NewRunner(physical, specs)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer runner.Abort()
+	if err := runner.RunSchedule(schedule); err != nil {
+		t.Fatalf("RunSchedule: %v", err)
+	}
+	// Drain sequentially so every op completes.
+	if _, err := runner.Run(&sched.Sequential{}, 1_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return logged
+}
+
+func TestWireImplementationsRunFig3(t *testing.T) {
+	// The one-shot algorithm must stay correct over every register-based
+	// snapshot implementation, under contended schedules.
+	params := core.Params{N: 4, M: 1, K: 2}
+	alg, err := core.NewOneShot(params)
+	if err != nil {
+		t.Fatalf("NewOneShot: %v", err)
+	}
+	inputs := [][]int{{100}, {101}, {102}, {103}}
+	impls := []snapshot.Impl{snapshot.ImplAtomic, snapshot.ImplMW, snapshot.ImplSWEmulation, snapshot.ImplDoubleCollect}
+	for _, impl := range impls {
+		t.Run(impl.String(), func(t *testing.T) {
+			physical, wrap, err := snapshot.Wire(alg.Spec(), impl, params.N)
+			if err != nil {
+				t.Fatalf("Wire: %v", err)
+			}
+			for seed := int64(0); seed < 5; seed++ {
+				memSpec, procs := core.WrappedSystem(alg, inputs, physical, wrap)
+				r, err := sim.NewRunner(memSpec, procs)
+				if err != nil {
+					t.Fatalf("NewRunner: %v", err)
+				}
+				// Contended random prefix, then sequential finish.
+				if _, err := r.Run(sched.NewRandom(seed), 3000); err != nil {
+					r.Abort()
+					t.Fatalf("random: %v", err)
+				}
+				if _, err := r.Run(&sched.Sequential{}, 2_000_000); err != nil {
+					r.Abort()
+					t.Fatalf("sequential: %v", err)
+				}
+				if !r.AllDone() {
+					r.Abort()
+					t.Fatalf("seed %d: processes did not finish", seed)
+				}
+				outs := spec.Collect(r)
+				if err := spec.CheckAll(inputs, outs, params.K); err != nil {
+					r.Abort()
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				r.Abort()
+			}
+		})
+	}
+}
+
+func TestWirePhysicalRegisterCosts(t *testing.T) {
+	logical := shmem.Spec{Regs: 1, Snaps: []int{5}}
+	tests := []struct {
+		impl snapshot.Impl
+		n    int
+		want int // physical plain registers
+	}{
+		{impl: snapshot.ImplMW, n: 3, want: 1 + 5},
+		{impl: snapshot.ImplSWEmulation, n: 3, want: 1 + 3},
+		{impl: snapshot.ImplDoubleCollect, n: 3, want: 1 + 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.impl.String(), func(t *testing.T) {
+			physical, _, err := snapshot.Wire(logical, tt.impl, tt.n)
+			if err != nil {
+				t.Fatalf("Wire: %v", err)
+			}
+			if physical.Regs != tt.want || len(physical.Snaps) != 0 {
+				t.Fatalf("physical = %+v, want %d plain regs", physical, tt.want)
+			}
+		})
+	}
+	// Atomic passes through.
+	physical, _, err := snapshot.Wire(logical, snapshot.ImplAtomic, 3)
+	if err != nil {
+		t.Fatalf("Wire atomic: %v", err)
+	}
+	if physical.Regs != 1 || len(physical.Snaps) != 1 {
+		t.Fatalf("atomic physical = %+v", physical)
+	}
+}
+
+func TestScanSeesOwnUpdateUnderInterleaving(t *testing.T) {
+	// Regularity smoke test: a process's scan after its own update must
+	// reflect that update, under arbitrary interleavings of two writers.
+	for _, impl := range []snapshot.Impl{snapshot.ImplMW, snapshot.ImplSWEmulation, snapshot.ImplDoubleCollect} {
+		t.Run(impl.String(), func(t *testing.T) {
+			for seed := 0; seed < 8; seed++ {
+				schedule := pseudoSchedule(2, 400, seed)
+				logs := runConcurrent(t, impl, 2, 2, schedule, func(id int, obj snapshot.Object, log func(snapOp)) {
+					for round := 0; round < 3; round++ {
+						v := fmt.Sprintf("p%d-%d", id, round)
+						obj.Update(id%2, v)
+						s := obj.Scan()
+						log(snapOp{isUpd: false, comp: id % 2, val: v, view: s})
+					}
+				})
+				for _, op := range logs {
+					// The scanned component must hold a value
+					// at least as recent as the scanner's own
+					// preceding update; with one writer per
+					// component it must be exactly it.
+					if op.view[op.comp] != op.val {
+						t.Fatalf("seed %d: scan lost own update: view=%v want %v at comp %d",
+							seed, op.view, op.val, op.comp)
+					}
+				}
+			}
+		})
+	}
+}
+
+// pseudoSchedule builds a deterministic pseudo-random schedule over n procs.
+func pseudoSchedule(n, length, seed int) []int {
+	s := make([]int, length)
+	x := uint64(seed)*2654435761 + 1
+	for i := range s {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		s[i] = int(x % uint64(n))
+	}
+	return s
+}

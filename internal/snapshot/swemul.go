@@ -1,0 +1,87 @@
+package snapshot
+
+import "setagreement/internal/shmem"
+
+// ventry is one virtual component's latest write by one process: the value
+// and a Lamport timestamp. TS == 0 means "never written by this process".
+type ventry struct {
+	Val shmem.Value
+	TS  int
+}
+
+// SWEmulation implements an r-component multi-writer snapshot from n
+// single-writer components: process p's own component of an inner
+// n-component snapshot holds p's latest write to every virtual component,
+// each tagged with a Lamport timestamp (Vitányi-Awerbuch style [13]).
+//
+// An Update(j, v) scans the inner snapshot, picks ts = 1 + max timestamp
+// seen for j, and republishes the process's vector with (v, ts) at j. A
+// Scan reads the inner snapshot once and resolves each virtual component to
+// the entry with the lexicographically largest (ts, process) pair. Because
+// the inner snapshot is atomic, operations linearize at their inner
+// operation; writes to a component are totally ordered by (ts, process).
+//
+// This realizes the min(·, n) branch of Theorems 7/8: layered over an MW
+// inner snapshot used single-writer (each process updates only its own
+// component), the whole object costs n registers regardless of r.
+type SWEmulation struct {
+	inner Object
+	r     int
+	n     int
+	id    int // 0 ≤ id < n
+}
+
+var _ Object = (*SWEmulation)(nil)
+
+// NewSWEmulation layers an r-component snapshot for process id over inner,
+// which must have n components and be used single-writer (process p updates
+// only component p).
+func NewSWEmulation(inner Object, r, id int) *SWEmulation {
+	return &SWEmulation{inner: inner, r: r, n: inner.Components(), id: id}
+}
+
+// Components implements Object.
+func (s *SWEmulation) Components() int { return s.r }
+
+// Update implements Object.
+func (s *SWEmulation) Update(comp int, v shmem.Value) {
+	views := s.inner.Scan()
+	maxTS := 0
+	for _, pv := range views {
+		vec, ok := pv.([]ventry)
+		if !ok {
+			continue
+		}
+		if vec[comp].TS > maxTS {
+			maxTS = vec[comp].TS
+		}
+	}
+	var mine []ventry
+	if vec, ok := views[s.id].([]ventry); ok {
+		mine = vec
+	}
+	next := make([]ventry, s.r)
+	copy(next, mine)
+	next[comp] = ventry{Val: v, TS: maxTS + 1}
+	s.inner.Update(s.id, next)
+}
+
+// Scan implements Object.
+func (s *SWEmulation) Scan() []shmem.Value {
+	views := s.inner.Scan()
+	out := make([]shmem.Value, s.r)
+	for j := 0; j < s.r; j++ {
+		bestTS, bestP := 0, -1
+		for p, pv := range views {
+			vec, ok := pv.([]ventry)
+			if !ok {
+				continue
+			}
+			if e := vec[j]; e.TS > bestTS || (e.TS == bestTS && e.TS > 0 && p > bestP) {
+				bestTS, bestP = e.TS, p
+				out[j] = e.Val
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package snapshot
+
+import (
+	"fmt"
+
+	"setagreement/internal/shmem"
+)
+
+// Impl selects how an algorithm's snapshot objects are realized.
+type Impl int
+
+const (
+	// ImplAtomic uses the memory's snapshot primitive (1 step per op).
+	ImplAtomic Impl = iota
+	// ImplMW implements each r-component snapshot from r registers
+	// (wait-free, embedded scans). Requires identified processes.
+	ImplMW
+	// ImplSWEmulation implements each r-component snapshot from n
+	// registers used single-writer (wait-free). Requires identified
+	// processes; this is the min(·, n) branch of Theorems 7/8.
+	ImplSWEmulation
+	// ImplDoubleCollect implements each r-component snapshot from r
+	// registers, non-blocking; works for anonymous processes.
+	ImplDoubleCollect
+)
+
+// String names the implementation.
+func (i Impl) String() string {
+	switch i {
+	case ImplAtomic:
+		return "atomic"
+	case ImplMW:
+		return "mw-waitfree"
+	case ImplSWEmulation:
+		return "sw-emulation"
+	case ImplDoubleCollect:
+		return "double-collect"
+	default:
+		return fmt.Sprintf("impl(%d)", int(i))
+	}
+}
+
+// Wire computes the physical memory an algorithm's Spec costs under the
+// chosen implementation and returns a per-process wrapper that presents the
+// algorithm's logical memory over it. n is the process count (used by
+// ImplSWEmulation).
+//
+// The wrapper maps logical plain registers [0, spec.Regs) to the same
+// physical indices; each logical snapshot object is realized in a reserved
+// physical register range after them (or stays a physical snapshot under
+// ImplAtomic).
+func Wire(spec shmem.Spec, impl Impl, n int) (shmem.Spec, func(inner shmem.Mem, id int) shmem.Mem, error) {
+	if err := spec.Validate(); err != nil {
+		return shmem.Spec{}, nil, err
+	}
+	if impl == ImplAtomic {
+		return spec, func(inner shmem.Mem, _ int) shmem.Mem { return inner }, nil
+	}
+	if n < 1 {
+		return shmem.Spec{}, nil, fmt.Errorf("snapshot: Wire needs n ≥ 1, got %d", n)
+	}
+
+	physical := shmem.Spec{Regs: spec.Regs}
+	bases := make([]int, len(spec.Snaps))
+	for s, r := range spec.Snaps {
+		bases[s] = physical.Regs
+		switch impl {
+		case ImplMW, ImplDoubleCollect:
+			physical.Regs += r
+		case ImplSWEmulation:
+			physical.Regs += n
+		default:
+			return shmem.Spec{}, nil, fmt.Errorf("snapshot: unknown implementation %v", impl)
+		}
+	}
+
+	snaps := append([]int(nil), spec.Snaps...)
+	wrap := func(inner shmem.Mem, id int) shmem.Mem {
+		objs := make([]Object, len(snaps))
+		for s, r := range snaps {
+			switch impl {
+			case ImplMW:
+				objs[s] = NewMW(inner, bases[s], r, id)
+			case ImplSWEmulation:
+				objs[s] = NewSWEmulation(NewMW(inner, bases[s], n, id), r, id)
+			case ImplDoubleCollect:
+				objs[s] = NewDoubleCollect(inner, bases[s], r, id)
+			}
+		}
+		return &wiredMem{inner: inner, objs: objs}
+	}
+	return physical, wrap, nil
+}
+
+// wiredMem presents an algorithm's logical memory over register-implemented
+// snapshots. It exposes bounded scans (shmem.TryScanner): wait-free
+// substrates always succeed; the non-blocking double-collect may fail and
+// let the caller interleave other work.
+type wiredMem struct {
+	inner shmem.Mem
+	objs  []Object
+}
+
+var (
+	_ shmem.Mem        = (*wiredMem)(nil)
+	_ shmem.TryScanner = (*wiredMem)(nil)
+)
+
+func (w *wiredMem) Read(reg int) shmem.Value       { return w.inner.Read(reg) }
+func (w *wiredMem) Write(reg int, v shmem.Value)   { w.inner.Write(reg, v) }
+func (w *wiredMem) Update(s, c int, v shmem.Value) { w.objs[s].Update(c, v) }
+func (w *wiredMem) Scan(s int) []shmem.Value       { return w.objs[s].Scan() }
+
+func (w *wiredMem) TryScan(s, attempts int) ([]shmem.Value, bool) {
+	if dc, ok := w.objs[s].(*DoubleCollect); ok {
+		return dc.TryScan(attempts)
+	}
+	return w.objs[s].Scan(), true
+}

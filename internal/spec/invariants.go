@@ -1,0 +1,161 @@
+package spec
+
+import (
+	"fmt"
+
+	"setagreement/internal/core"
+	"setagreement/internal/sim"
+)
+
+// Invariant is a predicate over configurations, checked after every step by
+// RunWithInvariants. The paper's correctness proofs rest on configuration
+// invariants (Lemmas 3, 12 and the validity invariants of Appendices A/B);
+// these checkers make them mechanical.
+type Invariant interface {
+	// Name identifies the invariant in failure messages.
+	Name() string
+	// Check inspects the configuration after a step.
+	Check(r *sim.Runner) error
+}
+
+// Lemma3 checks the one-shot algorithm's key invariant (Lemma 3 of the
+// paper): in every reachable configuration, all pairs in the snapshot with
+// the same identifier carry the same value.
+type Lemma3 struct {
+	// Snap is the snapshot object index (0 for core.OneShot).
+	Snap int
+}
+
+var _ Invariant = Lemma3{}
+
+// Name implements Invariant.
+func (Lemma3) Name() string { return "Lemma 3 (per-id value uniqueness)" }
+
+// Check implements Invariant.
+func (l Lemma3) Check(r *sim.Runner) error {
+	vals := make(map[int]int)
+	for c, v := range r.Memory().Scan(l.Snap) {
+		p, ok := v.(core.Pair)
+		if !ok {
+			continue
+		}
+		if prev, seen := vals[p.ID]; seen && prev != p.Val {
+			return fmt.Errorf("component %d: id %d holds both %d and %d", c, p.ID, prev, p.Val)
+		}
+		vals[p.ID] = p.Val
+	}
+	return nil
+}
+
+// Lemma12 checks the repeated algorithm's generalization (Lemma 12): all
+// t-tuples with the same identifier and instance are identical — same value
+// and same history.
+type Lemma12 struct {
+	Snap int
+}
+
+var _ Invariant = Lemma12{}
+
+// Name implements Invariant.
+func (Lemma12) Name() string { return "Lemma 12 (per-id per-instance tuple uniqueness)" }
+
+// Check implements Invariant.
+func (l Lemma12) Check(r *sim.Runner) error {
+	type key struct{ id, t int }
+	tuples := make(map[key]core.RTuple)
+	for c, v := range r.Memory().Scan(l.Snap) {
+		tu, ok := v.(core.RTuple)
+		if !ok {
+			continue
+		}
+		k := key{tu.ID, tu.T}
+		if prev, seen := tuples[k]; seen && prev != tu {
+			return fmt.Errorf("component %d: id %d instance %d holds both %v and %v",
+				c, tu.ID, tu.T, prev, tu)
+		}
+		tuples[k] = tu
+	}
+	return nil
+}
+
+// StoredValidity checks the validity invariant shared by all three
+// algorithms (stated for Figure 5 in Appendix B and implicit for the
+// others): every value stored in the snapshot under instance t is an input
+// of some process's t-th Propose, and every history entry for instance t
+// likewise.
+type StoredValidity struct {
+	Snap int
+	// Inputs[i][t-1] is process i's input to instance t.
+	Inputs [][]int
+}
+
+var _ Invariant = StoredValidity{}
+
+// Name implements Invariant.
+func (StoredValidity) Name() string { return "stored-value validity" }
+
+// Check implements Invariant.
+func (s StoredValidity) Check(r *sim.Runner) error {
+	allowed := func(t, v int) bool {
+		for _, seq := range s.Inputs {
+			if t-1 < len(seq) && seq[t-1] == v {
+				return true
+			}
+		}
+		return false
+	}
+	for c, raw := range r.Memory().Scan(s.Snap) {
+		var (
+			t, v int
+			his  core.History
+			ok   bool
+		)
+		switch tu := raw.(type) {
+		case nil:
+			continue
+		case core.Pair:
+			t, v, ok = 1, tu.Val, true
+		case core.RTuple:
+			t, v, his, ok = tu.T, tu.Val, tu.His, true
+		case core.ATuple:
+			t, v, his, ok = tu.T, tu.Val, tu.His, true
+		}
+		if !ok {
+			continue
+		}
+		if !allowed(t, v) {
+			return fmt.Errorf("component %d stores %d, not an input of instance %d", c, v, t)
+		}
+		for i, hv := range his.Values() {
+			if !allowed(i+1, hv) {
+				return fmt.Errorf("component %d history entry %d stores %d, not an input of instance %d",
+					c, i, hv, i+1)
+			}
+		}
+	}
+	return nil
+}
+
+// RunWithInvariants drives the runner with the scheduler, checking every
+// invariant after every step. It stops at the first violation, returning it
+// wrapped with the offending step index.
+func RunWithInvariants(r *sim.Runner, s sim.Scheduler, maxSteps int, invs ...Invariant) error {
+	for r.Steps() < maxSteps && !r.AllDone() {
+		pid, ok := s.Next(r)
+		if !ok {
+			return nil
+		}
+		if _, err := r.Step(pid); err != nil {
+			return err
+		}
+		if err := r.Err(); err != nil {
+			return err
+		}
+		for _, inv := range invs {
+			if err := inv.Check(r); err != nil {
+				return fmt.Errorf("spec: %s violated at step %d: %w", inv.Name(), r.Steps()-1, err)
+			}
+		}
+	}
+	return nil
+}

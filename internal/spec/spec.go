@@ -1,0 +1,200 @@
+// Package spec checks the three correctness properties of m-obstruction-free
+// k-set agreement over simulated executions:
+//
+//   - Validity: every instance's outputs are among that instance's inputs,
+//   - k-Agreement: at most k distinct outputs per instance,
+//   - m-Obstruction-Freedom: in executions where eventually at most m
+//     processes move, every mover completes its operations (checked with a
+//     step budget).
+//
+// It also audits space usage against the paper's register-count formulas.
+package spec
+
+import (
+	"fmt"
+	"sort"
+
+	"setagreement/internal/sim"
+)
+
+// Outputs is the decisions of every process: Outputs[i] lists process i's
+// decisions in the order they were produced.
+type Outputs [][]sim.Decision
+
+// Collect gathers the outputs of every process of a runner.
+func Collect(r *sim.Runner) Outputs {
+	outs := make(Outputs, r.NumProcs())
+	for i := range outs {
+		outs[i] = r.Outputs(i)
+	}
+	return outs
+}
+
+// ByInstance groups decided values per instance number.
+func (o Outputs) ByInstance() map[int][]int {
+	byInst := make(map[int][]int)
+	for _, decisions := range o {
+		for _, d := range decisions {
+			v, ok := d.Val.(int)
+			if !ok {
+				v = -1 << 62 // flagged by validity checking
+			}
+			byInst[d.Instance] = append(byInst[d.Instance], v)
+		}
+	}
+	return byInst
+}
+
+// DistinctPerInstance returns the number of distinct decided values per
+// instance.
+func (o Outputs) DistinctPerInstance() map[int]int {
+	out := make(map[int]int)
+	for inst, vals := range o.ByInstance() {
+		seen := make(map[int]bool, len(vals))
+		for _, v := range vals {
+			seen[v] = true
+		}
+		out[inst] = len(seen)
+	}
+	return out
+}
+
+// ViolationError describes a safety violation found by a checker.
+type ViolationError struct {
+	Property string // "validity", "k-agreement", "well-formedness"
+	Instance int
+	Detail   string
+}
+
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("spec: %s violated in instance %d: %s", e.Property, e.Instance, e.Detail)
+}
+
+// CheckValidity verifies Out_i(α) ⊆ In_i(α) for every instance i:
+// inputs[p][t-1] is process p's input to instance t (processes with shorter
+// input slices never accessed that instance).
+func CheckValidity(inputs [][]int, outs Outputs) error {
+	inSet := make(map[int]map[int]bool) // instance -> allowed values
+	for _, seq := range inputs {
+		for t0, v := range seq {
+			inst := t0 + 1
+			if inSet[inst] == nil {
+				inSet[inst] = make(map[int]bool)
+			}
+			inSet[inst][v] = true
+		}
+	}
+	for p, decisions := range outs {
+		for _, d := range decisions {
+			v, ok := d.Val.(int)
+			if !ok {
+				return &ViolationError{
+					Property: "validity",
+					Instance: d.Instance,
+					Detail:   fmt.Sprintf("process %d output non-int value %v", p, d.Val),
+				}
+			}
+			if !inSet[d.Instance][v] {
+				return &ViolationError{
+					Property: "validity",
+					Instance: d.Instance,
+					Detail:   fmt.Sprintf("process %d output %d, not an input of instance %d", p, v, d.Instance),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckKAgreement verifies |Out_i(α)| ≤ k for every instance i.
+func CheckKAgreement(outs Outputs, k int) error {
+	for inst, distinct := range outs.DistinctPerInstance() {
+		if distinct > k {
+			vals := outs.ByInstance()[inst]
+			sort.Ints(vals)
+			return &ViolationError{
+				Property: "k-agreement",
+				Instance: inst,
+				Detail:   fmt.Sprintf("%d distinct outputs > k=%d: %v", distinct, k, vals),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWellFormed verifies each process decided each instance at most once
+// and in increasing instance order.
+func CheckWellFormed(outs Outputs) error {
+	for p, decisions := range outs {
+		last := 0
+		for _, d := range decisions {
+			if d.Instance != last+1 {
+				return &ViolationError{
+					Property: "well-formedness",
+					Instance: d.Instance,
+					Detail:   fmt.Sprintf("process %d decided instance %d after instance %d", p, d.Instance, last),
+				}
+			}
+			last = d.Instance
+		}
+	}
+	return nil
+}
+
+// CheckAll runs well-formedness, validity and k-agreement.
+func CheckAll(inputs [][]int, outs Outputs, k int) error {
+	if err := CheckWellFormed(outs); err != nil {
+		return err
+	}
+	if err := CheckValidity(inputs, outs); err != nil {
+		return err
+	}
+	return CheckKAgreement(outs, k)
+}
+
+// SpaceAudit compares an algorithm's space use against its claimed register
+// count. The audit has two parts:
+//
+//   - the memory the algorithm allocated, priced in registers (each
+//     r-component snapshot costs min(r, n) registers once implemented from
+//     registers, per Theorems 7, 8 and 11), must not exceed the claim, and
+//   - when every component maps to its own register (component count ≤ n),
+//     the distinct locations actually written must not exceed the claim
+//     either.
+type SpaceAudit struct {
+	// LocationsWritten is the number of distinct registers/components the
+	// execution actually wrote.
+	LocationsWritten int
+	// LocationsAllocated is the total writable memory the algorithm
+	// declared.
+	LocationsAllocated int
+	// RegisterCost is the allocated memory priced in registers for an
+	// n-process system.
+	RegisterCost int
+	// ClaimedRegisters is the algorithm's claimed register cost (the
+	// paper's formula).
+	ClaimedRegisters int
+}
+
+// Audit builds a SpaceAudit from a runner for an n-process system.
+func Audit(r *sim.Runner, n, claimedRegisters int) SpaceAudit {
+	return SpaceAudit{
+		LocationsWritten:   r.DistinctWrites(),
+		LocationsAllocated: r.Memory().NumLocations(),
+		RegisterCost:       r.Memory().Spec().RegisterCost(n),
+		ClaimedRegisters:   claimedRegisters,
+	}
+}
+
+// Check verifies the algorithm stayed within its claim.
+func (a SpaceAudit) Check() error {
+	if a.RegisterCost > a.ClaimedRegisters {
+		return fmt.Errorf("spec: allocated memory costs %d registers, exceeding claimed %d",
+			a.RegisterCost, a.ClaimedRegisters)
+	}
+	if a.LocationsAllocated <= a.ClaimedRegisters && a.LocationsWritten > a.ClaimedRegisters {
+		return fmt.Errorf("spec: execution wrote %d distinct locations, exceeding claimed %d registers",
+			a.LocationsWritten, a.ClaimedRegisters)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package spec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+)
+
+func TestCheckValidity(t *testing.T) {
+	inputs := [][]int{{10, 20}, {11, 21}}
+	tests := []struct {
+		name    string
+		outs    Outputs
+		wantErr bool
+	}{
+		{
+			name: "own values",
+			outs: Outputs{{{Instance: 1, Val: 10}, {Instance: 2, Val: 20}}, {{Instance: 1, Val: 10}}},
+		},
+		{
+			name: "peer values",
+			outs: Outputs{{{Instance: 1, Val: 11}}, {{Instance: 1, Val: 10}}},
+		},
+		{
+			name:    "invented value",
+			outs:    Outputs{{{Instance: 1, Val: 99}}},
+			wantErr: true,
+		},
+		{
+			name:    "cross-instance leak",
+			outs:    Outputs{{{Instance: 1, Val: 20}}}, // 20 is an instance-2 input
+			wantErr: true,
+		},
+		{
+			name:    "non-int output",
+			outs:    Outputs{{{Instance: 1, Val: "x"}}},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := CheckValidity(inputs, tt.outs)
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("CheckValidity err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCheckKAgreement(t *testing.T) {
+	outs := Outputs{
+		{{Instance: 1, Val: 1}, {Instance: 2, Val: 5}},
+		{{Instance: 1, Val: 2}},
+		{{Instance: 1, Val: 1}},
+	}
+	if err := CheckKAgreement(outs, 2); err != nil {
+		t.Fatalf("k=2 should pass: %v", err)
+	}
+	err := CheckKAgreement(outs, 1)
+	if err == nil {
+		t.Fatal("k=1 should fail with 2 distinct outputs")
+	}
+	var v *ViolationError
+	if !errors.As(err, &v) {
+		t.Fatalf("error type = %T, want *ViolationError", err)
+	}
+	if v.Property != "k-agreement" || v.Instance != 1 {
+		t.Fatalf("violation = %+v", v)
+	}
+	if !strings.Contains(v.Error(), "k-agreement") {
+		t.Fatalf("error text %q", v.Error())
+	}
+}
+
+func TestCheckWellFormed(t *testing.T) {
+	good := Outputs{{{Instance: 1, Val: 1}, {Instance: 2, Val: 2}}}
+	if err := CheckWellFormed(good); err != nil {
+		t.Fatalf("good outputs rejected: %v", err)
+	}
+	skipped := Outputs{{{Instance: 1, Val: 1}, {Instance: 3, Val: 2}}}
+	if err := CheckWellFormed(skipped); err == nil {
+		t.Fatal("skipped instance accepted")
+	}
+	dup := Outputs{{{Instance: 1, Val: 1}, {Instance: 1, Val: 2}}}
+	if err := CheckWellFormed(dup); err == nil {
+		t.Fatal("duplicate instance accepted")
+	}
+}
+
+func TestDistinctPerInstance(t *testing.T) {
+	outs := Outputs{
+		{{Instance: 1, Val: 1}},
+		{{Instance: 1, Val: 1}},
+		{{Instance: 1, Val: 3}, {Instance: 2, Val: 7}},
+	}
+	d := outs.DistinctPerInstance()
+	if d[1] != 2 || d[2] != 1 {
+		t.Fatalf("DistinctPerInstance = %v", d)
+	}
+}
+
+func TestAuditCheck(t *testing.T) {
+	tests := []struct {
+		name    string
+		audit   SpaceAudit
+		wantErr bool
+	}{
+		{
+			name:  "within claim",
+			audit: SpaceAudit{LocationsWritten: 4, LocationsAllocated: 5, RegisterCost: 5, ClaimedRegisters: 5},
+		},
+		{
+			name:    "allocation exceeds claim",
+			audit:   SpaceAudit{LocationsWritten: 6, LocationsAllocated: 6, RegisterCost: 6, ClaimedRegisters: 5},
+			wantErr: true,
+		},
+		{
+			name: "multiplexed regime: location audit skipped",
+			// Components exceed claimed registers but the register
+			// cost (capped at n per snapshot) is within the claim:
+			// the snapshot is implemented from n single-writer
+			// registers, so the per-location audit does not apply.
+			audit: SpaceAudit{LocationsWritten: 8, LocationsAllocated: 9, RegisterCost: 6, ClaimedRegisters: 6},
+		},
+		{
+			name:    "writes exceed claim in one-to-one regime",
+			audit:   SpaceAudit{LocationsWritten: 5, LocationsAllocated: 4, RegisterCost: 4, ClaimedRegisters: 4},
+			wantErr: true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.audit.Check()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Check err = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestCollect(t *testing.T) {
+	prog := func(out int) sim.Program {
+		return func(p *sim.Proc) {
+			p.Write(0, out)
+			p.Output(1, out)
+		}
+	}
+	r, err := sim.NewRunner(
+		shmem.Spec{Regs: 1},
+		[]sim.ProcSpec{{ID: 0, Run: prog(5)}, {ID: 1, Run: prog(6)}},
+	)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	for !r.AllDone() {
+		for i := 0; i < 2; i++ {
+			if !r.IsDone(i) {
+				if _, err := r.Step(i); err != nil {
+					t.Fatalf("step: %v", err)
+				}
+			}
+		}
+	}
+	outs := Collect(r)
+	if len(outs) != 2 || outs[0][0].Val != 5 || outs[1][0].Val != 6 {
+		t.Fatalf("Collect = %v", outs)
+	}
+	audit := Audit(r, 2, 1)
+	if audit.LocationsWritten != 1 || audit.LocationsAllocated != 1 {
+		t.Fatalf("Audit = %+v", audit)
+	}
+}

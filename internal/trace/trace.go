@@ -1,0 +1,192 @@
+// Package trace converts recorded simulator executions into portable and
+// human-readable forms: JSONL event streams (for archiving and diffing
+// witness executions, e.g. the lower-bound adversaries' spliced runs) and
+// ASCII space-time diagrams (for reading interleavings directly).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"setagreement/internal/report"
+	"setagreement/internal/sim"
+)
+
+// Event is one executed step in portable form. Values are stringified with
+// %v: traces are for humans and diffing, not for reconstructing state.
+type Event struct {
+	Index  int      `json:"index"`
+	Proc   int      `json:"proc"`
+	Kind   string   `json:"kind"`
+	Snap   int      `json:"snap,omitempty"`
+	Reg    int      `json:"reg"`
+	Val    string   `json:"val,omitempty"`
+	Result string   `json:"result,omitempty"`
+	Scan   []string `json:"scan,omitempty"`
+}
+
+// FromLog converts a recorded step log.
+func FromLog(log []sim.StepRecord) []Event {
+	events := make([]Event, len(log))
+	for i, rec := range log {
+		ev := Event{
+			Index: rec.Index,
+			Proc:  rec.Proc,
+			Kind:  rec.Op.Kind.String(),
+			Reg:   rec.Op.Reg,
+		}
+		if rec.Op.Kind == sim.OpUpdate || rec.Op.Kind == sim.OpScan {
+			ev.Snap = rec.Op.Snap
+		}
+		if rec.Op.Val != nil {
+			ev.Val = fmt.Sprintf("%v", rec.Op.Val)
+		}
+		if rec.Result != nil {
+			ev.Result = fmt.Sprintf("%v", rec.Result)
+		}
+		if rec.ScanResult != nil {
+			ev.Scan = make([]string, len(rec.ScanResult))
+			for j, v := range rec.ScanResult {
+				if v == nil {
+					ev.Scan[j] = "⊥"
+				} else {
+					ev.Scan[j] = fmt.Sprintf("%v", v)
+				}
+			}
+		}
+		events[i] = ev
+	}
+	return events
+}
+
+// WriteJSONL writes one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", ev.Index, err)
+		}
+	}
+	return nil
+}
+
+// ReadJSONL reads a JSONL event stream back.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var events []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(text), &ev); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	return events, nil
+}
+
+// label renders an event compactly for the timeline.
+func (ev Event) label() string {
+	switch ev.Kind {
+	case "read":
+		return fmt.Sprintf("r%d?%s", ev.Reg, ev.Result)
+	case "write":
+		return fmt.Sprintf("r%d=%s", ev.Reg, ev.Val)
+	case "update":
+		return fmt.Sprintf("s%d[%d]=%s", ev.Snap, ev.Reg, ev.Val)
+	case "scan":
+		return fmt.Sprintf("scan s%d", ev.Snap)
+	case "output":
+		return fmt.Sprintf("out#%d=%s", ev.Reg, ev.Val)
+	default:
+		return ev.Kind
+	}
+}
+
+// Timeline renders an ASCII space-time diagram: one column per process,
+// one row per step, the acting process's column holding the operation.
+func Timeline(events []Event, procs int) string {
+	if procs <= 0 {
+		for _, ev := range events {
+			if ev.Proc >= procs {
+				procs = ev.Proc + 1
+			}
+		}
+	}
+	width := 6
+	labels := make([]string, len(events))
+	for i, ev := range events {
+		labels[i] = ev.label()
+		if len(labels[i])+2 > width {
+			width = len(labels[i]) + 2
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%6s ", "step")
+	for p := 0; p < procs; p++ {
+		fmt.Fprintf(&b, "%-*s", width, fmt.Sprintf("p%d", p))
+	}
+	b.WriteByte('\n')
+	for i, ev := range events {
+		fmt.Fprintf(&b, "%6d ", ev.Index)
+		for p := 0; p < procs; p++ {
+			cell := "·"
+			if p == ev.Proc {
+				cell = labels[i]
+			}
+			fmt.Fprintf(&b, "%-*s", width, cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Summary tabulates per-process operation counts.
+func Summary(events []Event, procs int) *report.Table {
+	if procs <= 0 {
+		for _, ev := range events {
+			if ev.Proc >= procs {
+				procs = ev.Proc + 1
+			}
+		}
+	}
+	type counts struct{ read, write, update, scan, output int }
+	per := make([]counts, procs)
+	for _, ev := range events {
+		if ev.Proc < 0 || ev.Proc >= procs {
+			continue
+		}
+		c := &per[ev.Proc]
+		switch ev.Kind {
+		case "read":
+			c.read++
+		case "write":
+			c.write++
+		case "update":
+			c.update++
+		case "scan":
+			c.scan++
+		case "output":
+			c.output++
+		}
+	}
+	t := report.New("Per-process operation counts",
+		"proc", "reads", "writes", "updates", "scans", "outputs", "total")
+	for p, c := range per {
+		t.Add(p, c.read, c.write, c.update, c.scan, c.output,
+			c.read+c.write+c.update+c.scan+c.output)
+	}
+	return t
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+)
+
+func sampleLog(t *testing.T) []sim.StepRecord {
+	t.Helper()
+	prog := func(p *sim.Proc) {
+		p.Write(0, 5)
+		_ = p.Read(0)
+		p.Update(0, 1, "x")
+		_ = p.Scan(0)
+		p.Output(1, 5)
+	}
+	r, err := sim.NewRunner(shmem.Spec{Regs: 1, Snaps: []int{2}},
+		[]sim.ProcSpec{{ID: 0, Run: prog}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	r.Record(true)
+	for !r.AllDone() {
+		if _, err := r.Step(0); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	return r.Log()
+}
+
+func TestFromLog(t *testing.T) {
+	events := FromLog(sampleLog(t))
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	kinds := []string{"write", "read", "update", "scan", "output"}
+	for i, want := range kinds {
+		if events[i].Kind != want {
+			t.Fatalf("event %d kind = %s, want %s", i, events[i].Kind, want)
+		}
+	}
+	if events[1].Result != "5" {
+		t.Fatalf("read result = %q", events[1].Result)
+	}
+	if len(events[3].Scan) != 2 || events[3].Scan[1] != "x" || events[3].Scan[0] != "⊥" {
+		t.Fatalf("scan = %v", events[3].Scan)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	events := FromLog(sampleLog(t))
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, events); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(events) {
+		t.Fatalf("lines = %d, want %d", lines, len(events))
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if len(back) != len(events) {
+		t.Fatalf("round trip lost events: %d vs %d", len(back), len(events))
+	}
+	for i := range events {
+		if back[i].Kind != events[i].Kind || back[i].Reg != events[i].Reg ||
+			back[i].Val != events[i].Val || back[i].Result != events[i].Result {
+			t.Fatalf("event %d differs: %+v vs %+v", i, back[i], events[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	events, err := ReadJSONL(strings.NewReader("\n\n"))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("blank stream: %v, %v", events, err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	events := []Event{
+		{Index: 0, Proc: 0, Kind: "write", Reg: 1, Val: "7"},
+		{Index: 1, Proc: 1, Kind: "read", Reg: 1, Result: "7"},
+	}
+	tl := Timeline(events, 2)
+	lines := strings.Split(strings.TrimRight(tl, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("timeline lines = %d:\n%s", len(lines), tl)
+	}
+	if !strings.Contains(lines[1], "r1=7") || strings.Contains(lines[1], "r1?7") {
+		t.Fatalf("row 0 wrong:\n%s", tl)
+	}
+	if !strings.Contains(lines[2], "r1?7") {
+		t.Fatalf("row 1 wrong:\n%s", tl)
+	}
+	// Proc inference when procs ≤ 0.
+	if got := Timeline(events, 0); !strings.Contains(got, "p1") {
+		t.Fatalf("proc inference failed:\n%s", got)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	events := FromLog(sampleLog(t))
+	tab := Summary(events, 1)
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	row := tab.Rows[0]
+	// reads, writes, updates, scans, outputs, total
+	want := []string{"0", "1", "1", "1", "1", "1", "5"}
+	for i, w := range want {
+		if row[i] != w {
+			t.Fatalf("summary col %d = %s, want %s (row %v)", i, row[i], w, row)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package workload generates parameter sweeps and input assignments for the
+// experiment harness and the test suites: which (n, m, k) points to run,
+// and what each process proposes in each instance.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"setagreement/internal/core"
+)
+
+// Sweep enumerates parameter points.
+type Sweep struct {
+	// MinN and MaxN bound the process count.
+	MinN, MaxN int
+	// OnlyM restricts to one obstruction degree (0 = all valid m).
+	OnlyM int
+	// OnlyK restricts to one agreement degree (0 = all valid k).
+	OnlyK int
+}
+
+// Points returns every valid parameter point of the sweep, ordered by
+// (n, k, m).
+func (s Sweep) Points() []core.Params {
+	var out []core.Params
+	for n := max(2, s.MinN); n <= s.MaxN; n++ {
+		for k := 1; k < n; k++ {
+			if s.OnlyK != 0 && k != s.OnlyK {
+				continue
+			}
+			for m := 1; m <= k; m++ {
+				if s.OnlyM != 0 && m != s.OnlyM {
+					continue
+				}
+				out = append(out, core.Params{N: n, M: m, K: k})
+			}
+		}
+	}
+	return out
+}
+
+// Inputs assigns process i the value base*t + i for instance t (1-based):
+// pairwise distinct within and across instances whenever n ≤ base.
+func Inputs(n, instances, base int) [][]int {
+	if base <= n {
+		panic(fmt.Sprintf("workload: base %d must exceed n %d for distinct inputs", base, n))
+	}
+	in := make([][]int, n)
+	for i := range in {
+		in[i] = make([]int, instances)
+		for t := range in[i] {
+			in[i][t] = base*(t+1) + i
+		}
+	}
+	return in
+}
+
+// IdenticalInputs gives every process the same value per instance — the
+// degenerate workload where agreement is information-free (outputs must
+// still equal that value, by validity).
+func IdenticalInputs(n, instances, base int) [][]int {
+	in := make([][]int, n)
+	for i := range in {
+		in[i] = make([]int, instances)
+		for t := range in[i] {
+			in[i][t] = base * (t + 1)
+		}
+	}
+	return in
+}
+
+// BinaryInputs draws each input independently from {0, 1} with the given
+// seed — the classic consensus workload with the minimum value diversity
+// that still exercises disagreement.
+func BinaryInputs(n, instances int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([][]int, n)
+	for i := range in {
+		in[i] = make([]int, instances)
+		for t := range in[i] {
+			in[i][t] = rng.Intn(2)
+		}
+	}
+	return in
+}
+
+// SkewedInputs gives `majority` processes the value base and the rest
+// distinct values — models a dominant proposal with a few dissenters.
+func SkewedInputs(n, majority, base int) [][]int {
+	if majority < 0 || majority > n {
+		panic(fmt.Sprintf("workload: majority %d out of range for n=%d", majority, n))
+	}
+	in := make([][]int, n)
+	for i := range in {
+		v := base
+		if i >= majority {
+			v = base + 1 + i
+		}
+		in[i] = []int{v}
+	}
+	return in
+}

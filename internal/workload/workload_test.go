@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"setagreement/internal/core"
+)
+
+func TestSweepPoints(t *testing.T) {
+	tests := []struct {
+		name string
+		give Sweep
+		want int
+	}{
+		{name: "n up to 4", give: Sweep{MinN: 2, MaxN: 4}, want: 1 + 3 + 6},
+		{name: "m fixed", give: Sweep{MinN: 3, MaxN: 4, OnlyM: 1}, want: 2 + 3},
+		{name: "k fixed", give: Sweep{MinN: 3, MaxN: 5, OnlyK: 2}, want: 2 + 2 + 2},
+		{name: "empty", give: Sweep{MinN: 5, MaxN: 4}, want: 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pts := tt.give.Points()
+			if len(pts) != tt.want {
+				t.Fatalf("points = %d, want %d (%v)", len(pts), tt.want, pts)
+			}
+			for _, p := range pts {
+				if err := p.Validate(); err != nil {
+					t.Fatalf("invalid point %v: %v", p, err)
+				}
+			}
+		})
+	}
+}
+
+func TestQuickSweepAllValid(t *testing.T) {
+	prop := func(minN, maxN uint8, onlyM, onlyK uint8) bool {
+		s := Sweep{
+			MinN:  int(minN%8) + 2,
+			MaxN:  int(maxN%8) + 2,
+			OnlyM: int(onlyM % 4),
+			OnlyK: int(onlyK % 4),
+		}
+		for _, p := range s.Points() {
+			if p.Validate() != nil {
+				return false
+			}
+			if p.N < s.MinN || p.N > s.MaxN {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInputsDistinct(t *testing.T) {
+	in := Inputs(5, 3, 1000)
+	seen := make(map[int]bool)
+	for _, seq := range in {
+		if len(seq) != 3 {
+			t.Fatalf("instance count = %d", len(seq))
+		}
+		for _, v := range seq {
+			if seen[v] {
+				t.Fatalf("duplicate input %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestInputsPanicsOnSmallBase(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for base ≤ n")
+		}
+	}()
+	Inputs(10, 1, 5)
+}
+
+func TestIdenticalInputs(t *testing.T) {
+	in := IdenticalInputs(3, 2, 100)
+	for _, seq := range in {
+		if seq[0] != 100 || seq[1] != 200 {
+			t.Fatalf("inputs = %v", seq)
+		}
+	}
+}
+
+func TestBinaryInputsSeeded(t *testing.T) {
+	a, b := BinaryInputs(4, 3, 7), BinaryInputs(4, 3, 7)
+	for i := range a {
+		for t0 := range a[i] {
+			if a[i][t0] != b[i][t0] {
+				t.Fatal("same seed diverged")
+			}
+			if a[i][t0] != 0 && a[i][t0] != 1 {
+				t.Fatalf("non-binary input %d", a[i][t0])
+			}
+		}
+	}
+}
+
+func TestSkewedInputs(t *testing.T) {
+	in := SkewedInputs(5, 3, 42)
+	distinct := make(map[int]bool)
+	for _, seq := range in {
+		distinct[seq[0]] = true
+	}
+	if len(distinct) != 3 { // 42 plus two dissenters
+		t.Fatalf("distinct = %d: %v", len(distinct), in)
+	}
+	for i := 0; i < 3; i++ {
+		if in[i][0] != 42 {
+			t.Fatalf("majority member %d proposes %d", i, in[i][0])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for bad majority")
+		}
+	}()
+	SkewedInputs(3, 5, 1)
+}
+
+func TestSweepMatchesCoreValidation(t *testing.T) {
+	// Everything Points yields must agree with core.Params.Validate, and
+	// nothing valid in range is missing.
+	pts := Sweep{MinN: 2, MaxN: 6}.Points()
+	index := make(map[core.Params]bool, len(pts))
+	for _, p := range pts {
+		index[p] = true
+	}
+	for n := 2; n <= 6; n++ {
+		for k := 1; k <= n; k++ {
+			for m := 1; m <= k; m++ {
+				p := core.Params{N: n, M: m, K: k}
+				if (p.Validate() == nil) != index[p] {
+					t.Fatalf("sweep and Validate disagree on %v", p)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package setagreement
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Mapped adapts a Repeated agreement object to an arbitrary comparable
+// value domain T by interning values as integers. The paper's algorithms
+// work over an abstract domain D; the library's core uses int, and Mapped
+// restores generality for callers.
+//
+// Interning is local per Mapped instance, so all participants of one
+// agreement object must share the same Mapped instance.
+type Mapped[T comparable] struct {
+	r *Repeated
+
+	mu     sync.Mutex
+	toInt  map[T]int
+	fromTo []T
+}
+
+// NewMapped wraps a Repeated object with a T-valued interface.
+func NewMapped[T comparable](r *Repeated) *Mapped[T] {
+	return &Mapped[T]{r: r, toInt: make(map[T]int)}
+}
+
+// Propose submits process id's value for its next instance and returns the
+// decided T value.
+func (m *Mapped[T]) Propose(ctx context.Context, id int, v T) (T, error) {
+	var zero T
+	out, err := m.r.Propose(ctx, id, m.intern(v))
+	if err != nil {
+		return zero, err
+	}
+	dec, ok := m.lookup(out)
+	if !ok {
+		// Decided codes are always inputs of the same instance
+		// (validity), and every input was interned before proposing.
+		return zero, fmt.Errorf("setagreement: decided unknown code %d", out)
+	}
+	return dec, nil
+}
+
+func (m *Mapped[T]) intern(v T) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if code, ok := m.toInt[v]; ok {
+		return code
+	}
+	code := len(m.fromTo)
+	m.toInt[v] = code
+	m.fromTo = append(m.fromTo, v)
+	return code
+}
+
+func (m *Mapped[T]) lookup(code int) (T, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if code < 0 || code >= len(m.fromTo) {
+		var zero T
+		return zero, false
+	}
+	return m.fromTo[code], true
+}

@@ -1,0 +1,192 @@
+package setagreement
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"setagreement/internal/shmem"
+	"setagreement/internal/snapshot"
+)
+
+// SnapshotImpl selects how the object's snapshot is realized over registers.
+type SnapshotImpl int
+
+const (
+	// SnapshotAtomic uses a mutex-linearized snapshot object (default):
+	// one lock acquisition per operation.
+	SnapshotAtomic SnapshotImpl = iota
+	// SnapshotWaitFree uses the wait-free register construction with
+	// embedded scans (r registers for r components).
+	SnapshotWaitFree
+	// SnapshotSingleWriter uses the single-writer emulation (n registers
+	// regardless of component count) — the min(·, n) branch of the
+	// paper's Theorems 7/8.
+	SnapshotSingleWriter
+	// SnapshotDoubleCollect uses the non-blocking double-collect
+	// construction, the only register construction here that supports
+	// anonymous processes.
+	SnapshotDoubleCollect
+)
+
+// String names the runtime.
+func (s SnapshotImpl) String() string { return s.internal().String() }
+
+func (s SnapshotImpl) internal() snapshot.Impl {
+	switch s {
+	case SnapshotWaitFree:
+		return snapshot.ImplMW
+	case SnapshotSingleWriter:
+		return snapshot.ImplSWEmulation
+	case SnapshotDoubleCollect:
+		return snapshot.ImplDoubleCollect
+	default:
+		return snapshot.ImplAtomic
+	}
+}
+
+// Option configures an agreement object.
+type Option interface {
+	apply(*options) error
+}
+
+type options struct {
+	m           int
+	impl        SnapshotImpl
+	backoffMin  time.Duration
+	backoffMax  time.Duration
+	backoffStep int
+}
+
+func buildOptions(opts []Option) (options, error) {
+	o := options{m: 1}
+	for _, op := range opts {
+		if err := op.apply(&o); err != nil {
+			return options{}, err
+		}
+	}
+	return o, nil
+}
+
+type optionFunc func(*options) error
+
+func (f optionFunc) apply(o *options) error { return f(o) }
+
+// WithObstruction sets m, the maximum number of concurrently executing
+// processes under which every Propose is guaranteed to terminate. Larger m
+// gives a stronger progress guarantee but requires m ≤ k and costs
+// registers: min(n+2m−k, n). The default is 1 (obstruction-freedom).
+func WithObstruction(m int) Option {
+	return optionFunc(func(o *options) error {
+		if m < 1 {
+			return fmt.Errorf("setagreement: obstruction degree must be ≥ 1, got %d", m)
+		}
+		o.m = m
+		return nil
+	})
+}
+
+// WithSnapshot selects the snapshot runtime.
+func WithSnapshot(impl SnapshotImpl) Option {
+	return optionFunc(func(o *options) error {
+		switch impl {
+		case SnapshotAtomic, SnapshotWaitFree, SnapshotSingleWriter, SnapshotDoubleCollect:
+			o.impl = impl
+			return nil
+		default:
+			return fmt.Errorf("setagreement: unknown snapshot runtime %d", impl)
+		}
+	})
+}
+
+// WithBackoff makes each Propose sleep between shared-memory operations
+// once it has run for a while without deciding, doubling from min to max
+// every `window` operations. Backoff is how obstruction-free algorithms are
+// made to terminate in practice (see the paper's introduction): sleeping
+// processes yield the solo window another process needs.
+func WithBackoff(min, max time.Duration, window int) Option {
+	return optionFunc(func(o *options) error {
+		if min <= 0 || max < min || window < 1 {
+			return fmt.Errorf("setagreement: invalid backoff (min=%v max=%v window=%d)", min, max, window)
+		}
+		o.backoffMin = min
+		o.backoffMax = max
+		o.backoffStep = window
+		return nil
+	})
+}
+
+func (o options) newBackoff() *backoffState {
+	if o.backoffMin == 0 {
+		return nil
+	}
+	return &backoffState{min: o.backoffMin, max: o.backoffMax, window: o.backoffStep}
+}
+
+// backoffState implements per-Propose exponential backoff between
+// shared-memory operations.
+type backoffState struct {
+	min, max time.Duration
+	window   int
+	ops      int
+	cur      time.Duration
+}
+
+func (b *backoffState) step() {
+	b.ops++
+	if b.ops%b.window != 0 {
+		return
+	}
+	if b.cur == 0 {
+		b.cur = b.min
+	} else if b.cur < b.max {
+		b.cur *= 2
+		if b.cur > b.max {
+			b.cur = b.max
+		}
+	}
+	time.Sleep(b.cur)
+}
+
+// guardMem wraps a process's memory handle with context cancellation and
+// backoff. Cancellation unwinds via cancelPanic, recovered in propose.
+type guardMem struct {
+	inner   shmem.Mem
+	ctx     context.Context
+	backoff *backoffState
+}
+
+var _ shmem.Mem = (*guardMem)(nil)
+
+func (g *guardMem) pre() {
+	if g.ctx != nil {
+		select {
+		case <-g.ctx.Done():
+			panic(cancelPanic{err: g.ctx.Err()})
+		default:
+		}
+	}
+	if g.backoff != nil {
+		g.backoff.step()
+	}
+}
+
+func (g *guardMem) Read(reg int) shmem.Value {
+	g.pre()
+	return g.inner.Read(reg)
+}
+
+func (g *guardMem) Write(reg int, v shmem.Value) {
+	g.pre()
+	g.inner.Write(reg, v)
+}
+
+func (g *guardMem) Update(snap, comp int, v shmem.Value) {
+	g.pre()
+	g.inner.Update(snap, comp, v)
+}
+
+func (g *guardMem) Scan(snap int) []shmem.Value {
+	g.pre()
+	return g.inner.Scan(snap)
+}

@@ -1,0 +1,143 @@
+package setagreement
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Replicated is a Herlihy-style universal construction over repeated
+// consensus: it turns any deterministic sequential state machine into a
+// linearizable replicated object. This is the application the paper's
+// introduction motivates repeated agreement with (its reference [8]).
+//
+// Each participating process holds a Replica. To execute an operation, a
+// replica proposes it for the next log slot; repeated consensus (k = 1)
+// decides which operation owns each slot, every replica applies the decided
+// operations in slot order, and the proposer retries in later slots until
+// its own operation is decided. Decided prefixes are identical at all
+// replicas, so all copies of the state agree.
+//
+// Progress is inherited from the underlying m-obstruction-free consensus:
+// an Invoke is guaranteed to terminate only while at most m replicas are
+// executing (and, like all obstruction-free operations, benefits from
+// WithBackoff under contention). There is no helping, so a replica's
+// operation can in principle be outrun indefinitely by others; bound Invoke
+// with a context.
+type Replicated[S any, O comparable] struct {
+	apply   func(S, O) S
+	initial func() S
+	rep     *Repeated
+	mapped  *Mapped[taggedOp[O]]
+
+	mu       sync.Mutex
+	replicas map[int]bool
+}
+
+// taggedOp distinguishes equal operations submitted by different replicas
+// (or twice by one replica): slots decide tagged operations.
+type taggedOp[O comparable] struct {
+	Proc int
+	Seq  int
+	Op   O
+}
+
+// NewReplicated builds a replicated object for n processes. initial
+// produces a fresh state; apply must be deterministic and side-effect free
+// (it runs once per decided operation on every replica).
+func NewReplicated[S any, O comparable](n int, initial func() S, apply func(S, O) S, opts ...Option) (*Replicated[S, O], error) {
+	if initial == nil || apply == nil {
+		return nil, fmt.Errorf("setagreement: NewReplicated needs initial and apply functions")
+	}
+	rep, err := NewRepeated(n, 1, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Replicated[S, O]{
+		apply:    apply,
+		initial:  initial,
+		rep:      rep,
+		mapped:   NewMapped[taggedOp[O]](rep),
+		replicas: make(map[int]bool, n),
+	}, nil
+}
+
+// Registers returns the register footprint of the underlying consensus.
+func (r *Replicated[S, O]) Registers() int { return r.rep.Registers() }
+
+// Replica returns process id's replica handle. Each id may be claimed once;
+// a Replica is not safe for concurrent use (it is one process).
+func (r *Replicated[S, O]) Replica(id int) (*Replica[S, O], error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.replicas[id] {
+		return nil, fmt.Errorf("%w: replica %d already claimed", ErrInUse, id)
+	}
+	r.replicas[id] = true
+	return &Replica[S, O]{parent: r, id: id, state: r.initial()}, nil
+}
+
+// Replica is one process's copy of the replicated object.
+type Replica[S any, O comparable] struct {
+	parent *Replicated[S, O]
+	id     int
+	seq    int
+	slots  int // log slots applied so far
+	state  S
+}
+
+// State returns the replica's current copy of the state: the result of
+// applying the decided log prefix this replica has seen. It may lag other
+// replicas but never diverges from the decided order.
+func (rp *Replica[S, O]) State() S { return rp.state }
+
+// Slots returns how many log slots the replica has applied.
+func (rp *Replica[S, O]) Slots() int { return rp.slots }
+
+// Invoke appends op to the replicated log and returns the state right after
+// op took effect. All replicas apply op at the same log position exactly
+// once.
+func (rp *Replica[S, O]) Invoke(ctx context.Context, op O) (S, error) {
+	rp.seq++
+	mine := taggedOp[O]{Proc: rp.id, Seq: rp.seq, Op: op}
+	for {
+		var zero S
+		if err := ctx.Err(); err != nil {
+			return zero, err
+		}
+		decided, err := rp.parent.mapped.Propose(ctx, rp.id, mine)
+		if err != nil {
+			return zero, err
+		}
+		if decided.Seq != 0 { // skip Sync markers
+			rp.state = rp.parent.apply(rp.state, decided.Op)
+		}
+		rp.slots++
+		if decided == mine {
+			return rp.state, nil
+		}
+	}
+}
+
+// Sync advances the replica through the next log slot without contributing
+// an operation of its own — it proposes a no-op marker; if some other
+// operation wins the slot it is applied, and if the marker itself wins, the
+// slot is consumed by the marker (appliers skip it). Sync returns the
+// updated state.
+//
+// Markers are modeled as tagged operations with Seq = 0, never produced by
+// Invoke, and are skipped by apply.
+func (rp *Replica[S, O]) Sync(ctx context.Context) (S, error) {
+	var zeroOp O
+	marker := taggedOp[O]{Proc: rp.id, Seq: 0, Op: zeroOp}
+	var zero S
+	decided, err := rp.parent.mapped.Propose(ctx, rp.id, marker)
+	if err != nil {
+		return zero, err
+	}
+	if decided.Seq != 0 {
+		rp.state = rp.parent.apply(rp.state, decided.Op)
+	}
+	rp.slots++
+	return rp.state, nil
+}

@@ -1,0 +1,187 @@
+package setagreement_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"setagreement"
+)
+
+func TestReplicatedCounter(t *testing.T) {
+	const n, opsEach = 4, 8
+	obj, err := setagreement.NewReplicated[int, int](n,
+		func() int { return 0 },
+		func(s, delta int) int { return s + delta },
+		setagreement.WithBackoff(time.Microsecond, time.Millisecond, 64),
+	)
+	if err != nil {
+		t.Fatalf("NewReplicated: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	replicas := make([]*setagreement.Replica[int, int], n)
+	for id := range replicas {
+		replicas[id], err = obj.Replica(id)
+		if err != nil {
+			t.Fatalf("Replica(%d): %v", id, err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				if _, err := replicas[id].Invoke(ctx, 1); err != nil {
+					t.Errorf("replica %d invoke %d: %v", id, i, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Every increment was applied exactly once in the decided order, so
+	// after syncing past all decided slots every replica converges on
+	// n*opsEach.
+	want := n * opsEach
+	for id, rp := range replicas {
+		for rp.State() < want {
+			if _, err := rp.Sync(ctx); err != nil {
+				t.Fatalf("replica %d sync: %v", id, err)
+			}
+		}
+		if rp.State() != want {
+			t.Fatalf("replica %d state = %d, want %d", id, rp.State(), want)
+		}
+	}
+}
+
+func TestReplicatedLogOrderIsAgreed(t *testing.T) {
+	// An append-only log: all replicas must see the same sequence.
+	const n = 3
+	obj, err := setagreement.NewReplicated[[]string, string](n,
+		func() []string { return nil },
+		func(s []string, op string) []string {
+			out := make([]string, len(s)+1)
+			copy(out, s)
+			out[len(s)] = op
+			return out
+		},
+	)
+	if err != nil {
+		t.Fatalf("NewReplicated: %v", err)
+	}
+	ctx := context.Background()
+
+	replicas := make([]*setagreement.Replica[[]string, string], n)
+	for id := range replicas {
+		replicas[id], err = obj.Replica(id)
+		if err != nil {
+			t.Fatalf("Replica: %v", err)
+		}
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			words := [][]string{{"ant", "bee"}, {"cat", "dog"}, {"elk", "fox"}}[id]
+			for _, w := range words {
+				if _, err := replicas[id].Invoke(ctx, w); err != nil {
+					t.Errorf("replica %d: %v", id, err)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Sync all replicas to the same slot count, then compare logs.
+	maxSlots := 0
+	for _, rp := range replicas {
+		if rp.Slots() > maxSlots {
+			maxSlots = rp.Slots()
+		}
+	}
+	for _, rp := range replicas {
+		for rp.Slots() < maxSlots {
+			if _, err := rp.Sync(ctx); err != nil {
+				t.Fatalf("sync: %v", err)
+			}
+		}
+	}
+	// Logs may differ in length only by trailing markers; compare the
+	// common prefix of applied operations.
+	base := replicas[0].State()
+	for id := 1; id < n; id++ {
+		other := replicas[id].State()
+		short := base
+		if len(other) < len(short) {
+			short = other
+		}
+		for i := range short {
+			if base[i] != other[i] {
+				t.Fatalf("replica %d log diverged at %d: %v vs %v", id, i, base, other)
+			}
+		}
+	}
+	// Each replica's own words appear exactly once across the decided log.
+	counts := make(map[string]int)
+	for _, w := range base {
+		counts[w]++
+	}
+	for _, w := range []string{"ant", "bee", "cat", "dog", "elk", "fox"} {
+		if counts[w] != 1 {
+			t.Fatalf("word %q applied %d times in %v", w, counts[w], base)
+		}
+	}
+}
+
+func TestReplicatedValidation(t *testing.T) {
+	if _, err := setagreement.NewReplicated[int, int](3, nil, nil); err == nil {
+		t.Fatal("nil functions accepted")
+	}
+	obj, err := setagreement.NewReplicated[int, int](2,
+		func() int { return 0 }, func(s, o int) int { return s + o })
+	if err != nil {
+		t.Fatalf("NewReplicated: %v", err)
+	}
+	if obj.Registers() != 2 { // min(n+2m-k, n) with n=2, m=k=1
+		t.Fatalf("Registers = %d", obj.Registers())
+	}
+	if _, err := obj.Replica(0); err != nil {
+		t.Fatalf("Replica: %v", err)
+	}
+	if _, err := obj.Replica(0); !errors.Is(err, setagreement.ErrInUse) {
+		t.Fatalf("double claim err = %v", err)
+	}
+}
+
+func TestReplicatedInvokeRespectsContext(t *testing.T) {
+	obj, err := setagreement.NewReplicated[int, int](2,
+		func() int { return 0 }, func(s, o int) int { return s + o })
+	if err != nil {
+		t.Fatalf("NewReplicated: %v", err)
+	}
+	rp, err := obj.Replica(0)
+	if err != nil {
+		t.Fatalf("Replica: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := rp.Invoke(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled invoke err = %v", err)
+	}
+}

@@ -1,0 +1,352 @@
+// Package setagreement is a production-oriented implementation of the
+// m-obstruction-free k-set agreement algorithms of Delporte-Gallet,
+// Fauconnier, Kuznetsov and Ruppert, "On the Space Complexity of Set
+// Agreement" (PODC 2015).
+//
+// k-set agreement lets n processes each propose a value and decide values
+// such that at most k distinct values are decided; k = 1 is consensus. The
+// algorithms here are m-obstruction-free: they are safe under any schedule
+// and guarantee termination whenever at most m processes are executing
+// concurrently (m = 1 is classic obstruction-freedom). Space is the paper's
+// headline: the non-anonymous algorithms use min(n+2m−k, n) registers and
+// the anonymous one (m+1)(n−k)+m²+1.
+//
+// Three entry points mirror the paper's three algorithms:
+//
+//   - New (one-shot, Figure 3): each process proposes once.
+//   - NewRepeated (Figure 4): an unbounded ordered sequence of independent
+//     agreement instances, as needed by universal constructions.
+//   - NewAnonymous (Figure 5): processes have no identifiers at all.
+//
+// Termination caveat: obstruction-free operations may run forever under
+// sustained contention. Use contexts to bound Propose calls, and WithBackoff
+// to make progress likely under contention (the scheduling-based approach
+// the paper's introduction describes).
+//
+// The repository around this package also contains the deterministic
+// simulator, the executable lower-bound adversaries for the paper's
+// Theorems 2 and 10, and the benchmark harness reproducing its Figure 1;
+// see README.md and DESIGN.md.
+package setagreement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"setagreement/internal/core"
+	"setagreement/internal/register"
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+	"setagreement/internal/snapshot"
+)
+
+// Errors returned by Propose and session management.
+var (
+	// ErrAlreadyProposed is returned by one-shot Propose when the
+	// process identifier has already proposed.
+	ErrAlreadyProposed = errors.New("setagreement: process already proposed")
+	// ErrBadID is returned when a process identifier is outside [0, n).
+	ErrBadID = errors.New("setagreement: process id out of range")
+	// ErrPoisoned is returned when a previous Propose for this process
+	// was cancelled mid-operation, leaving its half-written state behind.
+	ErrPoisoned = errors.New("setagreement: process state unusable after cancelled Propose")
+	// ErrTooManySessions is returned by Anonymous.Session beyond n.
+	ErrTooManySessions = errors.New("setagreement: more sessions than processes")
+	// ErrInUse is returned when two goroutines share one process id.
+	ErrInUse = errors.New("setagreement: concurrent Propose on the same process")
+)
+
+// Agreement is a one-shot m-obstruction-free k-set agreement object for n
+// identified processes over min(n+2m−k, n) registers. It is safe for
+// concurrent use by goroutines acting as distinct process ids.
+type Agreement struct {
+	alg  *core.OneShot
+	rt   *runtime
+	mu   sync.Mutex
+	used map[int]state
+}
+
+// New builds a one-shot agreement object for n processes and at most k
+// distinct decisions. By default termination is guaranteed under solo
+// execution (m = 1); raise m with WithObstruction.
+func New(n, k int, opts ...Option) (*Agreement, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := core.NewOneShot(core.Params{N: n, M: o.m, K: k})
+	if err != nil {
+		return nil, err
+	}
+	rt, err := newRuntime(alg, o, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Agreement{alg: alg, rt: rt, used: make(map[int]state, n)}, nil
+}
+
+// Registers returns the number of registers the object occupies, the
+// paper's min(n+2m−k, n).
+func (a *Agreement) Registers() int { return a.alg.Registers() }
+
+// Propose submits value v as process id (0 ≤ id < n) and returns the
+// decided value. Each id may propose exactly once. Propose blocks until a
+// decision is reached or ctx is cancelled; cancellation leaves the id
+// poisoned (its half-finished operation cannot be resumed).
+func (a *Agreement) Propose(ctx context.Context, id, v int) (int, error) {
+	if id < 0 || id >= a.alg.Params().N {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadID, id, a.alg.Params().N)
+	}
+	a.mu.Lock()
+	switch a.used[id] {
+	case stateFree:
+		a.used[id] = stateBusy
+	case stateBusy:
+		a.mu.Unlock()
+		return 0, ErrInUse
+	case stateDone:
+		a.mu.Unlock()
+		return 0, ErrAlreadyProposed
+	case statePoisoned:
+		a.mu.Unlock()
+		return 0, ErrPoisoned
+	}
+	a.mu.Unlock()
+
+	out, err := a.rt.propose(ctx, a.alg.NewProcess(id), id, v)
+
+	a.mu.Lock()
+	if err != nil {
+		a.used[id] = statePoisoned
+	} else {
+		a.used[id] = stateDone
+	}
+	a.mu.Unlock()
+	return out, err
+}
+
+// Repeated is an m-obstruction-free repeated k-set agreement object: an
+// unbounded sequence of independent k-set agreement instances accessed in
+// order, over the same min(n+2m−k, n) registers.
+type Repeated struct {
+	alg   *core.Repeated
+	rt    *runtime
+	mu    sync.Mutex
+	procs map[int]*repProcState
+}
+
+type repProcState struct {
+	proc core.Process
+	st   state
+}
+
+// NewRepeated builds a repeated agreement object for n processes and at
+// most k distinct decisions per instance.
+func NewRepeated(n, k int, opts ...Option) (*Repeated, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := core.NewRepeated(core.Params{N: n, M: o.m, K: k})
+	if err != nil {
+		return nil, err
+	}
+	rt, err := newRuntime(alg, o, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Repeated{alg: alg, rt: rt, procs: make(map[int]*repProcState, n)}, nil
+}
+
+// Registers returns the number of registers the object occupies.
+func (r *Repeated) Registers() int { return r.alg.Registers() }
+
+// Propose submits process id's value for its next instance (its first call
+// accesses instance 1, the second instance 2, and so on) and returns the
+// decided value for that instance.
+func (r *Repeated) Propose(ctx context.Context, id, v int) (int, error) {
+	if id < 0 || id >= r.alg.Params().N {
+		return 0, fmt.Errorf("%w: %d of %d", ErrBadID, id, r.alg.Params().N)
+	}
+	r.mu.Lock()
+	ps := r.procs[id]
+	if ps == nil {
+		ps = &repProcState{proc: r.alg.NewProcess(id)}
+		r.procs[id] = ps
+	}
+	switch ps.st {
+	case stateBusy:
+		r.mu.Unlock()
+		return 0, ErrInUse
+	case statePoisoned:
+		r.mu.Unlock()
+		return 0, ErrPoisoned
+	}
+	ps.st = stateBusy
+	r.mu.Unlock()
+
+	out, err := r.rt.propose(ctx, ps.proc, id, v)
+
+	r.mu.Lock()
+	if err != nil {
+		ps.st = statePoisoned
+	} else {
+		ps.st = stateFree
+	}
+	r.mu.Unlock()
+	return out, err
+}
+
+// Anonymous is the anonymous k-set agreement object of Figure 5:
+// participants carry no identifiers and are all programmed identically. The
+// repeated form occupies (m+1)(n−k)+m²+1 registers; the one-shot form saves
+// the helper register H.
+type Anonymous struct {
+	alg      *core.AnonRepeated
+	rt       *runtime
+	oneShot  bool
+	mu       sync.Mutex
+	sessions int
+}
+
+// NewAnonymous builds an anonymous repeated agreement object for up to n
+// concurrent participants. Anonymous objects support only the atomic and
+// double-collect snapshot runtimes (the others need process identifiers).
+func NewAnonymous(n, k int, opts ...Option) (*Anonymous, error) {
+	return newAnonymous(n, k, false, opts)
+}
+
+// NewAnonymousOneShot builds the one-shot variant: each session proposes at
+// most once, and the object occupies one register fewer ((m+1)(n−k)+m², the
+// anonymous one-shot cell of the paper's Figure 1).
+func NewAnonymousOneShot(n, k int, opts ...Option) (*Anonymous, error) {
+	return newAnonymous(n, k, true, opts)
+}
+
+func newAnonymous(n, k int, oneShot bool, opts []Option) (*Anonymous, error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		alg    *core.AnonRepeated
+		algErr error
+	)
+	if oneShot {
+		alg, algErr = core.NewAnonOneShot(core.Params{N: n, M: o.m, K: k})
+	} else {
+		alg, algErr = core.NewAnonRepeated(core.Params{N: n, M: o.m, K: k})
+	}
+	if algErr != nil {
+		return nil, algErr
+	}
+	rt, err := newRuntime(alg, o, true)
+	if err != nil {
+		return nil, err
+	}
+	return &Anonymous{alg: alg, rt: rt, oneShot: oneShot}, nil
+}
+
+// Registers returns the number of registers the object occupies.
+func (a *Anonymous) Registers() int { return a.alg.Registers() }
+
+// Session registers a new anonymous participant. At most n sessions may be
+// created; a session is not safe for concurrent use (it is one process).
+func (a *Anonymous) Session() (*Session, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.sessions >= a.alg.Params().N {
+		return nil, fmt.Errorf("%w: n=%d", ErrTooManySessions, a.alg.Params().N)
+	}
+	a.sessions++
+	return &Session{parent: a, proc: a.alg.NewProcess(sim.Anonymous)}, nil
+}
+
+// Session is one anonymous participant's handle.
+type Session struct {
+	parent *Anonymous
+	proc   core.Process
+	st     state
+}
+
+// Propose submits the session's value for its next instance and returns the
+// decided value. Sessions of one-shot objects may propose once.
+func (s *Session) Propose(ctx context.Context, v int) (int, error) {
+	switch s.st {
+	case stateBusy:
+		return 0, ErrInUse
+	case stateDone:
+		return 0, ErrAlreadyProposed
+	case statePoisoned:
+		return 0, ErrPoisoned
+	}
+	s.st = stateBusy
+	out, err := s.parent.rt.propose(ctx, s.proc, sim.Anonymous, v)
+	if err != nil {
+		s.st = statePoisoned
+		return 0, err
+	}
+	if s.parent.oneShot {
+		s.st = stateDone
+	} else {
+		s.st = stateFree
+	}
+	return out, nil
+}
+
+// state tracks per-process lifecycle in the facade.
+type state uint8
+
+const (
+	stateFree state = iota
+	stateBusy
+	stateDone
+	statePoisoned
+)
+
+// runtime owns the native shared memory and per-Propose memory wrapping.
+type runtime struct {
+	mem  *register.Native
+	wrap func(shmem.Mem, int) shmem.Mem
+	opts options
+}
+
+func newRuntime(alg core.Algorithm, o options, anonymous bool) (*runtime, error) {
+	impl := o.impl.internal()
+	if anonymous && (impl == snapshot.ImplMW || impl == snapshot.ImplSWEmulation) {
+		return nil, fmt.Errorf("setagreement: snapshot runtime %v needs process identifiers; anonymous objects support SnapshotAtomic or SnapshotDoubleCollect", o.impl)
+	}
+	physical, wrap, err := snapshot.Wire(alg.Spec(), impl, alg.Params().N)
+	if err != nil {
+		return nil, err
+	}
+	mem, err := register.NewNative(physical)
+	if err != nil {
+		return nil, err
+	}
+	return &runtime{mem: mem, wrap: wrap, opts: o}, nil
+}
+
+// cancelPanic unwinds a Propose blocked inside the algorithm loop when its
+// context is cancelled. It never escapes propose.
+type cancelPanic struct{ err error }
+
+func (rt *runtime) propose(ctx context.Context, proc core.Process, id, v int) (out int, err error) {
+	var mem shmem.Mem = rt.mem
+	if rt.wrap != nil {
+		mem = rt.wrap(mem, id)
+	}
+	mem = &guardMem{inner: mem, ctx: ctx, backoff: rt.opts.newBackoff()}
+	defer func() {
+		if r := recover(); r != nil {
+			cp, ok := r.(cancelPanic)
+			if !ok {
+				panic(r)
+			}
+			err = cp.err
+		}
+	}()
+	return proc.Propose(mem, v), nil
+}
