@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"setagreement"
 	"setagreement/internal/core"
 	"setagreement/internal/experiments"
 	"setagreement/internal/lowerbound"
+	"setagreement/internal/register"
 	"setagreement/internal/sched"
 	"setagreement/internal/shmem"
 	"setagreement/internal/sim"
@@ -280,6 +282,99 @@ func BenchmarkNativePropose(b *testing.B) {
 				wg.Wait()
 			}
 		})
+	}
+}
+
+// BenchmarkBackendOps compares the two native memory backends (mutex vs
+// lock-free) at the substrate level: n goroutines hammer one shared
+// n-component snapshot object — one Update then one Scan per round —
+// through each of the four snapshot runtimes. This is where the backend
+// refactor pays: with the mutex backend every operation of every goroutine
+// serializes on one lock; the lock-free backend has no serialization point.
+// Double-collect scans are bounded (TryScan) so sustained updates cannot
+// stall the measurement.
+func BenchmarkBackendOps(b *testing.B) {
+	impls := []snapshot.Impl{
+		snapshot.ImplAtomic, snapshot.ImplMW, snapshot.ImplSWEmulation, snapshot.ImplDoubleCollect,
+	}
+	for _, backend := range register.Backends() {
+		for _, impl := range impls {
+			for _, n := range []int{2, 8, 32} {
+				b.Run(fmt.Sprintf("%s/%s/n=%d", backend.Name(), impl, n), func(b *testing.B) {
+					_, wrap, err := snapshot.Materialize(shmem.Spec{Snaps: []int{n}}, impl, n, backend)
+					if err != nil {
+						b.Fatalf("Materialize: %v", err)
+					}
+					perG := b.N/n + 1
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for id := 0; id < n; id++ {
+						wg.Add(1)
+						go func(id int) {
+							defer wg.Done()
+							wmem := wrap(id)
+							ts, bounded := wmem.(shmem.TryScanner)
+							for i := 0; i < perG; i++ {
+								wmem.Update(0, id, i&0xfff)
+								if bounded {
+									ts.TryScan(0, 4)
+								} else {
+									wmem.Scan(0)
+								}
+							}
+						}(id)
+					}
+					wg.Wait()
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkBackendPropose compares the backends at the public-API level:
+// n goroutines completing one-shot k-set agreement (k = n/2, backoff on)
+// for each snapshot runtime.
+func BenchmarkBackendPropose(b *testing.B) {
+	backends := []setagreement.MemoryBackend{
+		setagreement.BackendLocked,
+		setagreement.BackendLockFree,
+	}
+	impls := []setagreement.SnapshotImpl{
+		setagreement.SnapshotAtomic,
+		setagreement.SnapshotWaitFree,
+		setagreement.SnapshotSingleWriter,
+		setagreement.SnapshotDoubleCollect,
+	}
+	for _, backend := range backends {
+		for _, impl := range impls {
+			for _, n := range []int{2, 8, 32} {
+				b.Run(fmt.Sprintf("%s/%s/n=%d", backend, impl, n), func(b *testing.B) {
+					ctx := context.Background()
+					k := n / 2
+					for i := 0; i < b.N; i++ {
+						a, err := setagreement.New(n, k,
+							setagreement.WithSnapshot(impl),
+							setagreement.WithMemoryBackend(backend),
+							setagreement.WithBackoff(time.Microsecond, time.Millisecond, 64),
+						)
+						if err != nil {
+							b.Fatalf("New: %v", err)
+						}
+						var wg sync.WaitGroup
+						for id := 0; id < n; id++ {
+							wg.Add(1)
+							go func(id int) {
+								defer wg.Done()
+								if _, err := a.Propose(ctx, id, 100+id); err != nil {
+									b.Errorf("propose: %v", err)
+								}
+							}(id)
+						}
+						wg.Wait()
+					}
+				})
+			}
+		}
 	}
 }
 

@@ -1,6 +1,7 @@
 // Command sabench regenerates the paper's evaluation: the Figure 1 bounds
 // table, the Theorem 2 and Theorem 10 adversary sweeps, the comparison with
-// the DFGR13 baseline, and the design ablations.
+// the DFGR13 baseline, the design ablations, and the native memory-backend
+// throughput table (mutex vs lock-free substrate).
 //
 // Usage:
 //
@@ -8,39 +9,47 @@
 //	sabench -table fig1 -format markdown
 //	sabench -table t2 -n 6 -m 1 -k 2
 //	sabench -table t10 -n 12 -k 1 -maxr 5
+//	sabench -table backends -backend both
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"setagreement/internal/core"
 	"setagreement/internal/experiments"
 	"setagreement/internal/lowerbound"
+	"setagreement/internal/register"
 	"setagreement/internal/report"
+	"setagreement/internal/shmem"
+	"setagreement/internal/snapshot"
 )
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, all")
+		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, all")
 		n         = flag.Int("n", 6, "number of processes")
 		m         = flag.Int("m", 1, "obstruction degree")
 		k         = flag.Int("k", 2, "agreement degree")
 		maxR      = flag.Int("maxr", 5, "maximum register count for the t10 sweep")
 		instances = flag.Int("instances", 3, "instances per repeated run")
 		seeds     = flag.Int("seeds", 2, "schedules per check")
+		backend   = flag.String("backend", "both", "native memory backend for the backends table: locked, lockfree, both")
 		format    = flag.String("format", "text", "output format: text, markdown, csv")
 	)
 	flag.Parse()
 
-	if err := run(*table, *n, *m, *k, *maxR, *instances, *seeds, *format); err != nil {
+	if err := run(*table, *n, *m, *k, *maxR, *instances, *seeds, *backend, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "sabench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, n, m, k, maxR, instances, seeds int, format string) error {
+func run(table string, n, m, k, maxR, instances, seeds int, backend, format string) error {
 	p := core.Params{N: n, M: m, K: k}
 	var tables []*report.Table
 
@@ -124,6 +133,16 @@ func run(table string, n, m, k, maxR, instances, seeds int, format string) error
 			return err
 		}
 	}
+	if wantAll || table == "backends" {
+		ran = true
+		backends, err := selectBackends(backend)
+		if err != nil {
+			return err
+		}
+		if err := add(backendThroughput(backends, 150*time.Millisecond)); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown table %q", table)
 	}
@@ -144,6 +163,85 @@ func run(table string, n, m, k, maxR, instances, seeds int, format string) error
 		}
 	}
 	return nil
+}
+
+// selectBackends resolves the -backend flag to native backends.
+func selectBackends(name string) ([]shmem.Backend, error) {
+	if name == "both" {
+		return register.Backends(), nil
+	}
+	b, err := register.BackendByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return []shmem.Backend{b}, nil
+}
+
+// backendThroughput measures native shared-memory throughput per backend:
+// n goroutines hammer one n-component snapshot (one Update then one Scan per
+// round) through each snapshot runtime for the given duration. This is the
+// wall-clock counterpart of the simulator's step counts — it shows what the
+// substrate costs on real hardware, and how the mutex backend serializes
+// where the lock-free one scales.
+func backendThroughput(backends []shmem.Backend, dur time.Duration) (*report.Table, error) {
+	t := report.New("Native backend throughput (shared-memory ops/sec, higher is better)",
+		"backend", "snapshot", "goroutines", "ops/sec")
+	impls := []snapshot.Impl{
+		snapshot.ImplAtomic, snapshot.ImplMW, snapshot.ImplSWEmulation, snapshot.ImplDoubleCollect,
+	}
+	for _, be := range backends {
+		for _, impl := range impls {
+			for _, n := range []int{2, 8} {
+				ops, err := measureBackendOps(be, impl, n, dur)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(be.Name(), impl.String(), n, fmt.Sprintf("%.0f", ops))
+			}
+		}
+	}
+	return t, nil
+}
+
+// measureBackendOps runs n goroutines over one shared n-component snapshot
+// realized by impl on the backend and returns logical operations per second.
+// Double-collect scans are bounded (TryScan) so sustained updates cannot
+// starve the measurement loop; a failed attempt still counts as work done.
+func measureBackendOps(be shmem.Backend, impl snapshot.Impl, n int, dur time.Duration) (float64, error) {
+	_, wrap, err := snapshot.Materialize(shmem.Spec{Snaps: []int{n}}, impl, n, be)
+	if err != nil {
+		return 0, err
+	}
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for id := 0; id < n; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wmem := wrap(id)
+			ts, bounded := wmem.(shmem.TryScanner)
+			var count int64
+			for round := 0; !stop.Load(); round++ {
+				wmem.Update(0, id, round&0xfff)
+				if bounded {
+					ts.TryScan(0, 4)
+				} else {
+					wmem.Scan(0)
+				}
+				count += 2
+			}
+			total.Add(count)
+		}(id)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	return float64(total.Load()) / elapsed.Seconds(), nil
 }
 
 // fig1Points picks a representative parameter sweep up to n.

@@ -1,0 +1,3 @@
+module setagreement
+
+go 1.22

@@ -1,0 +1,38 @@
+package register
+
+import (
+	"fmt"
+
+	"setagreement/internal/shmem"
+)
+
+// LockedBackend creates mutex-guarded memories (see Locked).
+var LockedBackend shmem.Backend = shmem.BackendFunc{
+	BackendName: "locked",
+	Factory: func(spec shmem.Spec) (shmem.Mem, error) {
+		return NewLocked(spec)
+	},
+}
+
+// LockFreeBackend creates lock-free memories (see LockFree).
+var LockFreeBackend shmem.Backend = shmem.BackendFunc{
+	BackendName: "lockfree",
+	Factory: func(spec shmem.Spec) (shmem.Mem, error) {
+		return NewLockFree(spec)
+	},
+}
+
+// Backends lists every native backend, for sweeps in tests and benchmarks.
+func Backends() []shmem.Backend {
+	return []shmem.Backend{LockedBackend, LockFreeBackend}
+}
+
+// BackendByName resolves a backend by its Name, for command-line flags.
+func BackendByName(name string) (shmem.Backend, error) {
+	for _, b := range Backends() {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("register: unknown backend %q (have locked, lockfree)", name)
+}

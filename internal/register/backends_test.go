@@ -1,0 +1,33 @@
+package register_test
+
+import (
+	"testing"
+
+	"setagreement/internal/register"
+	"setagreement/internal/shmem"
+)
+
+// forEachBackend runs the test once per native backend. The Mem contract
+// itself is covered per backend by the shmemtest conformance suite (see
+// conformance_test.go); tests here cover only what is register-specific.
+func forEachBackend(t *testing.T, f func(t *testing.T, b shmem.Backend)) {
+	for _, b := range register.Backends() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) { f(t, b) })
+	}
+}
+
+func TestBackendByName(t *testing.T) {
+	for _, want := range register.Backends() {
+		got, err := register.BackendByName(want.Name())
+		if err != nil {
+			t.Fatalf("BackendByName(%q): %v", want.Name(), err)
+		}
+		if got.Name() != want.Name() {
+			t.Fatalf("BackendByName(%q) = %q", want.Name(), got.Name())
+		}
+	}
+	if _, err := register.BackendByName("sharded-numa"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}

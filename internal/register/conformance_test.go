@@ -1,0 +1,33 @@
+package register_test
+
+import (
+	"testing"
+
+	"setagreement/internal/register"
+	"setagreement/internal/shmem"
+	"setagreement/internal/shmem/shmemtest"
+)
+
+// TestBackendConformance runs the shared shmem.Mem conformance suite
+// against every native backend. New backends must be added to
+// register.Backends() and pass this without changes here.
+func TestBackendConformance(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, b shmem.Backend) {
+		shmemtest.Run(t, b)
+	})
+}
+
+// TestConformanceSuiteCoversRegistry guards against a backend being added
+// to the registry without a distinct name (names key flags and reports).
+func TestConformanceSuiteCoversRegistry(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range register.Backends() {
+		if b.Name() == "" {
+			t.Fatal("backend with empty name")
+		}
+		if seen[b.Name()] {
+			t.Fatalf("duplicate backend name %q", b.Name())
+		}
+		seen[b.Name()] = true
+	}
+}

@@ -5,58 +5,116 @@ import (
 	"testing"
 
 	"setagreement/internal/linearize"
-	"setagreement/internal/register"
 	"setagreement/internal/shmem"
 )
 
-// TestNativeSnapshotLinearizability validates the native runtime's snapshot
-// primitive against the linearizability checker under real goroutine
-// concurrency. Operation intervals come from the runtime's operation
-// counter: an op was invoked after the caller's previous op completed and
-// took effect by its own completion count.
-func TestNativeSnapshotLinearizability(t *testing.T) {
+// TestBackendSnapshotLinearizability validates each native backend's
+// snapshot primitive against the linearizability checker under real
+// goroutine concurrency. Operation intervals come from the runtime's
+// operation counter: an op was invoked after the caller's previous op
+// completed and took effect by its own completion count. Both backends
+// guarantee an operation's effect is visible no later than its counter
+// increment (shmem.Stepper), which makes these intervals conservative.
+func TestBackendSnapshotLinearizability(t *testing.T) {
 	const comps, procs, rounds = 2, 3, 3
-	for trial := 0; trial < 20; trial++ {
-		n, err := register.NewNative(shmem.Spec{Snaps: []int{comps}})
-		if err != nil {
-			t.Fatalf("NewNative: %v", err)
-		}
-		var (
-			mu  sync.Mutex
-			ops []linearize.Op
-		)
-		record := func(op linearize.Op) {
-			mu.Lock()
-			ops = append(ops, op)
-			mu.Unlock()
-		}
-		var wg sync.WaitGroup
-		for id := 0; id < procs; id++ {
-			wg.Add(1)
-			go func(id int) {
-				defer wg.Done()
-				prev := int(n.Steps())
-				for round := 0; round < rounds; round++ {
-					val := id*100 + round
-					n.Update(0, id%comps, val)
-					now := int(n.Steps())
-					record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
-						Comp: id % comps, Val: val})
-					prev = now
-					view := n.Scan(0)
-					now = int(n.Steps())
-					record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
-						IsScan: true, View: view})
-					prev = now
-				}
-			}(id)
-		}
-		wg.Wait()
-		if res := linearize.CheckSnapshot(comps, ops); !res.OK {
-			for _, op := range ops {
-				t.Logf("  %v", op)
+	forEachBackend(t, func(t *testing.T, b shmem.Backend) {
+		for trial := 0; trial < 20; trial++ {
+			mem, err := b.New(shmem.Spec{Snaps: []int{comps}})
+			if err != nil {
+				t.Fatalf("New: %v", err)
 			}
-			t.Fatalf("trial %d: native snapshot history not linearizable", trial)
+			clock := mem.(shmem.Stepper)
+			var (
+				mu  sync.Mutex
+				ops []linearize.Op
+			)
+			record := func(op linearize.Op) {
+				mu.Lock()
+				ops = append(ops, op)
+				mu.Unlock()
+			}
+			var wg sync.WaitGroup
+			for id := 0; id < procs; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					prev := int(clock.Steps())
+					for round := 0; round < rounds; round++ {
+						val := id*100 + round
+						mem.Update(0, id%comps, val)
+						now := int(clock.Steps())
+						record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
+							Comp: id % comps, Val: val})
+						prev = now
+						view := mem.Scan(0)
+						now = int(clock.Steps())
+						record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
+							IsScan: true, View: view})
+						prev = now
+					}
+				}(id)
+			}
+			wg.Wait()
+			if res := linearize.CheckSnapshot(comps, ops); !res.OK {
+				for _, op := range ops {
+					t.Logf("  %v", op)
+				}
+				t.Fatalf("trial %d: %s snapshot history not linearizable", trial, b.Name())
+			}
 		}
-	}
+	})
+}
+
+// TestBackendRegisterLinearizability drives plain Read/Write registers of
+// each backend from concurrent goroutines and checks the resulting history
+// with the same checker, modeling a register as a 1-component snapshot
+// (Write = Update, Read = 1-component Scan).
+func TestBackendRegisterLinearizability(t *testing.T) {
+	const procs, rounds = 3, 3
+	forEachBackend(t, func(t *testing.T, b shmem.Backend) {
+		for trial := 0; trial < 20; trial++ {
+			mem, err := b.New(shmem.Spec{Regs: 1})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			clock := mem.(shmem.Stepper)
+			var (
+				mu  sync.Mutex
+				ops []linearize.Op
+			)
+			record := func(op linearize.Op) {
+				mu.Lock()
+				ops = append(ops, op)
+				mu.Unlock()
+			}
+			var wg sync.WaitGroup
+			for id := 0; id < procs; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					prev := int(clock.Steps())
+					for round := 0; round < rounds; round++ {
+						val := id*100 + round
+						mem.Write(0, val)
+						now := int(clock.Steps())
+						record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
+							Comp: 0, Val: val})
+						prev = now
+						got := mem.Read(0)
+						now = int(clock.Steps())
+						record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
+							IsScan: true, View: []shmem.Value{got}})
+						prev = now
+					}
+				}(id)
+			}
+			wg.Wait()
+			if res := linearize.CheckSnapshot(1, ops); !res.OK {
+				for _, op := range ops {
+					t.Logf("  %v", op)
+				}
+				t.Fatalf("trial %d: %s register history not linearizable", trial, b.Name())
+			}
+		}
+	})
 }

@@ -1,0 +1,100 @@
+// Package register provides the native in-process shared-memory runtime: the
+// substrate for running the paper's algorithms between real goroutines
+// rather than simulated processes.
+//
+// The runtime is pluggable (shmem.Backend): two backends realize the
+// atomic-register model of the paper with different synchronization
+// strategies.
+//
+//   - Locked: a single mutex guards each operation. Simple and obviously
+//     linearizable, but every operation of every goroutine serializes on one
+//     lock.
+//   - LockFree: per-register atomic pointer cells and immutable-version
+//     CAS snapshots (one atomic pointer per snapshot object). Reads,
+//     writes and scans are wait-free single atomic operations; updates
+//     install a new immutable version by compare-and-swap and are
+//     lock-free.
+//
+// Register-based snapshot constructions from package snapshot can be layered
+// on top of either backend via snapshot.Wire for end-to-end register-only
+// runs.
+package register
+
+import (
+	"sync"
+
+	"setagreement/internal/shmem"
+)
+
+// Locked is an in-process shared memory guarded by one mutex. All processes
+// share one Locked; its methods are safe for concurrent use. Values stored
+// must be treated as immutable by callers, as everywhere in this module.
+type Locked struct {
+	mu    sync.Mutex
+	regs  []shmem.Value
+	snaps [][]shmem.Value
+
+	steps int64 // operations executed, for reporting
+}
+
+var (
+	_ shmem.Mem     = (*Locked)(nil)
+	_ shmem.Stepper = (*Locked)(nil)
+)
+
+// NewLocked allocates mutex-guarded native memory for the spec.
+func NewLocked(spec shmem.Spec) (*Locked, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Locked{
+		regs:  make([]shmem.Value, spec.Regs),
+		snaps: make([][]shmem.Value, len(spec.Snaps)),
+	}
+	for i, r := range spec.Snaps {
+		n.snaps[i] = make([]shmem.Value, r)
+	}
+	return n, nil
+}
+
+// Read implements shmem.Mem.
+func (n *Locked) Read(reg int) shmem.Value {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.steps++
+	return n.regs[reg]
+}
+
+// Write implements shmem.Mem.
+func (n *Locked) Write(reg int, v shmem.Value) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.steps++
+	n.regs[reg] = v
+}
+
+// Update implements shmem.Mem.
+func (n *Locked) Update(snap, comp int, v shmem.Value) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.steps++
+	n.snaps[snap][comp] = v
+}
+
+// Scan implements shmem.Mem.
+func (n *Locked) Scan(snap int) []shmem.Value {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.steps++
+	src := n.snaps[snap]
+	out := make([]shmem.Value, len(src))
+	copy(out, src)
+	return out
+}
+
+// Steps implements shmem.Stepper.
+func (n *Locked) Steps() int64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.steps
+}

@@ -1,0 +1,134 @@
+package register
+
+import (
+	"sync/atomic"
+
+	"setagreement/internal/shmem"
+)
+
+// LockFree is an in-process shared memory with no locks. Plain registers
+// are per-register atomic pointer cells (a Read or Write is one atomic load
+// or store, so operations on distinct registers never contend); each
+// snapshot object is a single atomic pointer to an immutable version — a
+// component-value slice replaced whole by Update via compare-and-swap, and
+// returned by Scan directly, copy-free, under shmem.Mem's read-only view
+// contract. All processes share one LockFree; its methods are safe for
+// concurrent use. Values stored must be treated as immutable by callers,
+// as everywhere in this module.
+//
+// Linearizability by construction: every operation on a snapshot object is
+// one atomic action on that object's version pointer. Scan linearizes at
+// its single load — the loaded version is immutable, so the view is a
+// consistent cut by definition, and the versions themselves are totally
+// ordered, so concurrent scans can never return incomparable views. Update
+// linearizes at its successful compare-and-swap, which installs a new
+// version derived from the exact version it displaces; a failed CAS means
+// a concurrent Update linearized first and the loop retries from its
+// version. Update is therefore lock-free (some Update always completes)
+// though an individual Update is not wait-free; Read, Write and Scan are
+// wait-free.
+//
+// A per-writer-cell seqlock was rejected here: with concurrent writers a
+// version-validated collect can observe one in-flight store while missing
+// an earlier one, letting two overlapping scans return crosswise
+// incomparable views — and neither version check nor the classic
+// pre/post-increment discipline closes that window without serializing
+// writers. The single version pointer does, at the cost of one small
+// allocation per Update.
+//
+// The step counter is incremented after an operation's effect, so a caller
+// that reads Steps before and after an operation gets a conservative
+// real-time interval for it (used by the linearizability test harnesses).
+type LockFree struct {
+	regs  []atomic.Pointer[shmem.Value]
+	snaps []atomic.Pointer[[]shmem.Value]
+	steps atomic.Int64
+}
+
+var (
+	_ shmem.Mem     = (*LockFree)(nil)
+	_ shmem.Stepper = (*LockFree)(nil)
+)
+
+// boxedInts interns boxed small non-negative ints, the dominant value type
+// stored by the agreement algorithms (proposals, rounds, ids). Interning
+// lets Write and Update publish a pointer into this immutable table instead
+// of heap-allocating a box per store — the single biggest cost of the
+// lock-free write path. The table is filled once at init and never written
+// afterwards, so sharing its addresses across goroutines is race free.
+var boxedInts [8192]shmem.Value
+
+func init() {
+	for i := range boxedInts {
+		boxedInts[i] = i
+	}
+}
+
+// boxValue returns a shareable pointer holding v, interned when possible.
+// The explicit new on the miss path keeps v itself from escaping, so the
+// interned path performs no allocation at all.
+func boxValue(v shmem.Value) *shmem.Value {
+	if i, ok := v.(int); ok && i >= 0 && i < len(boxedInts) {
+		return &boxedInts[i]
+	}
+	p := new(shmem.Value)
+	*p = v
+	return p
+}
+
+// NewLockFree allocates lock-free native memory for the spec.
+func NewLockFree(spec shmem.Spec) (*LockFree, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	m := &LockFree{
+		regs:  make([]atomic.Pointer[shmem.Value], spec.Regs),
+		snaps: make([]atomic.Pointer[[]shmem.Value], len(spec.Snaps)),
+	}
+	for i, r := range spec.Snaps {
+		initial := make([]shmem.Value, r)
+		m.snaps[i].Store(&initial)
+	}
+	return m, nil
+}
+
+// Read implements shmem.Mem.
+func (m *LockFree) Read(reg int) shmem.Value {
+	p := m.regs[reg].Load()
+	m.steps.Add(1)
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// Write implements shmem.Mem.
+func (m *LockFree) Write(reg int, v shmem.Value) {
+	m.regs[reg].Store(boxValue(v))
+	m.steps.Add(1)
+}
+
+// Update implements shmem.Mem.
+func (m *LockFree) Update(snap, comp int, v shmem.Value) {
+	cell := &m.snaps[snap]
+	for {
+		cur := cell.Load()
+		next := make([]shmem.Value, len(*cur))
+		copy(next, *cur)
+		next[comp] = v
+		if cell.CompareAndSwap(cur, &next) {
+			m.steps.Add(1)
+			return
+		}
+	}
+}
+
+// Scan implements shmem.Mem.
+func (m *LockFree) Scan(snap int) []shmem.Value {
+	cur := m.snaps[snap].Load()
+	m.steps.Add(1)
+	return *cur
+}
+
+// Steps implements shmem.Stepper.
+func (m *LockFree) Steps() int64 { return m.steps.Load() }

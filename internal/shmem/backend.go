@@ -1,0 +1,40 @@
+package shmem
+
+// Backend is a named factory for shared memories: the substrate layer the
+// native runtime is built on. A Backend turns a Spec into a fresh Mem whose
+// operations are linearizable and safe for concurrent use by any number of
+// goroutines. The algorithm and snapshot-construction layers above are
+// written against Mem only, so any Backend (mutex-based, lock-free, and
+// future sharded or persistent ones) can carry every snapshot runtime.
+type Backend interface {
+	// Name identifies the backend in flags, benchmarks and reports.
+	Name() string
+	// New allocates a fresh shared memory for the spec. The returned Mem
+	// is shared by all processes of one agreement object.
+	New(spec Spec) (Mem, error)
+}
+
+// Stepper is an optional capability of a Mem: a count of shared-memory
+// operations executed so far. Backends expose it for step accounting and so
+// test harnesses can derive real-time operation intervals from a monotonic
+// per-memory clock. Implementations must guarantee that an operation's
+// effect is visible no later than the counter increment it is charged to.
+type Stepper interface {
+	// Steps returns the number of operations executed so far.
+	Steps() int64
+}
+
+// BackendFunc adapts a name and a factory function to the Backend interface,
+// for lightweight backend definitions and test doubles.
+type BackendFunc struct {
+	BackendName string
+	Factory     func(Spec) (Mem, error)
+}
+
+var _ Backend = BackendFunc{}
+
+// Name implements Backend.
+func (b BackendFunc) Name() string { return b.BackendName }
+
+// New implements Backend.
+func (b BackendFunc) New(spec Spec) (Mem, error) { return b.Factory(spec) }

@@ -6,7 +6,8 @@
 //   - the deterministic simulator (package sim), where every shared-memory
 //     operation is a scheduler-granted step, and
 //   - the native in-process runtime (package register), where operations are
-//     executed directly by goroutines against mutex-protected memory.
+//     executed directly by goroutines against a pluggable Backend (lock-free
+//     atomic cells by default, or a mutex-guarded reference implementation).
 //
 // The model is the standard asynchronous shared memory of the paper: a fixed
 // set of multi-writer multi-reader atomic registers, plus multi-writer atomic
@@ -34,7 +35,10 @@ type Mem interface {
 	// Update writes v to component comp of snapshot object snap.
 	Update(snap, comp int, v Value)
 	// Scan returns an atomic view of all components of snapshot object snap.
-	// The returned slice is owned by the caller.
+	// The returned slice must be treated as read-only by the caller and is
+	// stable: later operations never change it. Implementations may return
+	// a slice shared with other scans (e.g. an immutable version) or a
+	// fresh copy.
 	Scan(snap int) []Value
 }
 

@@ -1,0 +1,93 @@
+package shmem_test
+
+import (
+	"fmt"
+	"testing"
+
+	"setagreement/internal/shmem"
+)
+
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		spec shmem.Spec
+		ok   bool
+	}{
+		{shmem.Spec{}, true},
+		{shmem.Spec{Regs: 0, Snaps: nil}, true},
+		{shmem.Spec{Regs: 5}, true},
+		{shmem.Spec{Snaps: []int{1}}, true},
+		{shmem.Spec{Regs: 2, Snaps: []int{3, 1, 7}}, true},
+		{shmem.Spec{Regs: -1}, false},
+		{shmem.Spec{Regs: -100, Snaps: []int{2}}, false},
+		{shmem.Spec{Snaps: []int{0}}, false},
+		{shmem.Spec{Snaps: []int{-2}}, false},
+		{shmem.Spec{Snaps: []int{3, 0}}, false},
+		{shmem.Spec{Regs: 1, Snaps: []int{1, 2, -1}}, false},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", tc.spec, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", tc.spec)
+		}
+	}
+}
+
+func TestSpecValidateErrorNamesOffender(t *testing.T) {
+	err := shmem.Spec{Snaps: []int{2, 0}}.Validate()
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := err.Error(); got != "shmem: snapshot 1 has non-positive component count 0" {
+		t.Fatalf("error = %q", got)
+	}
+}
+
+func TestSpecRegisterCost(t *testing.T) {
+	cases := []struct {
+		spec shmem.Spec
+		n    int
+		want int
+	}{
+		{shmem.Spec{}, 4, 0},
+		{shmem.Spec{Regs: 3}, 4, 3},
+		// r <= n: each snapshot costs its component count.
+		{shmem.Spec{Snaps: []int{2}}, 4, 2},
+		{shmem.Spec{Regs: 1, Snaps: []int{2, 3}}, 4, 6},
+		// r > n: capped at n (the single-writer emulation branch).
+		{shmem.Spec{Snaps: []int{9}}, 4, 4},
+		{shmem.Spec{Regs: 2, Snaps: []int{9, 2}}, 4, 8},
+		// r == n boundary.
+		{shmem.Spec{Snaps: []int{4}}, 4, 4},
+	}
+	for _, tc := range cases {
+		if got := tc.spec.RegisterCost(tc.n); got != tc.want {
+			t.Errorf("RegisterCost(%+v, n=%d) = %d, want %d", tc.spec, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBackendFunc(t *testing.T) {
+	called := 0
+	b := shmem.BackendFunc{
+		BackendName: "fake",
+		Factory: func(spec shmem.Spec) (shmem.Mem, error) {
+			called++
+			if err := spec.Validate(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("fake backend: not implemented")
+		},
+	}
+	if b.Name() != "fake" {
+		t.Fatalf("Name = %q", b.Name())
+	}
+	if _, err := b.New(shmem.Spec{Regs: 1}); err == nil {
+		t.Fatal("factory error not propagated")
+	}
+	if called != 1 {
+		t.Fatalf("factory called %d times", called)
+	}
+}

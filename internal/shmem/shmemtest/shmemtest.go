@@ -1,0 +1,297 @@
+// Package shmemtest is a reusable conformance suite for shmem.Backend
+// implementations. Every native backend (and any future one: sharded,
+// NUMA-aware, persistent) must pass Run; it checks the Mem contract that
+// the algorithm and snapshot-construction layers rely on — initial state,
+// read-own-write, scan view stability, object independence, step
+// accounting, and atomicity of scans under concurrent updaters.
+//
+// Run uses only the public shmem interfaces, so it lives beside the
+// contract it checks rather than beside any one implementation.
+package shmemtest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"setagreement/internal/shmem"
+)
+
+// Run executes the full conformance suite against the backend as subtests.
+func Run(t *testing.T, b shmem.Backend) {
+	t.Run("RejectsBadSpec", func(t *testing.T) { rejectsBadSpec(t, b) })
+	t.Run("InitialState", func(t *testing.T) { initialState(t, b) })
+	t.Run("ReadOwnWrite", func(t *testing.T) { readOwnWrite(t, b) })
+	t.Run("ObjectIndependence", func(t *testing.T) { objectIndependence(t, b) })
+	t.Run("ScanViewStability", func(t *testing.T) { scanViewStability(t, b) })
+	t.Run("InstanceIsolation", func(t *testing.T) { instanceIsolation(t, b) })
+	t.Run("StepAccounting", func(t *testing.T) { stepAccounting(t, b) })
+	t.Run("ScanAtomicUnderUpdaters", func(t *testing.T) { scanAtomicUnderUpdaters(t, b) })
+	t.Run("ScanComparability", func(t *testing.T) { scanComparability(t, b) })
+	t.Run("ConcurrentHammer", func(t *testing.T) { concurrentHammer(t, b) })
+}
+
+func mustNew(t *testing.T, b shmem.Backend, spec shmem.Spec) shmem.Mem {
+	t.Helper()
+	m, err := b.New(spec)
+	if err != nil {
+		t.Fatalf("%s.New(%+v): %v", b.Name(), spec, err)
+	}
+	return m
+}
+
+func rejectsBadSpec(t *testing.T, b shmem.Backend) {
+	for _, spec := range []shmem.Spec{
+		{Regs: -1},
+		{Snaps: []int{0}},
+		{Snaps: []int{2, -3}},
+		{Regs: -5, Snaps: []int{1}},
+	} {
+		if _, err := b.New(spec); err == nil {
+			t.Errorf("%s.New(%+v) accepted an invalid spec", b.Name(), spec)
+		}
+	}
+}
+
+func initialState(t *testing.T, b shmem.Backend) {
+	m := mustNew(t, b, shmem.Spec{Regs: 3, Snaps: []int{2, 4}})
+	for reg := 0; reg < 3; reg++ {
+		if got := m.Read(reg); got != nil {
+			t.Errorf("initial Read(%d) = %v, want nil", reg, got)
+		}
+	}
+	for snap, comps := range []int{2, 4} {
+		view := m.Scan(snap)
+		if len(view) != comps {
+			t.Fatalf("Scan(%d) has %d components, want %d", snap, len(view), comps)
+		}
+		for c, v := range view {
+			if v != nil {
+				t.Errorf("initial Scan(%d)[%d] = %v, want nil", snap, c, v)
+			}
+		}
+	}
+}
+
+func readOwnWrite(t *testing.T, b shmem.Backend) {
+	m := mustNew(t, b, shmem.Spec{Regs: 2})
+	for i := 0; i < 10; i++ {
+		m.Write(0, i)
+		if got := m.Read(0); got != i {
+			t.Fatalf("Read after Write(0,%d) = %v", i, got)
+		}
+	}
+	// Values of any comparable type round-trip unchanged.
+	type pair struct{ A, B int }
+	m.Write(1, pair{1, 2})
+	if got := m.Read(1); got != (pair{1, 2}) {
+		t.Fatalf("struct round-trip = %v", got)
+	}
+}
+
+func objectIndependence(t *testing.T, b shmem.Backend) {
+	m := mustNew(t, b, shmem.Spec{Regs: 2, Snaps: []int{2, 2}})
+	m.Write(0, "r0")
+	m.Update(0, 0, "s0c0")
+	m.Update(1, 1, "s1c1")
+	if got := m.Read(1); got != nil {
+		t.Errorf("Read(1) = %v, want nil (registers must be independent)", got)
+	}
+	if v := m.Scan(0); v[0] != "s0c0" || v[1] != nil {
+		t.Errorf("Scan(0) = %v", v)
+	}
+	if v := m.Scan(1); v[0] != nil || v[1] != "s1c1" {
+		t.Errorf("Scan(1) = %v (snapshot objects must be independent)", v)
+	}
+	if got := m.Read(0); got != "r0" {
+		t.Errorf("Read(0) = %v (updates must not clobber registers)", got)
+	}
+}
+
+func scanViewStability(t *testing.T, b shmem.Backend) {
+	// A returned view is stable: later updates must never change it. This
+	// catches a backend that exposes live mutable state instead of a copy
+	// or an immutable version.
+	m := mustNew(t, b, shmem.Spec{Snaps: []int{3}})
+	m.Update(0, 1, 42)
+	view := m.Scan(0)
+	m.Update(0, 0, "later")
+	m.Update(0, 1, "later")
+	m.Update(0, 2, "later")
+	if view[0] != nil || view[1] != 42 || view[2] != nil {
+		t.Fatalf("earlier scan view changed retroactively: %v", view)
+	}
+	if again := m.Scan(0); again[0] != "later" || again[1] != "later" || again[2] != "later" {
+		t.Fatalf("scan after updates = %v", again)
+	}
+}
+
+func instanceIsolation(t *testing.T, b shmem.Backend) {
+	// Two memories from one backend must not share state.
+	a := mustNew(t, b, shmem.Spec{Regs: 1, Snaps: []int{1}})
+	c := mustNew(t, b, shmem.Spec{Regs: 1, Snaps: []int{1}})
+	a.Write(0, "a")
+	a.Update(0, 0, "as")
+	if got := c.Read(0); got != nil {
+		t.Errorf("second instance Read = %v, want nil", got)
+	}
+	if v := c.Scan(0); v[0] != nil {
+		t.Errorf("second instance Scan = %v", v)
+	}
+}
+
+func stepAccounting(t *testing.T, b shmem.Backend) {
+	m := mustNew(t, b, shmem.Spec{Regs: 1, Snaps: []int{2}})
+	clock, ok := m.(shmem.Stepper)
+	if !ok {
+		t.Skipf("%s does not expose step counts", b.Name())
+	}
+	if got := clock.Steps(); got != 0 {
+		t.Fatalf("fresh memory Steps() = %d", got)
+	}
+	m.Write(0, 1)
+	m.Read(0)
+	m.Update(0, 0, 2)
+	m.Scan(0)
+	if got := clock.Steps(); got != 4 {
+		t.Fatalf("Steps() = %d after 4 operations, want 4", got)
+	}
+}
+
+func scanAtomicUnderUpdaters(t *testing.T, b shmem.Backend) {
+	// One updater keeps the components in lock-step; an atomic scan may
+	// lag the writer by at most one update, never show a torn pair.
+	m := mustNew(t, b, shmem.Spec{Snaps: []int{2}})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Update(0, 0, i)
+			m.Update(0, 1, i)
+		}
+	}()
+	for i := 0; i < 2000; i++ {
+		view := m.Scan(0)
+		first, fok := view[0].(int)
+		second, sok := view[1].(int)
+		if (!fok && view[0] != nil) || (!sok && view[1] != nil) {
+			t.Fatalf("corrupt scan %v", view)
+		}
+		if fok && sok && first-second > 1 {
+			t.Fatalf("torn scan: %d vs %d", first, second)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func scanComparability(t *testing.T, b shmem.Backend) {
+	// The snapshot total-order property: because an atomic snapshot's
+	// states are totally ordered, any two scans — by any processes, at
+	// any time — must return componentwise comparable views when every
+	// component's update sequence is monotonic. This is the check that
+	// catches multi-writer races single-updater atomicity tests cannot:
+	// two overlapping scans each observing a different in-flight update
+	// return crosswise incomparable views (seen by a version-validated
+	// collect, for example), which no single-scanner test detects.
+	const updaters, scanners, scansEach = 3, 3, 400
+	m := mustNew(t, b, shmem.Spec{Snaps: []int{updaters}})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for u := 0; u < updaters; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.Update(0, u, i)
+			}
+		}(u)
+	}
+	views := make([][][]shmem.Value, scanners)
+	var swg sync.WaitGroup
+	for s := 0; s < scanners; s++ {
+		swg.Add(1)
+		go func(s int) {
+			defer swg.Done()
+			for i := 0; i < scansEach; i++ {
+				views[s] = append(views[s], m.Scan(0))
+			}
+		}(s)
+	}
+	swg.Wait()
+	close(stop)
+	wg.Wait()
+
+	all := make([][]shmem.Value, 0, scanners*scansEach)
+	for _, vs := range views {
+		all = append(all, vs...)
+	}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if !comparable_(all[i], all[j]) {
+				t.Fatalf("incomparable views (snapshot states are not totally ordered):\n  %v\n  %v",
+					all[i], all[j])
+			}
+		}
+	}
+}
+
+// comparable_ reports whether v <= w or w <= v componentwise, with nil
+// below every int.
+func comparable_(v, w []shmem.Value) bool {
+	le := func(a, b []shmem.Value) bool {
+		for i := range a {
+			ai, aok := a[i].(int)
+			bi, bok := b[i].(int)
+			switch {
+			case !aok: // nil <= anything
+			case !bok:
+				return false // int > nil
+			case ai > bi:
+				return false
+			}
+		}
+		return true
+	}
+	return le(v, w) || le(w, v)
+}
+
+func concurrentHammer(t *testing.T, b shmem.Backend) {
+	// All operations from many goroutines at once; meaningful under -race.
+	const goroutines, iters = 8, 300
+	m := mustNew(t, b, shmem.Spec{Regs: 4, Snaps: []int{4}})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Write(i%4, fmt.Sprintf("g%d.%d", g, i))
+				_ = m.Read((i + 1) % 4)
+				m.Update(0, i%4, g)
+				if view := m.Scan(0); len(view) != 4 {
+					t.Errorf("scan len = %d", len(view))
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if clock, ok := m.(shmem.Stepper); ok {
+		if got, want := clock.Steps(), int64(goroutines*iters*4); got != want {
+			t.Fatalf("Steps() = %d, want %d", got, want)
+		}
+	}
+}

@@ -2,9 +2,11 @@ package snapshot_test
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"setagreement/internal/linearize"
+	"setagreement/internal/register"
 	"setagreement/internal/shmem"
 	"setagreement/internal/sim"
 	"setagreement/internal/snapshot"
@@ -122,6 +124,89 @@ func TestSnapshotLinearizability(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestSnapshotLinearizabilityNativeBackends runs every snapshot
+// construction over every native backend with real goroutine concurrency
+// (not the simulator) and checks the recorded histories. Operation
+// intervals come from the backend's step counter (shmem.Stepper): a logical
+// Update/Scan spans several physical register steps, and both backends
+// guarantee a physical operation's effect is visible no later than its
+// counter increment, so [steps-before+1, steps-after] conservatively
+// contains the logical operation's linearization point. Run with -race.
+func TestSnapshotLinearizabilityNativeBackends(t *testing.T) {
+	const comps, procs, rounds, trials = 2, 3, 2, 10
+	impls := []snapshot.Impl{
+		snapshot.ImplAtomic,
+		snapshot.ImplMW,
+		snapshot.ImplSWEmulation,
+		snapshot.ImplDoubleCollect,
+	}
+	for _, backend := range register.Backends() {
+		backend := backend
+		t.Run(backend.Name(), func(t *testing.T) {
+			for _, impl := range impls {
+				impl := impl
+				t.Run(impl.String(), func(t *testing.T) {
+					for trial := 0; trial < trials; trial++ {
+						history := runNativeHistory(t, backend, impl, comps, procs, rounds)
+						if res := linearize.CheckSnapshot(comps, history); !res.OK {
+							for _, op := range history {
+								t.Logf("  %v", op)
+							}
+							t.Fatalf("%s/%v trial %d: native history not linearizable",
+								backend.Name(), impl, trial)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// runNativeHistory executes procs goroutines over one logical snapshot,
+// realized by impl on the backend, and returns the recorded history.
+func runNativeHistory(t *testing.T, backend shmem.Backend, impl snapshot.Impl, comps, procs, rounds int) []linearize.Op {
+	t.Helper()
+	logical := shmem.Spec{Snaps: []int{comps}}
+	mem, wrap, err := snapshot.Materialize(logical, impl, procs, backend)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	clock := mem.(shmem.Stepper)
+	var (
+		mu  sync.Mutex
+		log []linearize.Op
+	)
+	record := func(op linearize.Op) {
+		mu.Lock()
+		log = append(log, op)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for id := 0; id < procs; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			wmem := wrap(id)
+			prev := int(clock.Steps())
+			for round := 0; round < rounds; round++ {
+				val := fmt.Sprintf("p%d.%d", id, round)
+				wmem.Update(0, (id+round)%comps, val)
+				now := int(clock.Steps())
+				record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
+					Comp: (id + round) % comps, Val: val})
+				prev = now
+				view := wmem.Scan(0)
+				now = int(clock.Steps())
+				record(linearize.Op{Proc: id, Inv: prev + 1, Res: now,
+					IsScan: true, View: view})
+				prev = now
+			}
+		}(id)
+	}
+	wg.Wait()
+	return log
 }
 
 func TestSnapshotLinearizabilityUnderSoloBursts(t *testing.T) {

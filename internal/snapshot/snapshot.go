@@ -26,8 +26,10 @@ import "setagreement/internal/shmem"
 type Object interface {
 	// Update writes v to component comp.
 	Update(comp int, v shmem.Value)
-	// Scan returns a consistent view of all components. The caller owns
-	// the returned slice.
+	// Scan returns a consistent view of all components. As with
+	// shmem.Mem.Scan, the returned slice must be treated as read-only by
+	// the caller and is stable; implementations may return a slice shared
+	// with other scans.
 	Scan() []shmem.Value
 	// Components returns the component count.
 	Components() int

@@ -92,6 +92,23 @@ func Wire(spec shmem.Spec, impl Impl, n int) (shmem.Spec, func(inner shmem.Mem, 
 	return physical, wrap, nil
 }
 
+// Materialize wires the spec under the chosen implementation and allocates
+// the physical memory from the backend, returning the shared memory and a
+// per-process wrapper. The wiring itself is backend-agnostic — every
+// construction here is expressed against shmem.Mem Read/Write only — so any
+// backend (mutex, lock-free, future sharded ones) can carry any Impl.
+func Materialize(spec shmem.Spec, impl Impl, n int, backend shmem.Backend) (shmem.Mem, func(id int) shmem.Mem, error) {
+	physical, wrap, err := Wire(spec, impl, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	mem, err := backend.New(physical)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mem, func(id int) shmem.Mem { return wrap(mem, id) }, nil
+}
+
 // wiredMem presents an algorithm's logical memory over register-implemented
 // snapshots. It exposes bounded scans (shmem.TryScanner): wait-free
 // substrates always succeed; the non-blocking double-collect may fail and

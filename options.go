@@ -5,9 +5,48 @@ import (
 	"fmt"
 	"time"
 
+	"setagreement/internal/register"
 	"setagreement/internal/shmem"
 	"setagreement/internal/snapshot"
 )
+
+// MemoryBackend selects the native shared-memory substrate the object's
+// registers and snapshots live in. Every snapshot runtime (SnapshotImpl)
+// runs on every backend; the backend only changes how each atomic step is
+// synchronized between goroutines.
+type MemoryBackend int
+
+const (
+	// BackendLockFree (default) keeps each register in its own atomic
+	// cell and each snapshot object behind a single atomic pointer to an
+	// immutable version: reads, writes and scans are wait-free and never
+	// block, updates install a new version by compare-and-swap and are
+	// lock-free (a failed swap means a concurrent update completed).
+	BackendLockFree MemoryBackend = iota
+	// BackendLocked guards every operation of every goroutine with one
+	// mutex — the original runtime, kept for comparison and as the
+	// reference implementation.
+	BackendLocked
+)
+
+// String names the backend.
+func (b MemoryBackend) String() string {
+	switch b {
+	case BackendLockFree, BackendLocked:
+		return b.internal().Name()
+	default:
+		return fmt.Sprintf("memorybackend(%d)", int(b))
+	}
+}
+
+func (b MemoryBackend) internal() shmem.Backend {
+	switch b {
+	case BackendLocked:
+		return register.LockedBackend
+	default:
+		return register.LockFreeBackend
+	}
+}
 
 // SnapshotImpl selects how the object's snapshot is realized over registers.
 type SnapshotImpl int
@@ -53,6 +92,7 @@ type Option interface {
 type options struct {
 	m           int
 	impl        SnapshotImpl
+	backend     MemoryBackend
 	backoffMin  time.Duration
 	backoffMax  time.Duration
 	backoffStep int
@@ -95,6 +135,20 @@ func WithSnapshot(impl SnapshotImpl) Option {
 			return nil
 		default:
 			return fmt.Errorf("setagreement: unknown snapshot runtime %d", impl)
+		}
+	})
+}
+
+// WithMemoryBackend selects the native shared-memory backend. The default
+// is BackendLockFree; BackendLocked restores the mutex-serialized substrate.
+func WithMemoryBackend(b MemoryBackend) Option {
+	return optionFunc(func(o *options) error {
+		switch b {
+		case BackendLockFree, BackendLocked:
+			o.backend = b
+			return nil
+		default:
+			return fmt.Errorf("setagreement: unknown memory backend %d", b)
 		}
 	})
 }
@@ -156,7 +210,10 @@ type guardMem struct {
 	backoff *backoffState
 }
 
-var _ shmem.Mem = (*guardMem)(nil)
+var (
+	_ shmem.Mem        = (*guardMem)(nil)
+	_ shmem.TryScanner = (*guardMem)(nil)
+)
 
 func (g *guardMem) pre() {
 	if g.ctx != nil {
@@ -189,4 +246,17 @@ func (g *guardMem) Update(snap, comp int, v shmem.Value) {
 func (g *guardMem) Scan(snap int) []shmem.Value {
 	g.pre()
 	return g.inner.Scan(snap)
+}
+
+// TryScan forwards the inner memory's bounded-scan capability so algorithms
+// that interleave other work between scan attempts (the anonymous H-register
+// poll over a non-blocking substrate) keep working through the guard; each
+// attempt passes the cancellation/backoff gate. Wait-free substrates always
+// succeed, matching shmem.TryScanner's contract.
+func (g *guardMem) TryScan(snap, attempts int) ([]shmem.Value, bool) {
+	g.pre()
+	if ts, ok := g.inner.(shmem.TryScanner); ok {
+		return ts.TryScan(snap, attempts)
+	}
+	return g.inner.Scan(snap), true
 }

@@ -23,6 +23,11 @@
 // to make progress likely under contention (the scheduling-based approach
 // the paper's introduction describes).
 //
+// The native runtime is pluggable: WithMemoryBackend selects the
+// shared-memory substrate (lock-free atomic cells by default, or the
+// mutex-serialized reference backend), independently of WithSnapshot's
+// choice of snapshot construction.
+//
 // The repository around this package also contains the deterministic
 // simulator, the executable lower-bound adversaries for the paper's
 // Theorems 2 and 10, and the benchmark harness reproducing its Figure 1;
@@ -36,7 +41,6 @@ import (
 	"sync"
 
 	"setagreement/internal/core"
-	"setagreement/internal/register"
 	"setagreement/internal/shmem"
 	"setagreement/internal/sim"
 	"setagreement/internal/snapshot"
@@ -306,10 +310,12 @@ const (
 	statePoisoned
 )
 
-// runtime owns the native shared memory and per-Propose memory wrapping.
+// runtime owns the per-Propose view of the native shared memory: wrap
+// yields one process's handle over the backend memory allocated by
+// Materialize. The memory comes from the configured backend
+// (WithMemoryBackend); the runtime itself is backend-agnostic.
 type runtime struct {
-	mem  *register.Native
-	wrap func(shmem.Mem, int) shmem.Mem
+	wrap func(id int) shmem.Mem
 	opts options
 }
 
@@ -318,15 +324,11 @@ func newRuntime(alg core.Algorithm, o options, anonymous bool) (*runtime, error)
 	if anonymous && (impl == snapshot.ImplMW || impl == snapshot.ImplSWEmulation) {
 		return nil, fmt.Errorf("setagreement: snapshot runtime %v needs process identifiers; anonymous objects support SnapshotAtomic or SnapshotDoubleCollect", o.impl)
 	}
-	physical, wrap, err := snapshot.Wire(alg.Spec(), impl, alg.Params().N)
+	_, wrap, err := snapshot.Materialize(alg.Spec(), impl, alg.Params().N, o.backend.internal())
 	if err != nil {
 		return nil, err
 	}
-	mem, err := register.NewNative(physical)
-	if err != nil {
-		return nil, err
-	}
-	return &runtime{mem: mem, wrap: wrap, opts: o}, nil
+	return &runtime{wrap: wrap, opts: o}, nil
 }
 
 // cancelPanic unwinds a Propose blocked inside the algorithm loop when its
@@ -334,11 +336,7 @@ func newRuntime(alg core.Algorithm, o options, anonymous bool) (*runtime, error)
 type cancelPanic struct{ err error }
 
 func (rt *runtime) propose(ctx context.Context, proc core.Process, id, v int) (out int, err error) {
-	var mem shmem.Mem = rt.mem
-	if rt.wrap != nil {
-		mem = rt.wrap(mem, id)
-	}
-	mem = &guardMem{inner: mem, ctx: ctx, backoff: rt.opts.newBackoff()}
+	var mem shmem.Mem = &guardMem{inner: rt.wrap(id), ctx: ctx, backoff: rt.opts.newBackoff()}
 	defer func() {
 		if r := recover(); r != nil {
 			cp, ok := r.(cancelPanic)

@@ -60,6 +60,79 @@ func TestOneShotConcurrentGoroutines(t *testing.T) {
 	}
 }
 
+func TestMemoryBackends(t *testing.T) {
+	// Every snapshot runtime must reach agreement on every memory backend:
+	// the backend changes only how atomic steps are synchronized.
+	for _, backend := range []setagreement.MemoryBackend{
+		setagreement.BackendLockFree,
+		setagreement.BackendLocked,
+	} {
+		backend := backend
+		t.Run(backend.String(), func(t *testing.T) {
+			for _, impl := range []setagreement.SnapshotImpl{
+				setagreement.SnapshotAtomic,
+				setagreement.SnapshotWaitFree,
+				setagreement.SnapshotSingleWriter,
+				setagreement.SnapshotDoubleCollect,
+			} {
+				t.Run(impl.String(), func(t *testing.T) {
+					const n, k = 5, 2
+					a, err := setagreement.New(n, k,
+						setagreement.WithSnapshot(impl),
+						setagreement.WithMemoryBackend(backend),
+						setagreement.WithBackoff(time.Microsecond, time.Millisecond, 64),
+					)
+					if err != nil {
+						t.Fatalf("New: %v", err)
+					}
+					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+					defer cancel()
+					results := make([]int, n)
+					var wg sync.WaitGroup
+					for id := 0; id < n; id++ {
+						wg.Add(1)
+						go func(id int) {
+							defer wg.Done()
+							out, err := a.Propose(ctx, id, 100+id)
+							if err != nil {
+								t.Errorf("propose %d: %v", id, err)
+								return
+							}
+							results[id] = out
+						}(id)
+					}
+					wg.Wait()
+					if t.Failed() {
+						return
+					}
+					distinct := make(map[int]bool)
+					for id, v := range results {
+						if v < 100 || v >= 100+n {
+							t.Fatalf("process %d decided non-input %d", id, v)
+						}
+						distinct[v] = true
+					}
+					if len(distinct) > k {
+						t.Fatalf("k-agreement violated: %v", results)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestMemoryBackendStrings(t *testing.T) {
+	if got := setagreement.BackendLockFree.String(); got != "lockfree" {
+		t.Fatalf("BackendLockFree = %q", got)
+	}
+	if got := setagreement.BackendLocked.String(); got != "locked" {
+		t.Fatalf("BackendLocked = %q", got)
+	}
+	if _, err := setagreement.New(3, 1, setagreement.WithMemoryBackend(setagreement.MemoryBackend(99))); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
 func TestOneShotLifecycleErrors(t *testing.T) {
 	a, err := setagreement.New(3, 1)
 	if err != nil {
