@@ -1,7 +1,8 @@
 // Command sabench regenerates the paper's evaluation: the Figure 1 bounds
 // table, the Theorem 2 and Theorem 10 adversary sweeps, the comparison with
-// the DFGR13 baseline, the design ablations, and the native memory-backend
-// throughput table (mutex vs lock-free substrate).
+// the DFGR13 baseline, the design ablations, the native memory-backend
+// throughput table (mutex vs lock-free substrate), and the per-handle
+// instrumentation table of the public API.
 //
 // Usage:
 //
@@ -10,9 +11,11 @@
 //	sabench -table t2 -n 6 -m 1 -k 2
 //	sabench -table t10 -n 12 -k 1 -maxr 5
 //	sabench -table backends -backend both
+//	sabench -table handles -n 6 -k 2 -backend lockfree
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +23,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"setagreement"
 	"setagreement/internal/core"
 	"setagreement/internal/experiments"
 	"setagreement/internal/lowerbound"
@@ -31,7 +35,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, all")
+		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, all")
 		n         = flag.Int("n", 6, "number of processes")
 		m         = flag.Int("m", 1, "obstruction degree")
 		k         = flag.Int("k", 2, "agreement degree")
@@ -143,6 +147,16 @@ func run(table string, n, m, k, maxR, instances, seeds int, backend, format stri
 			return err
 		}
 	}
+	if wantAll || table == "handles" {
+		ran = true
+		backends, err := selectPublicBackends(backend)
+		if err != nil {
+			return err
+		}
+		if err := add(handleStatsTable(backends, n, k)); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown table %q", table)
 	}
@@ -175,6 +189,65 @@ func selectBackends(name string) ([]shmem.Backend, error) {
 		return nil, err
 	}
 	return []shmem.Backend{b}, nil
+}
+
+// selectPublicBackends resolves the -backend flag to public-API backends.
+func selectPublicBackends(name string) ([]setagreement.MemoryBackend, error) {
+	switch name {
+	case "both":
+		return []setagreement.MemoryBackend{setagreement.BackendLocked, setagreement.BackendLockFree}, nil
+	case "locked":
+		return []setagreement.MemoryBackend{setagreement.BackendLocked}, nil
+	case "lockfree":
+		return []setagreement.MemoryBackend{setagreement.BackendLockFree}, nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (have locked, lockfree, both)", name)
+	}
+}
+
+// handleStatsTable runs one-shot k-set agreement through the public
+// handle-first API — n goroutines, each on its claimed handle — and prints
+// every handle's Stats: the per-handle shared-memory work (steps, scans,
+// backoff sleep) and the object-wide backend counters (total memory steps,
+// CAS retries). This is the library's observability surface; the same
+// numbers are available to any production caller via Handle.Stats.
+func handleStatsTable(backends []setagreement.MemoryBackend, n, k int) (*report.Table, error) {
+	t := report.New("Per-handle instrumentation (one-shot agreement, public API)",
+		"backend", "handle", "proposes", "steps", "scans", "backoff", "mem-steps", "cas-retries")
+	for _, be := range backends {
+		a, err := setagreement.New[int](n, k,
+			setagreement.WithMemoryBackend(be),
+			setagreement.WithBackoff(time.Microsecond, time.Millisecond, 64),
+		)
+		if err != nil {
+			return nil, err
+		}
+		handles := make([]*setagreement.Handle[int], n)
+		for id := range handles {
+			if handles[id], err = a.Proc(id); err != nil {
+				return nil, err
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		var wg sync.WaitGroup
+		for id, h := range handles {
+			wg.Add(1)
+			go func(id int, h *setagreement.Handle[int]) {
+				defer wg.Done()
+				if _, err := h.Propose(ctx, 100+id); err != nil {
+					fmt.Fprintf(os.Stderr, "sabench: handle %d: %v\n", id, err)
+				}
+			}(id, h)
+		}
+		wg.Wait()
+		cancel()
+		for id, h := range handles {
+			s := h.Stats()
+			t.Add(be.String(), id, s.Proposes, s.Steps, s.Scans,
+				s.BackoffWait.Round(time.Microsecond).String(), s.MemSteps, s.CASRetries)
+		}
+	}
+	return t, nil
 }
 
 // backendThroughput measures native shared-memory throughput per backend:

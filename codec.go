@@ -1,0 +1,102 @@
+package setagreement
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Codec translates between a caller's value domain T and the compact
+// integer code space the core algorithms execute over. The paper's
+// algorithms work over an abstract domain D; the implementation runs them
+// over ints, and the codec carries typed values end-to-end through that
+// core.
+//
+// Encode must be deterministic and injective — equal values map to equal
+// codes, distinct values to distinct codes — and Decode must invert it:
+// the agreement property "at most k distinct decisions" is enforced on
+// codes, so a codec that conflates distinct values silently changes what
+// the algorithms decide. A codec is shared by every handle of one
+// agreement object, so both methods must be safe for concurrent use.
+// Decode is only ever asked about codes that Encode produced on the same
+// object: k-set agreement validity guarantees every decided value was some
+// process's input, and every input is encoded before it reaches shared
+// memory.
+//
+// Small non-negative codes are the fast path of the lock-free memory
+// backend (they are interned and stored allocation-free), so codecs should
+// prefer dense codes starting at 0 — as the default interning codec does.
+type Codec[T comparable] interface {
+	// Encode maps v to its integer code.
+	Encode(v T) int
+	// Decode maps a decided code back to its value.
+	Decode(code int) (T, error)
+}
+
+// NewInterningCodec returns the default codec for non-int domains: values
+// are assigned dense codes 0, 1, 2, ... in first-seen order. Interning is
+// local to the codec instance, which is why one codec is shared by all
+// handles of an agreement object.
+func NewInterningCodec[T comparable]() Codec[T] {
+	return &interningCodec[T]{toCode: make(map[T]int)}
+}
+
+type interningCodec[T comparable] struct {
+	mu     sync.Mutex
+	toCode map[T]int
+	values []T
+}
+
+func (c *interningCodec[T]) Encode(v T) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if code, ok := c.toCode[v]; ok {
+		return code
+	}
+	code := len(c.values)
+	c.toCode[v] = code
+	c.values = append(c.values, v)
+	return code
+}
+
+func (c *interningCodec[T]) Decode(code int) (T, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if code < 0 || code >= len(c.values) {
+		var zero T
+		return zero, fmt.Errorf("setagreement: decided unknown code %d", code)
+	}
+	return c.values[code], nil
+}
+
+// IdentityCodec returns the zero-cost codec for int domains: values are
+// their own codes. It is the default when T = int, keeping the int API as
+// fast as the core itself.
+func IdentityCodec() Codec[int] { return identityCodec{} }
+
+type identityCodec struct{}
+
+func (identityCodec) Encode(v int) int             { return v }
+func (identityCodec) Decode(code int) (int, error) { return code, nil }
+
+// defaultCodec picks the codec used when WithCodec is not given: the
+// identity codec for int, the interning codec for every other domain.
+func defaultCodec[T comparable]() Codec[T] {
+	if c, ok := any(identityCodec{}).(Codec[T]); ok {
+		return c
+	}
+	return NewInterningCodec[T]()
+}
+
+// resolveCodec turns the WithCodec option value (or nil) into the codec a
+// generic entry point will use, rejecting codecs for the wrong domain.
+func resolveCodec[T comparable](opt any) (Codec[T], error) {
+	if opt == nil {
+		return defaultCodec[T](), nil
+	}
+	c, ok := opt.(Codec[T])
+	if !ok {
+		var zero T
+		return nil, fmt.Errorf("setagreement: WithCodec value of type %T does not implement Codec[%T]", opt, zero)
+	}
+	return c, nil
+}

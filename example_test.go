@@ -9,11 +9,12 @@ import (
 	"setagreement"
 )
 
-// ExampleNew runs one-shot 2-set agreement among four goroutines: at most
-// two distinct values are decided, and each is someone's proposal.
+// ExampleNew runs one-shot 2-set agreement among four goroutines: each
+// claims its process handle once, at most two distinct values are decided,
+// and each is someone's proposal.
 func ExampleNew() {
 	const n, k = 4, 2
-	a, err := setagreement.New(n, k)
+	a, err := setagreement.New[int](n, k)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -22,14 +23,19 @@ func ExampleNew() {
 	decisions := make([]int, n)
 	var wg sync.WaitGroup
 	for id := 0; id < n; id++ {
+		h, err := a.Proc(id)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
 		wg.Add(1)
-		go func(id int) {
+		go func(id int, h *setagreement.Handle[int]) {
 			defer wg.Done()
-			out, err := a.Propose(context.Background(), id, 10+id)
+			out, err := h.Propose(context.Background(), 10+id)
 			if err == nil {
 				decisions[id] = out
 			}
-		}(id)
+		}(id, h)
 	}
 	wg.Wait()
 
@@ -44,11 +50,46 @@ func ExampleNew() {
 	// at most k distinct: true
 }
 
+// ExampleNew_typed agrees on string values directly: the default codec
+// interns arbitrary comparable values over the int-valued core.
+func ExampleNew_typed() {
+	a, err := setagreement.New[string](2, 1)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	outs := make([]string, 2)
+	var wg sync.WaitGroup
+	for id := 0; id < 2; id++ {
+		h, err := a.Proc(id)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		wg.Add(1)
+		go func(id int, h *setagreement.Handle[string]) {
+			defer wg.Done()
+			v, err := h.Propose(context.Background(), []string{"red", "blue"}[id])
+			if err == nil {
+				outs[id] = v
+			}
+		}(id, h)
+	}
+	wg.Wait()
+
+	fmt.Println("agreed:", outs[0] == outs[1])
+	fmt.Println("valid:", outs[0] == "red" || outs[0] == "blue")
+	// Output:
+	// agreed: true
+	// valid: true
+}
+
 // ExampleNewRepeated decides a sequence of consensus instances: all
 // processes see identical decision sequences.
 func ExampleNewRepeated() {
 	const n, rounds = 3, 4
-	r, err := setagreement.NewRepeated(n, 1)
+	r, err := setagreement.NewRepeated[int](n, 1)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -57,17 +98,22 @@ func ExampleNewRepeated() {
 	got := make([][]int, n)
 	var wg sync.WaitGroup
 	for id := 0; id < n; id++ {
+		h, err := r.Proc(id)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
 		wg.Add(1)
-		go func(id int) {
+		go func(id int, h *setagreement.Handle[int]) {
 			defer wg.Done()
 			for round := 0; round < rounds; round++ {
-				out, err := r.Propose(context.Background(), id, 100*round+id)
+				out, err := h.Propose(context.Background(), 100*round+id)
 				if err != nil {
 					return
 				}
 				got[id] = append(got[id], out)
 			}
-		}(id)
+		}(id, h)
 	}
 	wg.Wait()
 
@@ -87,7 +133,7 @@ func ExampleNewRepeated() {
 // ExampleNewAnonymous shows identifier-free agreement: sessions join without
 // any notion of who they are.
 func ExampleNewAnonymous() {
-	a, err := setagreement.NewAnonymous(3, 1)
+	a, err := setagreement.NewAnonymous[int](3, 1)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -102,7 +148,7 @@ func ExampleNewAnonymous() {
 			return
 		}
 		wg.Add(1)
-		go func(i int, s *setagreement.Session) {
+		go func(i int, s *setagreement.Handle[int]) {
 			defer wg.Done()
 			if v, err := s.Propose(context.Background(), 40+i); err == nil {
 				outs[i] = v
@@ -114,37 +160,6 @@ func ExampleNewAnonymous() {
 	fmt.Println("consensus:", outs[0] == outs[1] && outs[1] == outs[2])
 	// Output:
 	// consensus: true
-}
-
-// ExampleNewMapped agrees on strings by interning them over the int-valued
-// core.
-func ExampleNewMapped() {
-	r, err := setagreement.NewRepeated(2, 1)
-	if err != nil {
-		fmt.Println("error:", err)
-		return
-	}
-	m := setagreement.NewMapped[string](r)
-
-	outs := make([]string, 2)
-	var wg sync.WaitGroup
-	for id := 0; id < 2; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			v, err := m.Propose(context.Background(), id, []string{"red", "blue"}[id])
-			if err == nil {
-				outs[id] = v
-			}
-		}(id)
-	}
-	wg.Wait()
-
-	fmt.Println("agreed:", outs[0] == outs[1])
-	fmt.Println("valid:", outs[0] == "red" || outs[0] == "blue")
-	// Output:
-	// agreed: true
-	// valid: true
 }
 
 // ExampleNewReplicated builds a replicated set via the universal

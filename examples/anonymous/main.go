@@ -22,7 +22,13 @@ func main() {
 		rounds  = 3
 	)
 
-	fleet, err := setagreement.NewAnonymous(sensors, k,
+	// The value domain is a typed calibration pair — the codec layer
+	// carries it through the int-valued core transparently.
+	type calibration struct {
+		Gain, Offset int
+	}
+
+	fleet, err := setagreement.NewAnonymous[calibration](sensors, k,
 		setagreement.WithBackoff(10*time.Microsecond, time.Millisecond, 32),
 	)
 	if err != nil {
@@ -34,9 +40,9 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 
-	// Each sensor reads a noisy calibration value per round and proposes
+	// Each sensor reads a noisy calibration pair per round and proposes
 	// it; the fleet settles on at most k values per round.
-	agreed := make([][]int, sensors)
+	agreed := make([][]calibration, sensors)
 	var wg sync.WaitGroup
 	for i := 0; i < sensors; i++ {
 		session, err := fleet.Session()
@@ -44,10 +50,10 @@ func main() {
 			log.Fatalf("session: %v", err)
 		}
 		wg.Add(1)
-		go func(i int, s *setagreement.Session) {
+		go func(i int, s *setagreement.Handle[calibration]) {
 			defer wg.Done()
 			for round := 0; round < rounds; round++ {
-				reading := 500 + 10*round + i // deterministic "noise"
+				reading := calibration{Gain: 500 + 10*round + i, Offset: i} // deterministic "noise"
 				v, err := s.Propose(ctx, reading)
 				if err != nil {
 					log.Printf("sensor %d: %v", i, err)
@@ -60,15 +66,15 @@ func main() {
 	wg.Wait()
 
 	for round := 0; round < rounds; round++ {
-		distinct := make(map[int]bool)
+		distinct := make(map[calibration]bool)
 		for i := 0; i < sensors; i++ {
 			distinct[agreed[i][round]] = true
 		}
-		vals := make([]int, 0, len(distinct))
+		vals := make([]calibration, 0, len(distinct))
 		for v := range distinct {
 			vals = append(vals, v)
 		}
-		fmt.Printf("round %d: %d distinct calibration values %v (bound %d)\n",
+		fmt.Printf("round %d: %d distinct calibration pairs %v (bound %d)\n",
 			round, len(distinct), vals, k)
 		if len(distinct) > k {
 			log.Fatal("k-agreement violated")

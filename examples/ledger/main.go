@@ -99,7 +99,8 @@ func main() {
 
 	for id, rp := range replicas {
 		st := rp.State()
-		fmt.Printf("teller %d sees shared=%d", id, st["shared"])
+		fmt.Printf("teller %d (%d consensus proposes, %d shared-memory steps) sees shared=%d",
+			id, rp.Stats().Proposes, rp.Stats().Steps, st["shared"])
 		for b := 0; b < tellers; b++ {
 			fmt.Printf(" branch-%d=%d", b, st[fmt.Sprintf("branch-%d", b)])
 		}

@@ -16,7 +16,7 @@ import (
 func main() {
 	const n, k = 6, 2
 
-	agreement, err := setagreement.New(n, k,
+	agreement, err := setagreement.New[int](n, k,
 		// Back off under contention so obstruction-free Propose calls
 		// terminate in practice (the scheduling approach the paper's
 		// introduction describes).
@@ -34,18 +34,25 @@ func main() {
 	decisions := make([]int, n)
 	var wg sync.WaitGroup
 	for id := 0; id < n; id++ {
+		// Each goroutine claims its process handle once, then proposes
+		// through it.
+		h, err := agreement.Proc(id)
+		if err != nil {
+			log.Fatalf("claim process %d: %v", id, err)
+		}
 		wg.Add(1)
-		go func(id int) {
+		go func(id int, h *setagreement.Handle[int]) {
 			defer wg.Done()
 			proposal := 100 + id
-			decided, err := agreement.Propose(ctx, id, proposal)
+			decided, err := h.Propose(ctx, proposal)
 			if err != nil {
 				log.Printf("process %d: %v", id, err)
 				return
 			}
 			decisions[id] = decided
-			fmt.Printf("process %d proposed %d, decided %d\n", id, proposal, decided)
-		}(id)
+			fmt.Printf("process %d proposed %d, decided %d (%d shared-memory steps)\n",
+				id, proposal, decided, h.Stats().Steps)
+		}(id, h)
 	}
 	wg.Wait()
 

@@ -24,7 +24,7 @@ const (
 )
 
 func main() {
-	rep, err := setagreement.NewRepeated(workers, 1,
+	rep, err := setagreement.NewRepeated[int](workers, 1,
 		setagreement.WithBackoff(10*time.Microsecond, time.Millisecond, 32),
 	)
 	if err != nil {
@@ -41,13 +41,17 @@ func main() {
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
+		h, err := rep.Proc(w) // claim this worker's process handle once
+		if err != nil {
+			log.Fatalf("claim worker %d: %v", w, err)
+		}
 		wg.Add(1)
-		go func(w int) {
+		go func(w int, h *setagreement.Handle[int]) {
 			defer wg.Done()
 			next := 0 // next job from my backlog to offer
 			for slot := 0; slot < slots; slot++ {
 				myJob := w*100 + next
-				winner, err := rep.Propose(ctx, w, myJob)
+				winner, err := h.Propose(ctx, myJob)
 				if err != nil {
 					log.Printf("worker %d: %v", w, err)
 					return
@@ -57,7 +61,7 @@ func main() {
 					next++ // my job got a slot; offer the next one
 				}
 			}
-		}(w)
+		}(w, h)
 	}
 	wg.Wait()
 

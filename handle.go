@@ -1,0 +1,250 @@
+package setagreement
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"setagreement/internal/core"
+	"setagreement/internal/shmem"
+)
+
+// Handle is one claimed process's handle on an agreement object. A handle
+// is obtained exactly once per process — Proc(id) on identified objects,
+// Session() on anonymous ones — and owns everything that process needs
+// across Propose calls: the algorithm's persistent local state, the
+// process's resolved view of shared memory, its backoff state, and its
+// instrumentation counters. Resolving all of that at claim time is what
+// keeps Propose itself free of facade locks, map lookups and per-call
+// allocation.
+//
+// A handle is one process: at most one Propose may be in flight on it (a
+// concurrent call fails with ErrInUse), but claiming a handle and reading
+// its Stats are safe from any goroutine.
+type Handle[T comparable] struct {
+	rt      *runtime
+	codec   Codec[T]
+	proc    core.Process
+	id      int
+	oneShot bool
+	st      atomic.Uint32
+	guard   guardMem
+	stats   handleStats
+}
+
+// handle lifecycle states, stored in Handle.st.
+type state = uint32
+
+const (
+	stateFree state = iota
+	stateBusy
+	stateDone
+	statePoisoned
+)
+
+// ID returns the process identifier the handle was claimed for, or -1 for
+// anonymous sessions.
+func (h *Handle[T]) ID() int { return h.id }
+
+// Propose submits value v as this process and returns the decided value.
+// On repeated objects successive calls access successive instances; on
+// one-shot objects a second call fails with ErrAlreadyProposed. Propose
+// blocks until a decision is reached or ctx is cancelled; cancellation
+// poisons the handle (its half-finished operation cannot be resumed), and
+// every later call fails with ErrPoisoned. A codec Decode failure — only
+// possible with a misbehaving custom codec — also poisons the handle.
+func (h *Handle[T]) Propose(ctx context.Context, v T) (T, error) {
+	var zero T
+	for {
+		switch h.st.Load() {
+		case stateBusy:
+			return zero, ErrInUse
+		case stateDone:
+			return zero, ErrAlreadyProposed
+		case statePoisoned:
+			return zero, ErrPoisoned
+		}
+		if h.st.CompareAndSwap(stateFree, stateBusy) {
+			break
+		}
+	}
+	h.stats.proposes.Add(1)
+	out, err := h.run(ctx, h.codec.Encode(v))
+	if err != nil {
+		h.st.Store(statePoisoned)
+		return zero, err
+	}
+	// Decode before committing the lifecycle transition: a decode failure
+	// (a misbehaving custom codec) must not park a one-shot handle at Done
+	// with its decision irretrievable. It poisons instead — the handle's
+	// typed view of the decided code is broken.
+	dec, err := h.codec.Decode(out)
+	if err != nil {
+		h.st.Store(statePoisoned)
+		return zero, err
+	}
+	if h.oneShot {
+		h.st.Store(stateDone)
+	} else {
+		h.st.Store(stateFree)
+	}
+	return dec, nil
+}
+
+// run executes one Propose of the underlying algorithm through the
+// handle's guard. The guard is reused across calls: only the context and
+// backoff progress change per call.
+func (h *Handle[T]) run(ctx context.Context, code int) (out int, err error) {
+	h.guard.ctx = ctx
+	if h.guard.backoff != nil {
+		h.guard.backoff.reset()
+	}
+	defer func() {
+		h.guard.ctx = nil
+		if r := recover(); r != nil {
+			cp, ok := r.(cancelPanic)
+			if !ok {
+				panic(r)
+			}
+			err = cp.err
+		}
+	}()
+	return h.proc.Propose(&h.guard, code), nil
+}
+
+// Stats is a point-in-time view of a handle's instrumentation. Proposes,
+// Steps, Scans and BackoffWait are exact per-handle counters; MemSteps and
+// CASRetries come from the object's shared memory backend and therefore
+// aggregate over all handles of the object (CASRetries is zero on backends
+// that never retry, such as the mutex one).
+type Stats struct {
+	// Proposes counts Propose calls started on this handle.
+	Proposes int64
+	// Steps counts shared-memory operations this handle issued.
+	Steps int64
+	// Scans counts the snapshot scans among those operations.
+	Scans int64
+	// BackoffWait is the total time this handle slept in backoff.
+	BackoffWait time.Duration
+	// MemSteps counts operations executed by the object's shared memory,
+	// across all handles.
+	MemSteps int64
+	// CASRetries counts failed compare-and-swap installs in the object's
+	// memory backend, across all handles.
+	CASRetries int64
+}
+
+// Stats returns the handle's instrumentation counters. It is safe to call
+// concurrently with an in-flight Propose, e.g. from a monitoring loop.
+func (h *Handle[T]) Stats() Stats {
+	s := Stats{
+		Proposes:    h.stats.proposes.Load(),
+		Steps:       h.stats.steps.Load(),
+		Scans:       h.stats.scans.Load(),
+		BackoffWait: time.Duration(h.stats.backoffNS.Load()),
+	}
+	if st, ok := h.rt.mem.(shmem.Stepper); ok {
+		s.MemSteps = st.Steps()
+	}
+	if cr, ok := h.rt.mem.(shmem.CASRetrier); ok {
+		s.CASRetries = cr.CASRetries()
+	}
+	return s
+}
+
+// handleStats holds the per-handle counters behind Stats. Counters are
+// atomic so Stats can be read while a Propose is running.
+type handleStats struct {
+	proposes  atomic.Int64
+	steps     atomic.Int64
+	scans     atomic.Int64
+	backoffNS atomic.Int64
+}
+
+// cancelPanic unwinds a Propose blocked inside the algorithm loop when its
+// context is cancelled. It never escapes run.
+type cancelPanic struct{ err error }
+
+// guardMem wraps a process's resolved memory with context cancellation,
+// backoff and step accounting. One guardMem lives inside each handle and
+// is reused across Propose calls.
+type guardMem struct {
+	inner   shmem.Mem
+	ctx     context.Context
+	backoff *backoffState
+	stats   *handleStats
+}
+
+var (
+	_ shmem.Mem        = (*guardMem)(nil)
+	_ shmem.TryScanner = (*guardMem)(nil)
+)
+
+func (g *guardMem) pre() {
+	g.stats.steps.Add(1)
+	if g.ctx != nil {
+		select {
+		case <-g.ctx.Done():
+			panic(cancelPanic{err: g.ctx.Err()})
+		default:
+		}
+	}
+	if g.backoff != nil {
+		if d := g.backoff.step(); d > 0 {
+			g.sleep(d)
+		}
+	}
+}
+
+// sleep pauses for the backoff duration without outliving the context: a
+// cancelled Propose must return promptly even mid-sleep.
+func (g *guardMem) sleep(d time.Duration) {
+	start := time.Now()
+	defer func() { g.stats.backoffNS.Add(int64(time.Since(start))) }()
+	if g.ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-g.ctx.Done():
+		panic(cancelPanic{err: g.ctx.Err()})
+	case <-t.C:
+	}
+}
+
+func (g *guardMem) Read(reg int) shmem.Value {
+	g.pre()
+	return g.inner.Read(reg)
+}
+
+func (g *guardMem) Write(reg int, v shmem.Value) {
+	g.pre()
+	g.inner.Write(reg, v)
+}
+
+func (g *guardMem) Update(snap, comp int, v shmem.Value) {
+	g.pre()
+	g.inner.Update(snap, comp, v)
+}
+
+func (g *guardMem) Scan(snap int) []shmem.Value {
+	g.pre()
+	g.stats.scans.Add(1)
+	return g.inner.Scan(snap)
+}
+
+// TryScan forwards the inner memory's bounded-scan capability so algorithms
+// that interleave other work between scan attempts (the anonymous H-register
+// poll over a non-blocking substrate) keep working through the guard; each
+// attempt passes the cancellation/backoff gate. Wait-free substrates always
+// succeed, matching shmem.TryScanner's contract.
+func (g *guardMem) TryScan(snap, attempts int) ([]shmem.Value, bool) {
+	g.pre()
+	g.stats.scans.Add(1)
+	if ts, ok := g.inner.(shmem.TryScanner); ok {
+		return ts.TryScan(snap, attempts)
+	}
+	return g.inner.Scan(snap), true
+}

@@ -40,14 +40,16 @@ import (
 // that reads Steps before and after an operation gets a conservative
 // real-time interval for it (used by the linearizability test harnesses).
 type LockFree struct {
-	regs  []atomic.Pointer[shmem.Value]
-	snaps []atomic.Pointer[[]shmem.Value]
-	steps atomic.Int64
+	regs    []atomic.Pointer[shmem.Value]
+	snaps   []atomic.Pointer[[]shmem.Value]
+	steps   atomic.Int64
+	retries atomic.Int64
 }
 
 var (
-	_ shmem.Mem     = (*LockFree)(nil)
-	_ shmem.Stepper = (*LockFree)(nil)
+	_ shmem.Mem        = (*LockFree)(nil)
+	_ shmem.Stepper    = (*LockFree)(nil)
+	_ shmem.CASRetrier = (*LockFree)(nil)
 )
 
 // boxedInts interns boxed small non-negative ints, the dominant value type
@@ -120,6 +122,7 @@ func (m *LockFree) Update(snap, comp int, v shmem.Value) {
 			m.steps.Add(1)
 			return
 		}
+		m.retries.Add(1)
 	}
 }
 
@@ -132,3 +135,7 @@ func (m *LockFree) Scan(snap int) []shmem.Value {
 
 // Steps implements shmem.Stepper.
 func (m *LockFree) Steps() int64 { return m.steps.Load() }
+
+// CASRetries implements shmem.CASRetrier: each count is one Update install
+// that lost to a concurrent update and had to rebuild its version.
+func (m *LockFree) CASRetries() int64 { return m.retries.Load() }

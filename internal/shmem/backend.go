@@ -24,6 +24,16 @@ type Stepper interface {
 	Steps() int64
 }
 
+// CASRetrier is an optional capability of a Mem: a count of failed
+// compare-and-swap installs in the memory's lock-free update path.
+// Backends expose it so callers can observe contention directly — every
+// retry is one concurrent update that linearized first. Backends that
+// never retry (mutex-serialized ones) simply omit the capability.
+type CASRetrier interface {
+	// CASRetries returns the number of failed CAS attempts so far.
+	CASRetries() int64
+}
+
 // BackendFunc adapts a name and a factory function to the Backend interface,
 // for lightweight backend definitions and test doubles.
 type BackendFunc struct {

@@ -26,6 +26,7 @@ func Run(t *testing.T, b shmem.Backend) {
 	t.Run("ScanViewStability", func(t *testing.T) { scanViewStability(t, b) })
 	t.Run("InstanceIsolation", func(t *testing.T) { instanceIsolation(t, b) })
 	t.Run("StepAccounting", func(t *testing.T) { stepAccounting(t, b) })
+	t.Run("CASRetryAccounting", func(t *testing.T) { casRetryAccounting(t, b) })
 	t.Run("ScanAtomicUnderUpdaters", func(t *testing.T) { scanAtomicUnderUpdaters(t, b) })
 	t.Run("ScanComparability", func(t *testing.T) { scanComparability(t, b) })
 	t.Run("ConcurrentHammer", func(t *testing.T) { concurrentHammer(t, b) })
@@ -155,6 +156,45 @@ func stepAccounting(t *testing.T, b shmem.Backend) {
 	m.Scan(0)
 	if got := clock.Steps(); got != 4 {
 		t.Fatalf("Steps() = %d after 4 operations, want 4", got)
+	}
+}
+
+func casRetryAccounting(t *testing.T, b shmem.Backend) {
+	// The CASRetrier capability: zero on a fresh memory, still zero after
+	// uncontended operations (a solo updater never loses a CAS), and
+	// monotonic under contention.
+	m := mustNew(t, b, shmem.Spec{Regs: 1, Snaps: []int{2}})
+	rc, ok := m.(shmem.CASRetrier)
+	if !ok {
+		t.Skipf("%s does not expose CAS retry counts", b.Name())
+	}
+	if got := rc.CASRetries(); got != 0 {
+		t.Fatalf("fresh memory CASRetries() = %d", got)
+	}
+	m.Write(0, 1)
+	m.Read(0)
+	m.Update(0, 0, 2)
+	m.Update(0, 1, 3)
+	m.Scan(0)
+	if got := rc.CASRetries(); got != 0 {
+		t.Fatalf("uncontended operations retried %d times", got)
+	}
+	const updaters, iters = 4, 300
+	var wg sync.WaitGroup
+	for u := 0; u < updaters; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				m.Update(0, u%2, i)
+			}
+		}(u)
+	}
+	mid := rc.CASRetries()
+	wg.Wait()
+	end := rc.CASRetries()
+	if mid < 0 || end < mid {
+		t.Fatalf("CASRetries not monotonic: read %d then %d", mid, end)
 	}
 }
 

@@ -1,7 +1,6 @@
 package setagreement
 
 import (
-	"context"
 	"fmt"
 	"time"
 
@@ -96,6 +95,7 @@ type options struct {
 	backoffMin  time.Duration
 	backoffMax  time.Duration
 	backoffStep int
+	codec       any // Codec[T] supplied by WithCodec; resolved per entry point
 }
 
 func buildOptions(opts []Option) (options, error) {
@@ -153,11 +153,28 @@ func WithMemoryBackend(b MemoryBackend) Option {
 	})
 }
 
+// WithCodec fixes the value codec a generic entry point uses instead of
+// the default (IdentityCodec for int, NewInterningCodec for every other
+// domain). The codec's domain must match the entry point's type parameter,
+// e.g. New[color](..., WithCodec(myColorCodec)); a mismatch fails at
+// construction. Supplying a codec lets callers use stable application
+// codes (dense enums, pre-assigned ids) instead of first-seen interning.
+func WithCodec[T comparable](c Codec[T]) Option {
+	return optionFunc(func(o *options) error {
+		if c == nil {
+			return fmt.Errorf("setagreement: WithCodec needs a non-nil codec")
+		}
+		o.codec = c
+		return nil
+	})
+}
+
 // WithBackoff makes each Propose sleep between shared-memory operations
 // once it has run for a while without deciding, doubling from min to max
 // every `window` operations. Backoff is how obstruction-free algorithms are
 // made to terminate in practice (see the paper's introduction): sleeping
-// processes yield the solo window another process needs.
+// processes yield the solo window another process needs. The sleeps honor
+// the Propose context: cancellation interrupts a sleeping process promptly.
 func WithBackoff(min, max time.Duration, window int) Option {
 	return optionFunc(func(o *options) error {
 		if min <= 0 || max < min || window < 1 {
@@ -178,7 +195,9 @@ func (o options) newBackoff() *backoffState {
 }
 
 // backoffState implements per-Propose exponential backoff between
-// shared-memory operations.
+// shared-memory operations. step reports how long the caller should sleep
+// before the next operation (0 = no sleep); the sleep itself lives in
+// guardMem, which knows the Propose context.
 type backoffState struct {
 	min, max time.Duration
 	window   int
@@ -186,10 +205,10 @@ type backoffState struct {
 	cur      time.Duration
 }
 
-func (b *backoffState) step() {
+func (b *backoffState) step() time.Duration {
 	b.ops++
 	if b.ops%b.window != 0 {
-		return
+		return 0
 	}
 	if b.cur == 0 {
 		b.cur = b.min
@@ -199,64 +218,12 @@ func (b *backoffState) step() {
 			b.cur = b.max
 		}
 	}
-	time.Sleep(b.cur)
+	return b.cur
 }
 
-// guardMem wraps a process's memory handle with context cancellation and
-// backoff. Cancellation unwinds via cancelPanic, recovered in propose.
-type guardMem struct {
-	inner   shmem.Mem
-	ctx     context.Context
-	backoff *backoffState
-}
-
-var (
-	_ shmem.Mem        = (*guardMem)(nil)
-	_ shmem.TryScanner = (*guardMem)(nil)
-)
-
-func (g *guardMem) pre() {
-	if g.ctx != nil {
-		select {
-		case <-g.ctx.Done():
-			panic(cancelPanic{err: g.ctx.Err()})
-		default:
-		}
-	}
-	if g.backoff != nil {
-		g.backoff.step()
-	}
-}
-
-func (g *guardMem) Read(reg int) shmem.Value {
-	g.pre()
-	return g.inner.Read(reg)
-}
-
-func (g *guardMem) Write(reg int, v shmem.Value) {
-	g.pre()
-	g.inner.Write(reg, v)
-}
-
-func (g *guardMem) Update(snap, comp int, v shmem.Value) {
-	g.pre()
-	g.inner.Update(snap, comp, v)
-}
-
-func (g *guardMem) Scan(snap int) []shmem.Value {
-	g.pre()
-	return g.inner.Scan(snap)
-}
-
-// TryScan forwards the inner memory's bounded-scan capability so algorithms
-// that interleave other work between scan attempts (the anonymous H-register
-// poll over a non-blocking substrate) keep working through the guard; each
-// attempt passes the cancellation/backoff gate. Wait-free substrates always
-// succeed, matching shmem.TryScanner's contract.
-func (g *guardMem) TryScan(snap, attempts int) ([]shmem.Value, bool) {
-	g.pre()
-	if ts, ok := g.inner.(shmem.TryScanner); ok {
-		return ts.TryScan(snap, attempts)
-	}
-	return g.inner.Scan(snap), true
+// reset rewinds the backoff for the next Propose, matching the fresh state
+// each Propose used to allocate.
+func (b *backoffState) reset() {
+	b.ops = 0
+	b.cur = 0
 }

@@ -3,7 +3,6 @@ package setagreement
 import (
 	"context"
 	"fmt"
-	"sync"
 )
 
 // Replicated is a Herlihy-style universal construction over repeated
@@ -18,6 +17,11 @@ import (
 // its own operation is decided. Decided prefixes are identical at all
 // replicas, so all copies of the state agree.
 //
+// Replicated is built directly on the typed Repeated object: slots decide
+// tagged operations, interned by the object's default codec, and each
+// replica proposes through its claimed Handle — the fixed-process model the
+// universal construction assumes.
+//
 // Progress is inherited from the underlying m-obstruction-free consensus:
 // an Invoke is guaranteed to terminate only while at most m replicas are
 // executing (and, like all obstruction-free operations, benefits from
@@ -27,11 +31,7 @@ import (
 type Replicated[S any, O comparable] struct {
 	apply   func(S, O) S
 	initial func() S
-	rep     *Repeated
-	mapped  *Mapped[taggedOp[O]]
-
-	mu       sync.Mutex
-	replicas map[int]bool
+	rep     *Repeated[taggedOp[O]]
 }
 
 // taggedOp distinguishes equal operations submitted by different replicas
@@ -49,38 +49,40 @@ func NewReplicated[S any, O comparable](n int, initial func() S, apply func(S, O
 	if initial == nil || apply == nil {
 		return nil, fmt.Errorf("setagreement: NewReplicated needs initial and apply functions")
 	}
-	rep, err := NewRepeated(n, 1, opts...)
+	// The consensus value domain is the internal tagged-operation type, so
+	// a caller-supplied codec cannot apply; reject it here with a clear
+	// message rather than letting codec resolution fail on the internal
+	// type.
+	if o, err := buildOptions(opts); err != nil {
+		return nil, err
+	} else if o.codec != nil {
+		return nil, fmt.Errorf("setagreement: NewReplicated does not accept WithCodec; operations are encoded by its internal codec")
+	}
+	rep, err := NewRepeated[taggedOp[O]](n, 1, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &Replicated[S, O]{
-		apply:    apply,
-		initial:  initial,
-		rep:      rep,
-		mapped:   NewMapped[taggedOp[O]](rep),
-		replicas: make(map[int]bool, n),
-	}, nil
+	return &Replicated[S, O]{apply: apply, initial: initial, rep: rep}, nil
 }
 
 // Registers returns the register footprint of the underlying consensus.
 func (r *Replicated[S, O]) Registers() int { return r.rep.Registers() }
 
-// Replica returns process id's replica handle. Each id may be claimed once;
-// a Replica is not safe for concurrent use (it is one process).
+// Replica claims process id's replica (0 ≤ id < n). Each id may be claimed
+// once — a second claim fails with ErrInUse, an out-of-range id with
+// ErrBadID. A Replica is not safe for concurrent use (it is one process).
 func (r *Replicated[S, O]) Replica(id int) (*Replica[S, O], error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.replicas[id] {
-		return nil, fmt.Errorf("%w: replica %d already claimed", ErrInUse, id)
+	h, err := r.rep.Proc(id)
+	if err != nil {
+		return nil, err
 	}
-	r.replicas[id] = true
-	return &Replica[S, O]{parent: r, id: id, state: r.initial()}, nil
+	return &Replica[S, O]{parent: r, h: h, state: r.initial()}, nil
 }
 
 // Replica is one process's copy of the replicated object.
 type Replica[S any, O comparable] struct {
 	parent *Replicated[S, O]
-	id     int
+	h      *Handle[taggedOp[O]]
 	seq    int
 	slots  int // log slots applied so far
 	state  S
@@ -94,18 +96,22 @@ func (rp *Replica[S, O]) State() S { return rp.state }
 // Slots returns how many log slots the replica has applied.
 func (rp *Replica[S, O]) Slots() int { return rp.slots }
 
+// Stats returns the instrumentation of the replica's underlying consensus
+// handle.
+func (rp *Replica[S, O]) Stats() Stats { return rp.h.Stats() }
+
 // Invoke appends op to the replicated log and returns the state right after
 // op took effect. All replicas apply op at the same log position exactly
 // once.
 func (rp *Replica[S, O]) Invoke(ctx context.Context, op O) (S, error) {
 	rp.seq++
-	mine := taggedOp[O]{Proc: rp.id, Seq: rp.seq, Op: op}
+	mine := taggedOp[O]{Proc: rp.h.ID(), Seq: rp.seq, Op: op}
 	for {
 		var zero S
 		if err := ctx.Err(); err != nil {
 			return zero, err
 		}
-		decided, err := rp.parent.mapped.Propose(ctx, rp.id, mine)
+		decided, err := rp.h.Propose(ctx, mine)
 		if err != nil {
 			return zero, err
 		}
@@ -129,9 +135,9 @@ func (rp *Replica[S, O]) Invoke(ctx context.Context, op O) (S, error) {
 // Invoke, and are skipped by apply.
 func (rp *Replica[S, O]) Sync(ctx context.Context) (S, error) {
 	var zeroOp O
-	marker := taggedOp[O]{Proc: rp.id, Seq: 0, Op: zeroOp}
+	marker := taggedOp[O]{Proc: rp.h.ID(), Seq: 0, Op: zeroOp}
 	var zero S
-	decided, err := rp.parent.mapped.Propose(ctx, rp.id, marker)
+	decided, err := rp.h.Propose(ctx, marker)
 	if err != nil {
 		return zero, err
 	}

@@ -169,6 +169,45 @@ func TestReplicatedValidation(t *testing.T) {
 	}
 }
 
+func TestReplicatedRejectsCodec(t *testing.T) {
+	// The consensus domain of the universal construction is internal, so a
+	// caller codec cannot apply and must be rejected with a clear error at
+	// construction.
+	_, err := setagreement.NewReplicated[int, string](2,
+		func() int { return 0 }, func(s int, _ string) int { return s },
+		setagreement.WithCodec(setagreement.NewInterningCodec[string]()))
+	if err == nil {
+		t.Fatal("NewReplicated accepted WithCodec")
+	}
+}
+
+func TestReplicaClaimValidatesID(t *testing.T) {
+	// An out-of-range replica id fails at claim time with ErrBadID, not
+	// later inside Invoke.
+	obj, err := setagreement.NewReplicated[int, int](2,
+		func() int { return 0 }, func(s, o int) int { return s + o })
+	if err != nil {
+		t.Fatalf("NewReplicated: %v", err)
+	}
+	if _, err := obj.Replica(2); !errors.Is(err, setagreement.ErrBadID) {
+		t.Fatalf("Replica(2) err = %v, want ErrBadID", err)
+	}
+	if _, err := obj.Replica(-1); !errors.Is(err, setagreement.ErrBadID) {
+		t.Fatalf("Replica(-1) err = %v, want ErrBadID", err)
+	}
+	// Valid ids are unaffected by rejected claims.
+	rp, err := obj.Replica(1)
+	if err != nil {
+		t.Fatalf("Replica(1): %v", err)
+	}
+	if _, err := rp.Invoke(context.Background(), 7); err != nil {
+		t.Fatalf("Invoke: %v", err)
+	}
+	if got := rp.Stats().Proposes; got < 1 {
+		t.Fatalf("replica stats Proposes = %d", got)
+	}
+}
+
 func TestReplicatedInvokeRespectsContext(t *testing.T) {
 	obj, err := setagreement.NewReplicated[int, int](2,
 		func() int { return 0 }, func(s, o int) int { return s + o })

@@ -11,12 +11,21 @@
 // headline: the non-anonymous algorithms use min(n+2m−k, n) registers and
 // the anonymous one (m+1)(n−k)+m²+1.
 //
-// Three entry points mirror the paper's three algorithms:
+// Three generic entry points mirror the paper's three algorithms, each over
+// an arbitrary comparable value domain T (the paper's abstract domain D):
 //
-//   - New (one-shot, Figure 3): each process proposes once.
-//   - NewRepeated (Figure 4): an unbounded ordered sequence of independent
-//     agreement instances, as needed by universal constructions.
-//   - NewAnonymous (Figure 5): processes have no identifiers at all.
+//   - New[T] (one-shot, Figure 3): each process proposes once.
+//   - NewRepeated[T] (Figure 4): an unbounded ordered sequence of
+//     independent agreement instances, as needed by universal constructions.
+//   - NewAnonymous[T] (Figure 5): processes have no identifiers at all.
+//
+// The API is handle-first: a goroutine claims its process once — Proc(id)
+// on identified objects, Session() on anonymous ones — and then proposes
+// through the returned Handle. Claiming resolves the process's shared-
+// memory view, lifecycle state and instrumentation up front, so Propose
+// itself is lock- and allocation-free in the facade. Values are carried
+// through a pluggable Codec (WithCodec); the default interns arbitrary
+// comparable values and is the identity for int.
 //
 // Termination caveat: obstruction-free operations may run forever under
 // sustained contention. Use contexts to bound Propose calls, and WithBackoff
@@ -26,7 +35,9 @@
 // The native runtime is pluggable: WithMemoryBackend selects the
 // shared-memory substrate (lock-free atomic cells by default, or the
 // mutex-serialized reference backend), independently of WithSnapshot's
-// choice of snapshot construction.
+// choice of snapshot construction. Every handle exposes Stats() — shared-
+// memory steps, scans, backend CAS retries, backoff sleep — as the
+// observability surface of the runtime.
 //
 // The repository around this package also contains the deterministic
 // simulator, the executable lower-bound adversaries for the paper's
@@ -35,10 +46,9 @@
 package setagreement
 
 import (
-	"context"
 	"errors"
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"setagreement/internal/core"
 	"setagreement/internal/shmem"
@@ -46,275 +56,212 @@ import (
 	"setagreement/internal/snapshot"
 )
 
-// Errors returned by Propose and session management.
+// Errors returned by handle claiming and Propose.
 var (
-	// ErrAlreadyProposed is returned by one-shot Propose when the
-	// process identifier has already proposed.
+	// ErrAlreadyProposed is returned by Propose on a one-shot handle that
+	// has already decided.
 	ErrAlreadyProposed = errors.New("setagreement: process already proposed")
-	// ErrBadID is returned when a process identifier is outside [0, n).
+	// ErrBadID is returned by Proc when the process identifier is outside
+	// [0, n).
 	ErrBadID = errors.New("setagreement: process id out of range")
-	// ErrPoisoned is returned when a previous Propose for this process
-	// was cancelled mid-operation, leaving its half-written state behind.
+	// ErrPoisoned is returned when a previous Propose on this handle was
+	// cancelled mid-operation, leaving its half-written state behind.
 	ErrPoisoned = errors.New("setagreement: process state unusable after cancelled Propose")
 	// ErrTooManySessions is returned by Anonymous.Session beyond n.
 	ErrTooManySessions = errors.New("setagreement: more sessions than processes")
-	// ErrInUse is returned when two goroutines share one process id.
-	ErrInUse = errors.New("setagreement: concurrent Propose on the same process")
+	// ErrInUse is returned when a process id is claimed twice, or when two
+	// goroutines Propose concurrently on one handle.
+	ErrInUse = errors.New("setagreement: process already in use")
 )
 
+// object is the shared core of the three public agreement types: the
+// algorithm, its runtime over the configured backend, and the value codec
+// every handle of the object shares.
+type object[T comparable] struct {
+	alg   core.Algorithm
+	rt    *runtime
+	codec Codec[T]
+}
+
+// Registers returns the number of registers the object occupies — the
+// paper's min(n+2m−k, n) for identified objects, (m+1)(n−k)+m²+1 (one
+// fewer one-shot) for anonymous ones.
+func (o *object[T]) Registers() int { return o.alg.Registers() }
+
+// handle claims one process: it creates the algorithm's persistent local
+// state and resolves the process's view of shared memory once, so Propose
+// never pays for either again.
+func (o *object[T]) handle(id int, oneShot bool) *Handle[T] {
+	h := &Handle[T]{
+		rt:      o.rt,
+		codec:   o.codec,
+		proc:    o.alg.NewProcess(id),
+		id:      id,
+		oneShot: oneShot,
+	}
+	h.guard.inner = o.rt.wrap(id)
+	h.guard.backoff = o.rt.opts.newBackoff()
+	h.guard.stats = &h.stats
+	return h
+}
+
+// build assembles the shared object core for one entry point.
+func build[T comparable](opts []Option, anonymous bool, mk func(o options) (core.Algorithm, error)) (object[T], error) {
+	o, err := buildOptions(opts)
+	if err != nil {
+		return object[T]{}, err
+	}
+	codec, err := resolveCodec[T](o.codec)
+	if err != nil {
+		return object[T]{}, err
+	}
+	alg, err := mk(o)
+	if err != nil {
+		return object[T]{}, err
+	}
+	rt, err := newRuntime(alg, o, anonymous)
+	if err != nil {
+		return object[T]{}, err
+	}
+	return object[T]{alg: alg, rt: rt, codec: codec}, nil
+}
+
+// claims tracks which process ids of an identified object are claimed.
+type claims struct {
+	slots []atomic.Bool
+}
+
+func (c *claims) claim(id int) error {
+	if id < 0 || id >= len(c.slots) {
+		return fmt.Errorf("%w: %d of %d", ErrBadID, id, len(c.slots))
+	}
+	if !c.slots[id].CompareAndSwap(false, true) {
+		return fmt.Errorf("%w: process %d already claimed", ErrInUse, id)
+	}
+	return nil
+}
+
 // Agreement is a one-shot m-obstruction-free k-set agreement object for n
-// identified processes over min(n+2m−k, n) registers. It is safe for
-// concurrent use by goroutines acting as distinct process ids.
-type Agreement struct {
-	alg  *core.OneShot
-	rt   *runtime
-	mu   sync.Mutex
-	used map[int]state
+// identified processes over min(n+2m−k, n) registers, with values drawn
+// from T. Goroutines participate by claiming distinct process handles.
+type Agreement[T comparable] struct {
+	object[T]
+	claims claims
 }
 
 // New builds a one-shot agreement object for n processes and at most k
-// distinct decisions. By default termination is guaranteed under solo
-// execution (m = 1); raise m with WithObstruction.
-func New(n, k int, opts ...Option) (*Agreement, error) {
-	o, err := buildOptions(opts)
+// distinct decisions over domain T. By default termination is guaranteed
+// under solo execution (m = 1); raise m with WithObstruction.
+func New[T comparable](n, k int, opts ...Option) (*Agreement[T], error) {
+	obj, err := build[T](opts, false, func(o options) (core.Algorithm, error) {
+		return core.NewOneShot(core.Params{N: n, M: o.m, K: k})
+	})
 	if err != nil {
 		return nil, err
 	}
-	alg, err := core.NewOneShot(core.Params{N: n, M: o.m, K: k})
-	if err != nil {
-		return nil, err
-	}
-	rt, err := newRuntime(alg, o, false)
-	if err != nil {
-		return nil, err
-	}
-	return &Agreement{alg: alg, rt: rt, used: make(map[int]state, n)}, nil
+	return &Agreement[T]{object: obj, claims: claims{slots: make([]atomic.Bool, n)}}, nil
 }
 
-// Registers returns the number of registers the object occupies, the
-// paper's min(n+2m−k, n).
-func (a *Agreement) Registers() int { return a.alg.Registers() }
-
-// Propose submits value v as process id (0 ≤ id < n) and returns the
-// decided value. Each id may propose exactly once. Propose blocks until a
-// decision is reached or ctx is cancelled; cancellation leaves the id
-// poisoned (its half-finished operation cannot be resumed).
-func (a *Agreement) Propose(ctx context.Context, id, v int) (int, error) {
-	if id < 0 || id >= a.alg.Params().N {
-		return 0, fmt.Errorf("%w: %d of %d", ErrBadID, id, a.alg.Params().N)
+// Proc claims process id (0 ≤ id < n) and returns its handle. Each id may
+// be claimed exactly once; on a one-shot object the handle supports a
+// single Propose.
+func (a *Agreement[T]) Proc(id int) (*Handle[T], error) {
+	if err := a.claims.claim(id); err != nil {
+		return nil, err
 	}
-	a.mu.Lock()
-	switch a.used[id] {
-	case stateFree:
-		a.used[id] = stateBusy
-	case stateBusy:
-		a.mu.Unlock()
-		return 0, ErrInUse
-	case stateDone:
-		a.mu.Unlock()
-		return 0, ErrAlreadyProposed
-	case statePoisoned:
-		a.mu.Unlock()
-		return 0, ErrPoisoned
-	}
-	a.mu.Unlock()
-
-	out, err := a.rt.propose(ctx, a.alg.NewProcess(id), id, v)
-
-	a.mu.Lock()
-	if err != nil {
-		a.used[id] = statePoisoned
-	} else {
-		a.used[id] = stateDone
-	}
-	a.mu.Unlock()
-	return out, err
+	return a.handle(id, true), nil
 }
 
 // Repeated is an m-obstruction-free repeated k-set agreement object: an
 // unbounded sequence of independent k-set agreement instances accessed in
 // order, over the same min(n+2m−k, n) registers.
-type Repeated struct {
-	alg   *core.Repeated
-	rt    *runtime
-	mu    sync.Mutex
-	procs map[int]*repProcState
-}
-
-type repProcState struct {
-	proc core.Process
-	st   state
+type Repeated[T comparable] struct {
+	object[T]
+	claims claims
 }
 
 // NewRepeated builds a repeated agreement object for n processes and at
-// most k distinct decisions per instance.
-func NewRepeated(n, k int, opts ...Option) (*Repeated, error) {
-	o, err := buildOptions(opts)
+// most k distinct decisions per instance over domain T.
+func NewRepeated[T comparable](n, k int, opts ...Option) (*Repeated[T], error) {
+	obj, err := build[T](opts, false, func(o options) (core.Algorithm, error) {
+		return core.NewRepeated(core.Params{N: n, M: o.m, K: k})
+	})
 	if err != nil {
 		return nil, err
 	}
-	alg, err := core.NewRepeated(core.Params{N: n, M: o.m, K: k})
-	if err != nil {
-		return nil, err
-	}
-	rt, err := newRuntime(alg, o, false)
-	if err != nil {
-		return nil, err
-	}
-	return &Repeated{alg: alg, rt: rt, procs: make(map[int]*repProcState, n)}, nil
+	return &Repeated[T]{object: obj, claims: claims{slots: make([]atomic.Bool, n)}}, nil
 }
 
-// Registers returns the number of registers the object occupies.
-func (r *Repeated) Registers() int { return r.alg.Registers() }
-
-// Propose submits process id's value for its next instance (its first call
-// accesses instance 1, the second instance 2, and so on) and returns the
-// decided value for that instance.
-func (r *Repeated) Propose(ctx context.Context, id, v int) (int, error) {
-	if id < 0 || id >= r.alg.Params().N {
-		return 0, fmt.Errorf("%w: %d of %d", ErrBadID, id, r.alg.Params().N)
+// Proc claims process id (0 ≤ id < n) and returns its handle. Each id may
+// be claimed exactly once; the handle's first Propose accesses instance 1,
+// the second instance 2, and so on.
+func (r *Repeated[T]) Proc(id int) (*Handle[T], error) {
+	if err := r.claims.claim(id); err != nil {
+		return nil, err
 	}
-	r.mu.Lock()
-	ps := r.procs[id]
-	if ps == nil {
-		ps = &repProcState{proc: r.alg.NewProcess(id)}
-		r.procs[id] = ps
-	}
-	switch ps.st {
-	case stateBusy:
-		r.mu.Unlock()
-		return 0, ErrInUse
-	case statePoisoned:
-		r.mu.Unlock()
-		return 0, ErrPoisoned
-	}
-	ps.st = stateBusy
-	r.mu.Unlock()
-
-	out, err := r.rt.propose(ctx, ps.proc, id, v)
-
-	r.mu.Lock()
-	if err != nil {
-		ps.st = statePoisoned
-	} else {
-		ps.st = stateFree
-	}
-	r.mu.Unlock()
-	return out, err
+	return r.handle(id, false), nil
 }
 
 // Anonymous is the anonymous k-set agreement object of Figure 5:
 // participants carry no identifiers and are all programmed identically. The
 // repeated form occupies (m+1)(n−k)+m²+1 registers; the one-shot form saves
 // the helper register H.
-type Anonymous struct {
-	alg      *core.AnonRepeated
-	rt       *runtime
+type Anonymous[T comparable] struct {
+	object[T]
 	oneShot  bool
-	mu       sync.Mutex
-	sessions int
+	sessions atomic.Int32
 }
 
 // NewAnonymous builds an anonymous repeated agreement object for up to n
 // concurrent participants. Anonymous objects support only the atomic and
 // double-collect snapshot runtimes (the others need process identifiers).
-func NewAnonymous(n, k int, opts ...Option) (*Anonymous, error) {
-	return newAnonymous(n, k, false, opts)
+func NewAnonymous[T comparable](n, k int, opts ...Option) (*Anonymous[T], error) {
+	return newAnonymous[T](n, k, false, opts)
 }
 
 // NewAnonymousOneShot builds the one-shot variant: each session proposes at
 // most once, and the object occupies one register fewer ((m+1)(n−k)+m², the
 // anonymous one-shot cell of the paper's Figure 1).
-func NewAnonymousOneShot(n, k int, opts ...Option) (*Anonymous, error) {
-	return newAnonymous(n, k, true, opts)
+func NewAnonymousOneShot[T comparable](n, k int, opts ...Option) (*Anonymous[T], error) {
+	return newAnonymous[T](n, k, true, opts)
 }
 
-func newAnonymous(n, k int, oneShot bool, opts []Option) (*Anonymous, error) {
-	o, err := buildOptions(opts)
+func newAnonymous[T comparable](n, k int, oneShot bool, opts []Option) (*Anonymous[T], error) {
+	obj, err := build[T](opts, true, func(o options) (core.Algorithm, error) {
+		if oneShot {
+			return core.NewAnonOneShot(core.Params{N: n, M: o.m, K: k})
+		}
+		return core.NewAnonRepeated(core.Params{N: n, M: o.m, K: k})
+	})
 	if err != nil {
 		return nil, err
 	}
-	var (
-		alg    *core.AnonRepeated
-		algErr error
-	)
-	if oneShot {
-		alg, algErr = core.NewAnonOneShot(core.Params{N: n, M: o.m, K: k})
-	} else {
-		alg, algErr = core.NewAnonRepeated(core.Params{N: n, M: o.m, K: k})
-	}
-	if algErr != nil {
-		return nil, algErr
-	}
-	rt, err := newRuntime(alg, o, true)
-	if err != nil {
-		return nil, err
-	}
-	return &Anonymous{alg: alg, rt: rt, oneShot: oneShot}, nil
+	return &Anonymous[T]{object: obj, oneShot: oneShot}, nil
 }
 
-// Registers returns the number of registers the object occupies.
-func (a *Anonymous) Registers() int { return a.alg.Registers() }
-
-// Session registers a new anonymous participant. At most n sessions may be
-// created; a session is not safe for concurrent use (it is one process).
-func (a *Anonymous) Session() (*Session, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.sessions >= a.alg.Params().N {
-		return nil, fmt.Errorf("%w: n=%d", ErrTooManySessions, a.alg.Params().N)
+// Session claims a handle for a new anonymous participant. At most n
+// sessions may be created; like every handle, a session is one process and
+// supports one Propose at a time.
+func (a *Anonymous[T]) Session() (*Handle[T], error) {
+	n := int32(a.alg.Params().N)
+	for {
+		cur := a.sessions.Load()
+		if cur >= n {
+			return nil, fmt.Errorf("%w: n=%d", ErrTooManySessions, n)
+		}
+		if a.sessions.CompareAndSwap(cur, cur+1) {
+			return a.handle(sim.Anonymous, a.oneShot), nil
+		}
 	}
-	a.sessions++
-	return &Session{parent: a, proc: a.alg.NewProcess(sim.Anonymous)}, nil
 }
 
-// Session is one anonymous participant's handle.
-type Session struct {
-	parent *Anonymous
-	proc   core.Process
-	st     state
-}
-
-// Propose submits the session's value for its next instance and returns the
-// decided value. Sessions of one-shot objects may propose once.
-func (s *Session) Propose(ctx context.Context, v int) (int, error) {
-	switch s.st {
-	case stateBusy:
-		return 0, ErrInUse
-	case stateDone:
-		return 0, ErrAlreadyProposed
-	case statePoisoned:
-		return 0, ErrPoisoned
-	}
-	s.st = stateBusy
-	out, err := s.parent.rt.propose(ctx, s.proc, sim.Anonymous, v)
-	if err != nil {
-		s.st = statePoisoned
-		return 0, err
-	}
-	if s.parent.oneShot {
-		s.st = stateDone
-	} else {
-		s.st = stateFree
-	}
-	return out, nil
-}
-
-// state tracks per-process lifecycle in the facade.
-type state uint8
-
-const (
-	stateFree state = iota
-	stateBusy
-	stateDone
-	statePoisoned
-)
-
-// runtime owns the per-Propose view of the native shared memory: wrap
-// yields one process's handle over the backend memory allocated by
-// Materialize. The memory comes from the configured backend
-// (WithMemoryBackend); the runtime itself is backend-agnostic.
+// runtime owns the native shared memory of one agreement object: mem is
+// the backend memory allocated by Materialize (the anchor for object-wide
+// instrumentation), and wrap yields one process's view over it — resolved
+// once per handle, at claim time. The memory comes from the configured
+// backend (WithMemoryBackend); the runtime itself is backend-agnostic.
 type runtime struct {
+	mem  shmem.Mem
 	wrap func(id int) shmem.Mem
 	opts options
 }
@@ -324,27 +271,9 @@ func newRuntime(alg core.Algorithm, o options, anonymous bool) (*runtime, error)
 	if anonymous && (impl == snapshot.ImplMW || impl == snapshot.ImplSWEmulation) {
 		return nil, fmt.Errorf("setagreement: snapshot runtime %v needs process identifiers; anonymous objects support SnapshotAtomic or SnapshotDoubleCollect", o.impl)
 	}
-	_, wrap, err := snapshot.Materialize(alg.Spec(), impl, alg.Params().N, o.backend.internal())
+	mem, wrap, err := snapshot.Materialize(alg.Spec(), impl, alg.Params().N, o.backend.internal())
 	if err != nil {
 		return nil, err
 	}
-	return &runtime{wrap: wrap, opts: o}, nil
-}
-
-// cancelPanic unwinds a Propose blocked inside the algorithm loop when its
-// context is cancelled. It never escapes propose.
-type cancelPanic struct{ err error }
-
-func (rt *runtime) propose(ctx context.Context, proc core.Process, id, v int) (out int, err error) {
-	var mem shmem.Mem = &guardMem{inner: rt.wrap(id), ctx: ctx, backoff: rt.opts.newBackoff()}
-	defer func() {
-		if r := recover(); r != nil {
-			cp, ok := r.(cancelPanic)
-			if !ok {
-				panic(r)
-			}
-			err = cp.err
-		}
-	}()
-	return proc.Propose(mem, v), nil
+	return &runtime{mem: mem, wrap: wrap, opts: o}, nil
 }

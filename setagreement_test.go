@@ -10,6 +10,21 @@ import (
 	"setagreement"
 )
 
+// claimAll claims handles 0..n-1 on a one-shot object, failing the test on
+// any claim error.
+func claimAll[T comparable](t *testing.T, a *setagreement.Agreement[T], n int) []*setagreement.Handle[T] {
+	t.Helper()
+	handles := make([]*setagreement.Handle[T], n)
+	for id := 0; id < n; id++ {
+		h, err := a.Proc(id)
+		if err != nil {
+			t.Fatalf("Proc(%d): %v", id, err)
+		}
+		handles[id] = h
+	}
+	return handles
+}
+
 func TestOneShotConcurrentGoroutines(t *testing.T) {
 	for _, impl := range []setagreement.SnapshotImpl{
 		setagreement.SnapshotAtomic,
@@ -19,13 +34,14 @@ func TestOneShotConcurrentGoroutines(t *testing.T) {
 	} {
 		t.Run(impl.String(), func(t *testing.T) {
 			const n, k = 6, 2
-			a, err := setagreement.New(n, k,
+			a, err := setagreement.New[int](n, k,
 				setagreement.WithSnapshot(impl),
 				setagreement.WithBackoff(time.Microsecond, time.Millisecond, 64),
 			)
 			if err != nil {
 				t.Fatalf("New: %v", err)
 			}
+			handles := claimAll(t, a, n)
 			results := make([]int, n)
 			var wg sync.WaitGroup
 			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -34,7 +50,7 @@ func TestOneShotConcurrentGoroutines(t *testing.T) {
 				wg.Add(1)
 				go func(id int) {
 					defer wg.Done()
-					out, err := a.Propose(ctx, id, 100+id)
+					out, err := handles[id].Propose(ctx, 100+id)
 					if err != nil {
 						t.Errorf("propose %d: %v", id, err)
 						return
@@ -77,7 +93,7 @@ func TestMemoryBackends(t *testing.T) {
 			} {
 				t.Run(impl.String(), func(t *testing.T) {
 					const n, k = 5, 2
-					a, err := setagreement.New(n, k,
+					a, err := setagreement.New[int](n, k,
 						setagreement.WithSnapshot(impl),
 						setagreement.WithMemoryBackend(backend),
 						setagreement.WithBackoff(time.Microsecond, time.Millisecond, 64),
@@ -85,6 +101,7 @@ func TestMemoryBackends(t *testing.T) {
 					if err != nil {
 						t.Fatalf("New: %v", err)
 					}
+					handles := claimAll(t, a, n)
 					ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 					defer cancel()
 					results := make([]int, n)
@@ -93,7 +110,7 @@ func TestMemoryBackends(t *testing.T) {
 						wg.Add(1)
 						go func(id int) {
 							defer wg.Done()
-							out, err := a.Propose(ctx, id, 100+id)
+							out, err := handles[id].Propose(ctx, 100+id)
 							if err != nil {
 								t.Errorf("propose %d: %v", id, err)
 								return
@@ -128,27 +145,37 @@ func TestMemoryBackendStrings(t *testing.T) {
 	if got := setagreement.BackendLocked.String(); got != "locked" {
 		t.Fatalf("BackendLocked = %q", got)
 	}
-	if _, err := setagreement.New(3, 1, setagreement.WithMemoryBackend(setagreement.MemoryBackend(99))); err == nil {
+	if _, err := setagreement.New[int](3, 1, setagreement.WithMemoryBackend(setagreement.MemoryBackend(99))); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 }
 
 func TestOneShotLifecycleErrors(t *testing.T) {
-	a, err := setagreement.New(3, 1)
+	a, err := setagreement.New[int](3, 1)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
 	ctx := context.Background()
-	if _, err := a.Propose(ctx, 5, 1); !errors.Is(err, setagreement.ErrBadID) {
+	if _, err := a.Proc(5); !errors.Is(err, setagreement.ErrBadID) {
 		t.Fatalf("bad id err = %v", err)
 	}
-	if _, err := a.Propose(ctx, -1, 1); !errors.Is(err, setagreement.ErrBadID) {
+	if _, err := a.Proc(-1); !errors.Is(err, setagreement.ErrBadID) {
 		t.Fatalf("negative id err = %v", err)
 	}
-	if _, err := a.Propose(ctx, 0, 7); err != nil {
+	h, err := a.Proc(0)
+	if err != nil {
+		t.Fatalf("Proc(0): %v", err)
+	}
+	if _, err := a.Proc(0); !errors.Is(err, setagreement.ErrInUse) {
+		t.Fatalf("double claim err = %v", err)
+	}
+	if got := h.ID(); got != 0 {
+		t.Fatalf("ID = %d", got)
+	}
+	if _, err := h.Propose(ctx, 7); err != nil {
 		t.Fatalf("first propose: %v", err)
 	}
-	if _, err := a.Propose(ctx, 0, 8); !errors.Is(err, setagreement.ErrAlreadyProposed) {
+	if _, err := h.Propose(ctx, 8); !errors.Is(err, setagreement.ErrAlreadyProposed) {
 		t.Fatalf("second propose err = %v", err)
 	}
 	if got := a.Registers(); got != 3 { // min(n+2m-k, n) = min(4, 3)
@@ -158,7 +185,7 @@ func TestOneShotLifecycleErrors(t *testing.T) {
 
 func TestRepeatedSequenceAgreement(t *testing.T) {
 	const n, k, rounds = 4, 1, 5
-	r, err := setagreement.NewRepeated(n, k)
+	r, err := setagreement.NewRepeated[int](n, k)
 	if err != nil {
 		t.Fatalf("NewRepeated: %v", err)
 	}
@@ -166,18 +193,22 @@ func TestRepeatedSequenceAgreement(t *testing.T) {
 	var wg sync.WaitGroup
 	decided := make([][]int, n)
 	for id := 0; id < n; id++ {
+		h, err := r.Proc(id)
+		if err != nil {
+			t.Fatalf("Proc(%d): %v", id, err)
+		}
 		wg.Add(1)
-		go func(id int) {
+		go func(id int, h *setagreement.Handle[int]) {
 			defer wg.Done()
 			for round := 0; round < rounds; round++ {
-				out, err := r.Propose(ctx, id, 1000*round+id)
+				out, err := h.Propose(ctx, 1000*round+id)
 				if err != nil {
 					t.Errorf("propose %d/%d: %v", id, round, err)
 					return
 				}
 				decided[id] = append(decided[id], out)
 			}
-		}(id)
+		}(id, h)
 	}
 	wg.Wait()
 	if t.Failed() {
@@ -197,7 +228,7 @@ func TestRepeatedSequenceAgreement(t *testing.T) {
 
 func TestAnonymousSessions(t *testing.T) {
 	const n, k = 5, 2
-	a, err := setagreement.NewAnonymous(n, k)
+	a, err := setagreement.NewAnonymous[int](n, k)
 	if err != nil {
 		t.Fatalf("NewAnonymous: %v", err)
 	}
@@ -212,8 +243,11 @@ func TestAnonymousSessions(t *testing.T) {
 		if err != nil {
 			t.Fatalf("Session %d: %v", i, err)
 		}
+		if got := s.ID(); got != -1 {
+			t.Fatalf("anonymous session ID = %d, want -1", got)
+		}
 		wg.Add(1)
-		go func(i int, s *setagreement.Session) {
+		go func(i int, s *setagreement.Handle[int]) {
 			defer wg.Done()
 			out, err := s.Propose(ctx, 100+i)
 			if err != nil {
@@ -241,12 +275,12 @@ func TestAnonymousSessions(t *testing.T) {
 
 func TestAnonymousOneShot(t *testing.T) {
 	const n, k = 4, 2
-	a, err := setagreement.NewAnonymousOneShot(n, k)
+	a, err := setagreement.NewAnonymousOneShot[int](n, k)
 	if err != nil {
 		t.Fatalf("NewAnonymousOneShot: %v", err)
 	}
 	// One register fewer than the repeated variant.
-	rep, err := setagreement.NewAnonymous(n, k)
+	rep, err := setagreement.NewAnonymous[int](n, k)
 	if err != nil {
 		t.Fatalf("NewAnonymous: %v", err)
 	}
@@ -268,50 +302,89 @@ func TestAnonymousOneShot(t *testing.T) {
 }
 
 func TestAnonymousRejectsIdentifiedSnapshots(t *testing.T) {
-	if _, err := setagreement.NewAnonymous(4, 2, setagreement.WithSnapshot(setagreement.SnapshotWaitFree)); err == nil {
+	if _, err := setagreement.NewAnonymous[int](4, 2, setagreement.WithSnapshot(setagreement.SnapshotWaitFree)); err == nil {
 		t.Fatal("anonymous object accepted an identified snapshot runtime")
 	}
-	if _, err := setagreement.NewAnonymous(4, 2, setagreement.WithSnapshot(setagreement.SnapshotDoubleCollect)); err != nil {
+	if _, err := setagreement.NewAnonymous[int](4, 2, setagreement.WithSnapshot(setagreement.SnapshotDoubleCollect)); err != nil {
 		t.Fatalf("double-collect should be allowed: %v", err)
 	}
 }
 
 func TestProposeCancellation(t *testing.T) {
-	// With n=2, k=1, m=1 and only one process proposing... a solo propose
+	// With n=2, k=1, m=1 and only one process proposing, a solo propose
 	// decides quickly. To exercise cancellation deterministically, use an
 	// already-cancelled context.
-	a, err := setagreement.New(2, 1)
+	a, err := setagreement.New[int](2, 1)
 	if err != nil {
 		t.Fatalf("New: %v", err)
 	}
+	h, err := a.Proc(0)
+	if err != nil {
+		t.Fatalf("Proc: %v", err)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := a.Propose(ctx, 0, 1); !errors.Is(err, context.Canceled) {
+	if _, err := h.Propose(ctx, 1); !errors.Is(err, context.Canceled) {
 		t.Fatalf("cancelled propose err = %v", err)
 	}
-	// The id is poisoned afterwards.
-	if _, err := a.Propose(context.Background(), 0, 1); !errors.Is(err, setagreement.ErrPoisoned) {
+	// The handle is poisoned afterwards.
+	if _, err := h.Propose(context.Background(), 1); !errors.Is(err, setagreement.ErrPoisoned) {
 		t.Fatalf("poisoned propose err = %v", err)
 	}
-	// Other ids are unaffected.
-	if _, err := a.Propose(context.Background(), 1, 9); err != nil {
-		t.Fatalf("other id: %v", err)
+	// Other handles are unaffected.
+	other, err := a.Proc(1)
+	if err != nil {
+		t.Fatalf("Proc(1): %v", err)
+	}
+	if _, err := other.Propose(context.Background(), 9); err != nil {
+		t.Fatalf("other handle: %v", err)
 	}
 }
 
-func TestConcurrentSameIDRejected(t *testing.T) {
-	// Two goroutines sharing one process id: exactly one may be inside
-	// Propose at a time; the other gets ErrInUse. Use a repeated object
-	// (so the id is reusable) and force overlap with a gate.
-	r, err := setagreement.NewRepeated(2, 1)
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	// A Propose that is asleep in backoff must observe cancellation
+	// promptly rather than finishing the sleep. Backoff of min = max = 1h
+	// with window 1 puts the very first shared-memory operation to sleep
+	// for an hour; cancellation after 50ms must unwind it immediately.
+	r, err := setagreement.NewRepeated[int](2, 1,
+		setagreement.WithBackoff(time.Hour, time.Hour, 1))
 	if err != nil {
 		t.Fatalf("NewRepeated: %v", err)
 	}
+	h, err := r.Proc(0)
+	if err != nil {
+		t.Fatalf("Proc: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = h.Propose(ctx, 1)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("propose err = %v", err)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancelled propose took %v; backoff sleep ignored the context", elapsed)
+	}
+	if got := h.Stats().BackoffWait; got <= 0 {
+		t.Fatalf("BackoffWait = %v after sleeping in backoff", got)
+	}
+}
+
+func TestConcurrentProposeOnOneHandleRejected(t *testing.T) {
+	// A handle is one process: overlapping Proposes are rejected with
+	// ErrInUse, never interleaved. Force overlap by brute force: many
+	// concurrent Proposes on one handle, count ErrInUse — at least zero
+	// (no overlap) and never a data race.
+	r, err := setagreement.NewRepeated[int](2, 1)
+	if err != nil {
+		t.Fatalf("NewRepeated: %v", err)
+	}
+	h, err := r.Proc(0)
+	if err != nil {
+		t.Fatalf("Proc: %v", err)
+	}
 	ctx := context.Background()
-	// Occupy id 0 with a cancelled-context propose that we control: a
-	// context cancelled mid-flight would poison, so instead overlap by
-	// brute force: many concurrent Proposes on the same id, count
-	// ErrInUse — at least zero (no overlap) and never a data race.
 	var (
 		wg     sync.WaitGroup
 		mu     sync.Mutex
@@ -322,7 +395,7 @@ func TestConcurrentSameIDRejected(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			_, err := r.Propose(ctx, 0, g)
+			_, err := h.Propose(ctx, g)
 			mu.Lock()
 			defer mu.Unlock()
 			if errors.Is(err, setagreement.ErrInUse) {
@@ -338,28 +411,35 @@ func TestConcurrentSameIDRejected(t *testing.T) {
 	if len(others) != 0 {
 		t.Fatalf("unexpected errors: %v", others)
 	}
-	// Whatever overlapped was rejected; the id remains usable.
-	if _, err := r.Propose(ctx, 0, 99); err != nil {
-		t.Fatalf("id unusable after contention: %v", err)
+	// Whatever overlapped was rejected; the handle remains usable.
+	if _, err := h.Propose(ctx, 99); err != nil {
+		t.Fatalf("handle unusable after contention: %v", err)
 	}
 	t.Logf("%d overlapping calls rejected with ErrInUse", inUse)
 }
 
 func TestOptionValidation(t *testing.T) {
-	if _, err := setagreement.New(4, 2, setagreement.WithObstruction(0)); err == nil {
+	if _, err := setagreement.New[int](4, 2, setagreement.WithObstruction(0)); err == nil {
 		t.Fatal("m=0 accepted")
 	}
-	if _, err := setagreement.New(4, 2, setagreement.WithObstruction(3)); err == nil {
+	if _, err := setagreement.New[int](4, 2, setagreement.WithObstruction(3)); err == nil {
 		t.Fatal("m>k accepted")
 	}
-	if _, err := setagreement.New(4, 2, setagreement.WithBackoff(0, time.Second, 1)); err == nil {
+	if _, err := setagreement.New[int](4, 2, setagreement.WithBackoff(0, time.Second, 1)); err == nil {
 		t.Fatal("zero backoff min accepted")
 	}
-	if _, err := setagreement.New(4, 2, setagreement.WithSnapshot(setagreement.SnapshotImpl(42))); err == nil {
+	if _, err := setagreement.New[int](4, 2, setagreement.WithSnapshot(setagreement.SnapshotImpl(42))); err == nil {
 		t.Fatal("unknown snapshot impl accepted")
 	}
-	if _, err := setagreement.New(4, 4); err == nil {
+	if _, err := setagreement.New[int](4, 4); err == nil {
 		t.Fatal("k=n accepted")
+	}
+	if _, err := setagreement.New[int](4, 2, setagreement.WithCodec[string](nil)); err == nil {
+		t.Fatal("nil codec accepted")
+	}
+	// A codec for the wrong domain fails at construction, not at Propose.
+	if _, err := setagreement.New[string](4, 2, setagreement.WithCodec(setagreement.IdentityCodec())); err == nil {
+		t.Fatal("codec domain mismatch accepted")
 	}
 }
 
@@ -374,47 +454,12 @@ func TestObstructionDegreeRegisters(t *testing.T) {
 		{n: 10, m: 2, k: 5, want: 9}, // 10+4-5
 	}
 	for _, tt := range tests {
-		a, err := setagreement.New(tt.n, tt.k, setagreement.WithObstruction(tt.m))
+		a, err := setagreement.New[int](tt.n, tt.k, setagreement.WithObstruction(tt.m))
 		if err != nil {
 			t.Fatalf("New(%d,%d,m=%d): %v", tt.n, tt.k, tt.m, err)
 		}
 		if got := a.Registers(); got != tt.want {
 			t.Errorf("n=%d m=%d k=%d: Registers = %d, want %d", tt.n, tt.m, tt.k, got, tt.want)
 		}
-	}
-}
-
-func TestMappedStrings(t *testing.T) {
-	r, err := setagreement.NewRepeated(3, 1)
-	if err != nil {
-		t.Fatalf("NewRepeated: %v", err)
-	}
-	m := setagreement.NewMapped[string](r)
-	ctx := context.Background()
-	var wg sync.WaitGroup
-	outs := make([]string, 3)
-	for id := 0; id < 3; id++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			out, err := m.Propose(ctx, id, []string{"alpha", "beta", "gamma"}[id])
-			if err != nil {
-				t.Errorf("propose %d: %v", id, err)
-				return
-			}
-			outs[id] = out
-		}(id)
-	}
-	wg.Wait()
-	if t.Failed() {
-		return
-	}
-	if outs[0] != outs[1] || outs[1] != outs[2] {
-		t.Fatalf("consensus split: %v", outs)
-	}
-	switch outs[0] {
-	case "alpha", "beta", "gamma":
-	default:
-		t.Fatalf("decided non-input %q", outs[0])
 	}
 }
