@@ -1,0 +1,184 @@
+package setagreement_test
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"setagreement"
+	iarena "setagreement/internal/arena"
+)
+
+// BenchmarkArenaShards measures the arena serving path — Object(key) over a
+// live registry — at 32 goroutines over 256 keys, sweeping the shard count
+// from 1 to beyond GOMAXPROCS on both memory backends. At 1 shard every
+// lookup contends on one RWMutex; sharding removes that serialization
+// point, so on multicore hardware throughput scales with the shard count
+// (the acceptance bar is ≥2x from 1 shard to GOMAXPROCS shards on the
+// lock-free backend; on a single-core runner the sweep mostly shows the
+// flat cost of the lookup itself).
+func BenchmarkArenaShards(b *testing.B) {
+	const goroutines, nKeys = 32, 256
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	shardCounts := shardSweep()
+	for _, be := range []setagreement.MemoryBackend{setagreement.BackendLockFree, setagreement.BackendLocked} {
+		for _, shards := range shardCounts {
+			name := fmt.Sprintf("backend=%s/shards=%d/goroutines=%d/keys=%d", be, shards, goroutines, nKeys)
+			b.Run(name, func(b *testing.B) {
+				ar, err := setagreement.NewArena[int](4, 2,
+					setagreement.WithShards(shards),
+					setagreement.WithObjectOptions(setagreement.WithMemoryBackend(be)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, k := range keys {
+					ar.Object(k) // pre-create: measure serving, not churn
+				}
+				b.SetParallelism((goroutines + runtime.GOMAXPROCS(0) - 1) / runtime.GOMAXPROCS(0))
+				var worker atomic.Int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				b.RunParallel(func(pb *testing.PB) {
+					i := int(worker.Add(1)) * 17 // spread start keys across workers
+					for pb.Next() {
+						if ar.Object(keys[i&(nKeys-1)]) == nil {
+							b.Error("nil object")
+							return
+						}
+						i++
+					}
+				})
+			})
+		}
+	}
+}
+
+// shardSweep returns the shard counts to benchmark: 1 up to a few times
+// GOMAXPROCS in powers of two, always covering GOMAXPROCS itself. Counts
+// are normalized through the same rounding NewArena uses (iarena.Shards)
+// so benchmark names report the real configuration.
+func shardSweep() []int {
+	limit := 4 * runtime.GOMAXPROCS(0)
+	if limit < 8 {
+		limit = 8
+	}
+	var counts []int
+	seen := map[int]bool{}
+	add := func(c int) {
+		c = iarena.Shards(c)
+		if !seen[c] {
+			seen[c] = true
+			counts = append(counts, c)
+		}
+	}
+	for c := 1; c <= limit; c *= 2 {
+		add(c)
+	}
+	add(runtime.GOMAXPROCS(0))
+	return counts
+}
+
+// BenchmarkArenaObjectTTL measures the same serving path with idle
+// eviction configured: the hot path then additionally loads the idle clock
+// (re-storing it only when stale) and checks the shard's sweep deadline.
+func BenchmarkArenaObjectTTL(b *testing.B) {
+	const nKeys = 256
+	keys := make([]string, nKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%04d", i)
+	}
+	ar, err := setagreement.NewArena[int](4, 2, setagreement.WithIdleTTL(time.Minute))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, k := range keys {
+		ar.Object(k)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			ar.Object(keys[i&(nKeys-1)])
+			i++
+		}
+	})
+}
+
+// BenchmarkArenaPropose is the end-to-end per-key coordination path: each
+// worker owns one key and drives repeated consensus on it through the
+// arena — lookup, then Propose on its claimed handle.
+func BenchmarkArenaPropose(b *testing.B) {
+	for _, be := range []setagreement.MemoryBackend{setagreement.BackendLockFree, setagreement.BackendLocked} {
+		b.Run("backend="+be.String(), func(b *testing.B) {
+			// n=2 processes per object (the core's minimum); each worker
+			// claims process 0 of its own key and runs solo.
+			ar, err := setagreement.NewArena[int](2, 1,
+				setagreement.WithObjectOptions(setagreement.WithMemoryBackend(be)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			var worker atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				key := fmt.Sprintf("worker-%d", worker.Add(1))
+				h, err := ar.Object(key).Proc(0)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				v := 0
+				for pb.Next() {
+					if _, err := h.Propose(ctx, v); err != nil {
+						b.Error(err)
+						return
+					}
+					v++
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkArenaChurn measures the create→claim→propose→release→evict cycle
+// that a lease-like workload produces. The arena's runtime pool makes the
+// steady state cheap: every creation after the first reuses the evicted
+// object's shared memory instead of reallocating registers and snapshot
+// versions.
+func BenchmarkArenaChurn(b *testing.B) {
+	ar, err := setagreement.NewArena[int](2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("lease-%d", i&7)
+		h, err := ar.Object(key).Proc(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.Propose(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+		if err := h.Release(); err != nil {
+			b.Fatal(err)
+		}
+		if !ar.Evict(key) {
+			b.Fatal("evict failed")
+		}
+	}
+	b.StopTimer()
+	if s := ar.Stats(); s.PoolHits == 0 {
+		b.Fatal("pool never hit during churn")
+	}
+}

@@ -1,0 +1,440 @@
+package setagreement
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock drives an arena's idle clock deterministically.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestArenaObjectIdentity(t *testing.T) {
+	ar, err := NewArena[int](3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := ar.Object("alpha")
+	if b := ar.Object("alpha"); b != a {
+		t.Fatal("same key returned distinct objects")
+	}
+	if c := ar.Object("beta"); c == a {
+		t.Fatal("distinct keys share one object")
+	}
+	if a.Key() != "alpha" {
+		t.Fatalf("Key() = %q", a.Key())
+	}
+	if got, want := ar.Len(), 2; got != want {
+		t.Fatalf("Len() = %d, want %d", got, want)
+	}
+}
+
+func TestArenaConcurrentObjectSameKey(t *testing.T) {
+	// The per-key uniqueness guarantee under concurrency: many goroutines
+	// racing Object on the same keys must all observe one object per key.
+	// Meaningful under -race.
+	ar, err := NewArena[int](2, 1, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines, keys = 16, 8
+	got := make([][]*ArenaObject[int], goroutines)
+	var wg sync.WaitGroup
+	var start sync.WaitGroup
+	start.Add(1)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start.Wait()
+			got[g] = make([]*ArenaObject[int], keys)
+			for k := 0; k < keys; k++ {
+				got[g][k] = ar.Object(fmt.Sprintf("key-%d", k))
+			}
+		}(g)
+	}
+	start.Done()
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		for g := 1; g < goroutines; g++ {
+			if got[g][k] != got[0][k] {
+				t.Fatalf("key %d: goroutine %d saw a different object", k, g)
+			}
+		}
+	}
+	if ar.Len() != keys {
+		t.Fatalf("Len() = %d, want %d", ar.Len(), keys)
+	}
+	if s := ar.Stats(); s.Created != keys {
+		t.Fatalf("Created = %d, want %d", s.Created, keys)
+	}
+}
+
+func TestArenaProposeBothBackends(t *testing.T) {
+	for _, be := range []MemoryBackend{BackendLockFree, BackendLocked} {
+		t.Run(be.String(), func(t *testing.T) {
+			ar, err := NewArena[string](3, 1, WithObjectOptions(WithMemoryBackend(be)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			// Per-key coordination: on each key, every process's decision
+			// agrees (k = 1).
+			for _, key := range []string{"job:1", "job:2"} {
+				ao := ar.Object(key)
+				var handles []*Handle[string]
+				for id := 0; id < 3; id++ {
+					h, err := ao.Proc(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					handles = append(handles, h)
+				}
+				var first string
+				for id, h := range handles {
+					got, err := h.Propose(ctx, fmt.Sprintf("%s-by-%d", key, id))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if id == 0 {
+						first = got
+					} else if got != first {
+						t.Fatalf("key %s: consensus diverged: %q vs %q", key, got, first)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestArenaHandleRelease(t *testing.T) {
+	ar, err := NewArena[int](2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao := ar.Object("x")
+	h, err := ao.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Propose(context.Background(), 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatalf("second Release not idempotent: %v", err)
+	}
+	if _, err := h.Propose(context.Background(), 8); !errors.Is(err, ErrReleased) {
+		t.Fatalf("Propose after Release = %v, want ErrReleased", err)
+	}
+	// The id stays consumed on this generation.
+	if _, err := ao.Proc(0); !errors.Is(err, ErrInUse) {
+		t.Fatalf("re-claim after release = %v, want ErrInUse", err)
+	}
+}
+
+func TestArenaEvictionNeverReclaimsClaimedHandle(t *testing.T) {
+	clock := newFakeClock()
+	ar, err := NewArena[int](2, 1, WithIdleTTL(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar.now = clock.now
+
+	ao := ar.Object("held")
+	h, err := ao.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.advance(time.Hour) // far past the TTL
+	if n := ar.Sweep(); n != 0 {
+		t.Fatalf("Sweep evicted %d objects while a handle is claimed", n)
+	}
+	if ar.Evict("held") {
+		t.Fatal("Evict reclaimed an object with a claimed handle")
+	}
+	if ao.Evicted() {
+		t.Fatal("object marked evicted while a handle is claimed")
+	}
+	// The held handle still works long past the TTL.
+	if _, err := h.Propose(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Released + idle → evictable.
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if n := ar.Sweep(); n != 0 {
+		t.Fatalf("Sweep evicted %d objects before the TTL elapsed", n)
+	}
+	clock.advance(2 * time.Second)
+	if n := ar.Sweep(); n != 1 {
+		t.Fatalf("Sweep evicted %d objects, want 1", n)
+	}
+	if !ao.Evicted() {
+		t.Fatal("object not marked evicted")
+	}
+	if _, err := ao.Proc(1); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("Proc on evicted object = %v, want ErrEvicted", err)
+	}
+	// The next generation is fresh: all ids claimable again.
+	next := ar.Object("held")
+	if next == ao {
+		t.Fatal("Object returned the evicted generation")
+	}
+	if _, err := next.Proc(0); err != nil {
+		t.Fatalf("claim on next generation: %v", err)
+	}
+}
+
+func TestArenaPoolRecyclesRuntimes(t *testing.T) {
+	clock := newFakeClock()
+	ar, err := NewArena[int](2, 1, WithIdleTTL(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar.now = clock.now
+
+	ctx := context.Background()
+	const rounds = 5
+	for i := 0; i < rounds; i++ {
+		key := fmt.Sprintf("gen-%d", i)
+		ao := ar.Object(key)
+		h, err := ao.Proc(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A recycled runtime must behave exactly like a fresh one: the
+		// decided value is this generation's proposal, never residue.
+		got, err := h.Propose(ctx, 1000+i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 1000+i {
+			t.Fatalf("round %d decided %d — recycled memory leaked state", i, got)
+		}
+		if err := h.Release(); err != nil {
+			t.Fatal(err)
+		}
+		clock.advance(2 * time.Second)
+		if !ar.Evict(key) && ar.Sweep() == 0 {
+			t.Fatalf("round %d: nothing evicted", i)
+		}
+	}
+	s := ar.Stats()
+	// NewArena seeds the pool with its validation runtime, and each round
+	// recycles one, so every creation is a pool hit.
+	if s.PoolHits != rounds {
+		t.Fatalf("PoolHits = %d, want %d", s.PoolHits, rounds)
+	}
+	if s.Created != rounds || s.Evicted != rounds {
+		t.Fatalf("Created/Evicted = %d/%d, want %d/%d", s.Created, s.Evicted, rounds, rounds)
+	}
+}
+
+func TestArenaStatsRollupEqualsHandleSum(t *testing.T) {
+	ar, err := NewArena[int](3, 2, WithShards(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var handles []*Handle[int]
+	for _, key := range []string{"a", "b", "c"} {
+		ao := ar.Object(key)
+		for id := 0; id < 3; id++ {
+			h, err := ao.Proc(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := h.Propose(ctx, id*10); err != nil {
+				t.Fatal(err)
+			}
+			handles = append(handles, h)
+		}
+	}
+	var wantProposes, wantSteps, wantScans int64
+	for _, h := range handles {
+		s := h.Stats()
+		wantProposes += s.Proposes
+		wantSteps += s.Steps
+		wantScans += s.Scans
+	}
+	got := ar.Stats()
+	if got.Proposes != wantProposes || got.Steps != wantSteps || got.Scans != wantScans {
+		t.Fatalf("roll-up (proposes=%d steps=%d scans=%d) != handle sum (%d, %d, %d)",
+			got.Proposes, got.Steps, got.Scans, wantProposes, wantSteps, wantScans)
+	}
+	if got.Handles != int64(len(handles)) || got.LiveHandles != int64(len(handles)) {
+		t.Fatalf("Handles/Live = %d/%d, want %d/%d", got.Handles, got.LiveHandles, len(handles), len(handles))
+	}
+	if got.MemSteps == 0 {
+		t.Fatal("MemSteps = 0 after real proposes")
+	}
+
+	// The roll-up survives eviction: release everything, evict, and the
+	// counters must not shrink.
+	for _, h := range handles {
+		if err := h.Release(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		if !ar.Evict(key) {
+			t.Fatalf("Evict(%q) failed with all handles released", key)
+		}
+	}
+	after := ar.Stats()
+	if after.Proposes != wantProposes || after.Steps != wantSteps || after.Scans != wantScans {
+		t.Fatalf("roll-up shrank after eviction: %+v", after)
+	}
+	if after.Objects != 0 || after.LiveHandles != 0 {
+		t.Fatalf("Objects/Live = %d/%d after full eviction", after.Objects, after.LiveHandles)
+	}
+}
+
+func TestArenaOneShotKind(t *testing.T) {
+	ar, err := NewArena[string](2, 1, ArenaOneShot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := ar.Object("vote").Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Propose(context.Background(), "yes"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Propose(context.Background(), "again"); !errors.Is(err, ErrAlreadyProposed) {
+		t.Fatalf("second one-shot Propose = %v, want ErrAlreadyProposed", err)
+	}
+	// A done one-shot handle is releasable, so the object can be evicted.
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if !ar.Evict("vote") {
+		t.Fatal("Evict failed after release")
+	}
+}
+
+func TestArenaAmortizedSweep(t *testing.T) {
+	clock := newFakeClock()
+	ar, err := NewArena[int](2, 1, WithShards(1), WithIdleTTL(time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar.now = clock.now
+	ar.Object("idle") // never claimed; idle from birth
+	clock.advance(time.Hour)
+	// Object calls alone must trigger the rate-limited shard sweep: the
+	// first lookup past the shard's nextSweep deadline runs it.
+	for i := 0; i < 16 && ar.Len() > 1; i++ {
+		ar.Object("hot")
+		clock.advance(time.Second) // move past the per-shard sweep window
+	}
+	if got := ar.Len(); got != 1 {
+		t.Fatalf("amortized sweep never evicted the idle object (Len=%d)", got)
+	}
+}
+
+func TestArenaCodecIsolation(t *testing.T) {
+	// Each object gets its own default interning codec (so evicting a key
+	// releases its interned values and no codec mutex spans the arena)...
+	ar, err := NewArena[string](2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := ar.Object("a"), ar.Object("b")
+	if a.obj.codec == b.obj.codec {
+		t.Fatal("two objects share one default interning codec")
+	}
+	// ...while a user-supplied codec (stable, object-independent codes by
+	// contract) is shared as supplied.
+	shared := IdentityCodec()
+	ai, err := NewArena[int](2, 1, WithObjectOptions(WithCodec(shared)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ai.Object("a").obj.codec != shared || ai.Object("b").obj.codec != shared {
+		t.Fatal("user-supplied codec not threaded through to objects")
+	}
+}
+
+func TestArenaConfigValidation(t *testing.T) {
+	if _, err := NewArena[int](0, 1); err == nil {
+		t.Error("NewArena accepted n=0")
+	}
+	if _, err := NewArena[int](3, 0); err == nil {
+		t.Error("NewArena accepted k=0")
+	}
+	if _, err := NewArena[int](3, 1, WithShards(-1)); err == nil {
+		t.Error("WithShards accepted a negative count")
+	}
+	if _, err := NewArena[int](3, 1, WithIdleTTL(-time.Second)); err == nil {
+		t.Error("WithIdleTTL accepted a negative TTL")
+	}
+	if _, err := NewArena[int](3, 1, WithObjectOptions(WithObstruction(0))); err == nil {
+		t.Error("object options not validated at NewArena")
+	}
+	// Anonymous-only snapshot restrictions do not apply (identified
+	// objects), but unknown impls are still rejected through the options.
+	if _, err := NewArena[int](3, 1, WithObjectOptions(WithSnapshot(SnapshotImpl(99)))); err == nil {
+		t.Error("bad snapshot impl not rejected")
+	}
+	// Shard count requests round up to powers of two.
+	ar, err := NewArena[int](3, 1, WithShards(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ar.Shards(); got != 4 {
+		t.Fatalf("Shards() = %d, want 4", got)
+	}
+}
+
+func TestArenaReleaseBusyHandle(t *testing.T) {
+	ar, err := NewArena[int](2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ao := ar.Object("busy")
+	h, err := ao.Proc(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block a Propose mid-flight by claiming the second process and letting
+	// contention... simpler: cancel-poison the handle, then Release must
+	// still succeed (poisoned handles are releasable).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.Propose(ctx, 1); err == nil {
+		t.Fatal("Propose with cancelled context succeeded")
+	}
+	if err := h.Release(); err != nil {
+		t.Fatalf("Release of poisoned handle: %v", err)
+	}
+	if !ar.Evict("busy") {
+		t.Fatal("Evict after poisoned-handle release failed")
+	}
+}

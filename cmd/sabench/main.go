@@ -12,6 +12,7 @@
 //	sabench -table t10 -n 12 -k 1 -maxr 5
 //	sabench -table backends -backend both
 //	sabench -table handles -n 6 -k 2 -backend lockfree
+//	sabench -table arena -backend lockfree
 package main
 
 import (
@@ -19,11 +20,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"setagreement"
+	iarena "setagreement/internal/arena"
 	"setagreement/internal/core"
 	"setagreement/internal/experiments"
 	"setagreement/internal/lowerbound"
@@ -35,16 +38,44 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, all")
+		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, arena, all")
 		n         = flag.Int("n", 6, "number of processes")
 		m         = flag.Int("m", 1, "obstruction degree")
 		k         = flag.Int("k", 2, "agreement degree")
 		maxR      = flag.Int("maxr", 5, "maximum register count for the t10 sweep")
 		instances = flag.Int("instances", 3, "instances per repeated run")
 		seeds     = flag.Int("seeds", 2, "schedules per check")
-		backend   = flag.String("backend", "both", "native memory backend for the backends table: locked, lockfree, both")
+		backend   = flag.String("backend", "both", "native memory backend for the backends, handles and arena tables: locked, lockfree, both")
 		format    = flag.String("format", "text", "output format: text, markdown, csv")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `usage: sabench [flags]
+
+sabench regenerates the paper's evaluation tables and the runtime
+benchmarks of this implementation. Pick one table with -table or run all:
+
+  fig1        register-bound table (the paper's Figure 1)
+  t2          Theorem 2 covering-adversary sweep
+  t10         Theorem 10 cloning-adversary sweep
+  dfgr13      comparison with the DFGR13 baseline algorithm
+  snapshots   snapshot-construction ablation
+  components  component-count ablation
+  minreg      minimum-register audit for selected (n, m, k)
+  probe       component-count probe under random schedules
+  latency     per-instance step-latency profile
+  backends    native shared-memory throughput, mutex vs lock-free
+  handles     per-handle instrumentation through the public API
+  arena       arena serving throughput: shards x objects x goroutines
+
+Examples:
+  sabench -table fig1 -format markdown
+  sabench -table t2 -n 6 -m 1 -k 2
+  sabench -table arena -backend lockfree
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	if err := run(*table, *n, *m, *k, *maxR, *instances, *seeds, *backend, *format); err != nil {
@@ -157,6 +188,16 @@ func run(table string, n, m, k, maxR, instances, seeds int, backend, format stri
 			return err
 		}
 	}
+	if wantAll || table == "arena" {
+		ran = true
+		backends, err := selectPublicBackends(backend)
+		if err != nil {
+			return err
+		}
+		if err := add(arenaThroughput(backends, 100*time.Millisecond)); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown table %q", table)
 	}
@@ -248,6 +289,82 @@ func handleStatsTable(backends []setagreement.MemoryBackend, n, k int) (*report.
 		}
 	}
 	return t, nil
+}
+
+// arenaThroughput measures the arena serving path — Object(key) lookups on
+// a pre-populated registry — across shard count × object count × goroutine
+// count, per backend. At 1 shard every lookup serializes on one RWMutex; on
+// multicore hardware throughput scales with the shard count. The same sweep
+// is available as a Go benchmark (BenchmarkArenaShards).
+func arenaThroughput(backends []setagreement.MemoryBackend, dur time.Duration) (*report.Table, error) {
+	t := report.New("Arena serving throughput (Object lookups/sec, higher is better)",
+		"backend", "shards", "objects", "goroutines", "lookups/sec")
+	// Shard counts are normalized to what NewArena actually uses (powers of
+	// two) and deduplicated, so the table never attributes one
+	// configuration's throughput to another.
+	var shardCounts []int
+	seen := make(map[int]bool)
+	for _, req := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		actual := iarena.Shards(req)
+		if !seen[actual] {
+			seen[actual] = true
+			shardCounts = append(shardCounts, actual)
+		}
+	}
+	for _, be := range backends {
+		for _, shards := range shardCounts {
+			for _, objects := range []int{16, 256} {
+				for _, goroutines := range []int{8, 32} {
+					ops, err := measureArenaOps(be, shards, objects, goroutines, dur)
+					if err != nil {
+						return nil, err
+					}
+					t.Add(be.String(), shards, objects, goroutines, fmt.Sprintf("%.0f", ops))
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// measureArenaOps hammers one arena's Object path from g goroutines over
+// `objects` pre-created keys for the duration and returns lookups/sec.
+// shards must already be normalized (a power of two, as iarena.Shards
+// returns) so the reported configuration matches the measured one.
+func measureArenaOps(be setagreement.MemoryBackend, shards, objects, g int, dur time.Duration) (float64, error) {
+	ar, err := setagreement.NewArena[int](4, 2,
+		setagreement.WithShards(shards),
+		setagreement.WithObjectOptions(setagreement.WithMemoryBackend(be)))
+	if err != nil {
+		return 0, err
+	}
+	keys := make([]string, objects)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("tenant-%04d", i)
+		ar.Object(keys[i])
+	}
+	var (
+		stop  atomic.Bool
+		total atomic.Int64
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < g; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var count int64
+			for i := w * 17; !stop.Load(); i++ {
+				ar.Object(keys[i%objects])
+				count++
+			}
+			total.Add(count)
+		}(w)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	return float64(total.Load()) / time.Since(start).Seconds(), nil
 }
 
 // backendThroughput measures native shared-memory throughput per backend:

@@ -31,6 +31,23 @@ func main() {
 		maxStates = flag.Int("states", 100_000, "maximum distinct configurations")
 		maxDepth  = flag.Int("depth", 48, "maximum schedule depth")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `usage: saexplore [flags]
+
+saexplore model-checks an algorithm in the small: it enumerates every
+configuration reachable within bounded depth (merging equivalent
+configurations) and checks validity and k-agreement in each. A
+non-truncated run is an exhaustive proof for that system size; a truncated
+run is still a far denser audit than schedule sampling.
+
+Examples:
+  saexplore -alg oneshot -n 2 -k 1 -depth 64
+  saexplore -alg repeated -n 2 -k 1 -instances 2 -states 50000
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 	if err := run(*algName, *n, *m, *k, *instances, *maxStates, *maxDepth); err != nil {
 		fmt.Fprintf(os.Stderr, "saexplore: %v\n", err)

@@ -41,6 +41,24 @@ func main() {
 		timeline   = flag.Bool("timeline", false, "print an ASCII space-time diagram")
 		jsonPath   = flag.String("json", "", "write the execution trace as JSONL to this file")
 	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `usage: sasim [flags]
+
+sasim runs one of the paper's algorithms in the deterministic simulator
+under a chosen schedule and reports the outcome: decisions per instance,
+step counts, distinct registers written, and safety verdicts. It can check
+the paper's lemma invariants after every step, run over register-implemented
+snapshots, and export or display the execution trace.
+
+Examples:
+  sasim -alg repeated -n 5 -m 1 -k 2 -sched random -seed 7 -instances 3
+  sasim -alg anonymous -n 4 -k 2 -sched eventually-m -timeline
+  sasim -alg oneshot -n 4 -k 2 -snapshot mw -invariants -json trace.jsonl
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
 	flag.Parse()
 
 	cfg := config{

@@ -1,0 +1,69 @@
+// Package setagreement is a production-oriented implementation of the
+// m-obstruction-free k-set agreement algorithms of Delporte-Gallet,
+// Fauconnier, Kuznetsov and Ruppert, "On the Space Complexity of Set
+// Agreement" (PODC 2015).
+//
+// k-set agreement lets n processes each propose a value and decide values
+// such that at most k distinct values are decided; k = 1 is consensus. The
+// algorithms here are m-obstruction-free: they are safe under any schedule
+// and guarantee termination whenever at most m processes are executing
+// concurrently (m = 1 is classic obstruction-freedom). Space is the paper's
+// headline: the non-anonymous algorithms use min(n+2m−k, n) registers and
+// the anonymous one (m+1)(n−k)+m²+1.
+//
+// # Entry points
+//
+// Three generic entry points mirror the paper's three algorithms, each over
+// an arbitrary comparable value domain T (the paper's abstract domain D):
+//
+//   - New[T] (one-shot, Figure 3): each process proposes once.
+//   - NewRepeated[T] (Figure 4): an unbounded ordered sequence of
+//     independent agreement instances, as needed by universal constructions.
+//   - NewAnonymous[T] / NewAnonymousOneShot[T] (Figure 5): processes have
+//     no identifiers at all.
+//
+// On top of them sit two composition layers:
+//
+//   - NewReplicated[S, O]: a universal construction — any deterministic
+//     sequential state machine replicated over repeated consensus.
+//   - NewArena[T]: a sharded, multi-tenant registry serving many named
+//     agreement objects — per-key leases, task queues, per-entity locks —
+//     with lazy creation, idle eviction (WithIdleTTL) and shared-memory
+//     recycling across object generations.
+//
+// # Handles
+//
+// The API is handle-first: a goroutine claims its process once — Proc(id)
+// on identified objects, Session() on anonymous ones — and then proposes
+// through the returned Handle. Claiming resolves the process's shared-
+// memory view, lifecycle state and instrumentation up front, so Propose
+// itself is lock- and allocation-free in the facade. Values are carried
+// through a pluggable Codec (WithCodec); the default interns arbitrary
+// comparable values and is the identity for int. Handles claimed through an
+// arena additionally support Release, which lets the arena evict and
+// recycle objects whose processes have all left.
+//
+// # Termination
+//
+// Obstruction-free operations may run forever under sustained contention.
+// Use contexts to bound Propose calls, and WithBackoff to make progress
+// likely under contention (the scheduling-based approach the paper's
+// introduction describes).
+//
+// # Runtime
+//
+// The native runtime is pluggable: WithMemoryBackend selects the
+// shared-memory substrate (lock-free atomic cells by default, or the
+// mutex-serialized reference backend), independently of WithSnapshot's
+// choice of snapshot construction. Every handle exposes Stats() — shared-
+// memory steps, scans, backend CAS retries, backoff sleep — as the
+// observability surface of the runtime; Arena.Stats rolls the same counters
+// up across every object it serves.
+//
+// The repository around this package also contains the deterministic
+// simulator, the executable lower-bound adversaries for the paper's
+// Theorems 2 and 10, and the benchmark harness reproducing its Figure 1.
+// See README.md and DESIGN.md for architecture, and PAPER_MAP.md for a
+// section-by-section mapping from the paper's algorithms, lemmas and
+// theorems to the code that implements and checks them.
+package setagreement

@@ -1,0 +1,113 @@
+package setagreement_test
+
+// Documentation health checks, run by the CI docs job: every relative link
+// in the top-level markdown files must resolve to a file in the repository,
+// and PAPER_MAP.md must cover every exported algorithm entry point of the
+// public package.
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the markdown files whose links must stay valid.
+var docFiles = []string{"README.md", "DESIGN.md", "PAPER_MAP.md"}
+
+// mdLink matches inline markdown links [text](target). Good enough for the
+// plain links these files use (no nested brackets, no reference links).
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func TestDocLinksResolve(t *testing.T) {
+	for _, doc := range docFiles {
+		data, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatalf("reading %s: %v", doc, err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue // external links are not checked offline
+			}
+			target, _, _ = strings.Cut(target, "#") // drop in-page anchors
+			if target == "" {
+				continue // pure-anchor link within the same file
+			}
+			path := filepath.FromSlash(target)
+			if _, err := os.Stat(path); err != nil {
+				t.Errorf("%s links to %q, which does not resolve: %v", doc, m[1], err)
+			}
+		}
+	}
+}
+
+// algorithmEntryPoints are the exported constructors of agreement-serving
+// objects; each must be traced in PAPER_MAP.md. The completeness of this
+// list itself is enforced below against the package source, so adding a new
+// New* entry point without documenting it fails this test.
+var algorithmEntryPoints = []string{
+	"New",
+	"NewRepeated",
+	"NewAnonymous",
+	"NewAnonymousOneShot",
+	"NewReplicated",
+	"NewArena",
+}
+
+// nonAlgorithmConstructors are exported New* functions that construct
+// helpers rather than agreement objects; they are documented in godoc, not
+// in the paper map.
+var nonAlgorithmConstructors = map[string]bool{
+	"NewInterningCodec": true,
+}
+
+func TestPaperMapCoversEveryEntryPoint(t *testing.T) {
+	data, err := os.ReadFile("PAPER_MAP.md")
+	if err != nil {
+		t.Fatalf("reading PAPER_MAP.md: %v", err)
+	}
+	text := string(data)
+	for _, name := range algorithmEntryPoints {
+		// Entry points are generic; the map writes them as `Name[...]`.
+		if !strings.Contains(text, "`"+name+"[") {
+			t.Errorf("PAPER_MAP.md does not cover entry point %s", name)
+		}
+	}
+
+	// Completeness: every exported New* function of the package must be
+	// either a listed entry point or an explicitly excluded helper.
+	listed := make(map[string]bool, len(algorithmEntryPoints))
+	for _, name := range algorithmEntryPoints {
+		listed[name] = true
+	}
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatalf("parsing package: %v", err)
+	}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Recv != nil || !fn.Name.IsExported() {
+					continue
+				}
+				name := fn.Name.Name
+				if !strings.HasPrefix(name, "New") {
+					continue
+				}
+				if !listed[name] && !nonAlgorithmConstructors[name] {
+					t.Errorf("exported constructor %s is neither traced in PAPER_MAP.md (algorithmEntryPoints) nor excluded (nonAlgorithmConstructors); update the paper map", name)
+				}
+			}
+		}
+	}
+}

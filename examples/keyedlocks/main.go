@@ -1,0 +1,106 @@
+// Command keyedlocks demonstrates per-key coordination through an Arena:
+// a fleet of workers competes for leases on named resources, where each
+// lease round is one consensus (k = 1) on the arena object named after the
+// resource. This is the workload shape the arena serves — many small
+// agreement objects created on demand, used briefly, and recycled — as
+// opposed to one hand-wired object.
+//
+// Each worker claims its process handle on the resources it wants, proposes
+// itself as the lease holder, and learns the decided holder; all workers
+// that contested one key agree on its holder. Handles are then released,
+// and the sweep evicts the idle objects, recycling their shared memory for
+// the next round of keys.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"setagreement"
+)
+
+const (
+	workers   = 4
+	resources = 6
+	rounds    = 3
+)
+
+func main() {
+	// One arena serves every resource: repeated consensus objects for
+	// `workers` processes, lock-free backend, evictable after 50ms idle.
+	ar, err := setagreement.NewArena[string](workers, 1,
+		setagreement.WithShards(8),
+		setagreement.WithIdleTTL(50*time.Millisecond),
+		setagreement.WithObjectOptions(
+			setagreement.WithMemoryBackend(setagreement.BackendLockFree),
+			setagreement.WithBackoff(time.Microsecond, time.Millisecond, 64),
+		),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	for round := 0; round < rounds; round++ {
+		keys := make([]string, resources)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("round%d/resource-%c", round, 'A'+i)
+		}
+
+		// Every worker contests every key: claim a handle per key, propose
+		// itself as the holder, collect the decided holders.
+		holders := make([]map[string]string, workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				me := fmt.Sprintf("worker-%d", w)
+				holders[w] = make(map[string]string)
+				for _, key := range keys {
+					h, err := ar.Object(key).Proc(w)
+					if err != nil {
+						log.Fatalf("%s: claim %s: %v", me, key, err)
+					}
+					decided, err := h.Propose(ctx, me)
+					if err != nil {
+						log.Fatalf("%s: propose on %s: %v", me, key, err)
+					}
+					holders[w][key] = decided
+					if err := h.Release(); err != nil {
+						log.Fatalf("%s: release %s: %v", me, key, err)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+
+		// Consensus per key: every worker saw the same holder.
+		fmt.Printf("round %d leases:\n", round)
+		for _, key := range keys {
+			holder := holders[0][key]
+			for w := 1; w < workers; w++ {
+				if holders[w][key] != holder {
+					log.Fatalf("consensus violated on %s: %q vs %q", key, holders[w][key], holder)
+				}
+			}
+			fmt.Printf("  %-20s held by %s\n", key, holder)
+		}
+
+		// All handles are released; once the TTL passes, the sweep reclaims
+		// this round's objects and their memories go back to the pool.
+		time.Sleep(60 * time.Millisecond)
+		evicted := ar.Sweep()
+		fmt.Printf("  swept %d idle objects\n", evicted)
+	}
+
+	s := ar.Stats()
+	fmt.Printf("\narena totals: objects created %d, evicted %d, pool hits %d\n",
+		s.Created, s.Evicted, s.PoolHits)
+	fmt.Printf("handles %d, proposes %d, shared-memory steps %d (scans %d), CAS retries %d\n",
+		s.Handles, s.Proposes, s.MemSteps, s.Scans, s.CASRetries)
+}

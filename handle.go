@@ -30,6 +30,10 @@ type Handle[T comparable] struct {
 	st      atomic.Uint32
 	guard   guardMem
 	stats   handleStats
+	// onRelease, when set by the object that issued the handle (the arena
+	// does), runs exactly once when Release succeeds. Set before the handle
+	// escapes to the caller, never mutated afterwards.
+	onRelease func()
 }
 
 // handle lifecycle states, stored in Handle.st.
@@ -40,6 +44,7 @@ const (
 	stateBusy
 	stateDone
 	statePoisoned
+	stateReleased
 )
 
 // ID returns the process identifier the handle was claimed for, or -1 for
@@ -63,6 +68,8 @@ func (h *Handle[T]) Propose(ctx context.Context, v T) (T, error) {
 			return zero, ErrAlreadyProposed
 		case statePoisoned:
 			return zero, ErrPoisoned
+		case stateReleased:
+			return zero, ErrReleased
 		}
 		if h.st.CompareAndSwap(stateFree, stateBusy) {
 			break
@@ -110,6 +117,32 @@ func (h *Handle[T]) run(ctx context.Context, code int) (out int, err error) {
 		}
 	}()
 	return h.proc.Propose(&h.guard, code), nil
+}
+
+// Release permanently retires the handle: every later Propose fails with
+// ErrReleased. Releasing is how a process tells the object it has left —
+// on arena objects a key whose handles are all released becomes eligible
+// for idle eviction, and its shared memory is recycled for the next object.
+// Release is idempotent and safe to call on done or poisoned handles; it
+// fails with ErrInUse if a Propose is in flight (a handle is one process —
+// finish or cancel the operation first). The process id stays consumed:
+// release does not make the id claimable again on the same object.
+func (h *Handle[T]) Release() error {
+	for {
+		st := h.st.Load()
+		switch st {
+		case stateBusy:
+			return ErrInUse
+		case stateReleased:
+			return nil
+		}
+		if h.st.CompareAndSwap(st, stateReleased) {
+			if h.onRelease != nil {
+				h.onRelease()
+			}
+			return nil
+		}
+	}
 }
 
 // Stats is a point-in-time view of a handle's instrumentation. Proposes,

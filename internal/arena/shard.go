@@ -1,0 +1,58 @@
+// Package arena holds the backend-level building blocks of the public
+// Arena: shard sizing and key hashing for the sharded name→object map, and
+// the pool that recycles one evicted object's shared memory for the next.
+// The generic, typed registry itself lives in the root package (arena.go);
+// everything here is deliberately free of type parameters so it can be
+// tested and benchmarked in isolation.
+package arena
+
+import (
+	"hash/maphash"
+	"runtime"
+)
+
+// MaxShards bounds the shard count; beyond this the per-shard maps are so
+// sparse that the extra cache lines cost more than the contention they
+// remove.
+const MaxShards = 1 << 10
+
+// Shards normalizes a requested shard count: 0 picks a default sized to the
+// machine (the next power of two ≥ 4×GOMAXPROCS, so that under full
+// parallelism a random key has a ~3/4 chance of an uncontended shard), and
+// any other request is rounded up to a power of two so the shard index is a
+// mask of the key hash rather than a modulo.
+func Shards(requested int) int {
+	if requested <= 0 {
+		requested = 4 * runtime.GOMAXPROCS(0)
+	}
+	if requested > MaxShards {
+		requested = MaxShards
+	}
+	return nextPow2(requested)
+}
+
+// nextPow2 returns the smallest power of two ≥ v (v ≥ 1).
+func nextPow2(v int) int {
+	p := 1
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// Hasher computes shard indices for string keys. The seed is drawn once per
+// arena, so key→shard placement is not predictable across processes (no
+// adversarial key set can pin all traffic to one shard deterministically).
+// A Hasher is safe for concurrent use; maphash.String is stateless.
+type Hasher struct {
+	seed maphash.Seed
+}
+
+// NewHasher returns a Hasher with a fresh random seed.
+func NewHasher() Hasher { return Hasher{seed: maphash.MakeSeed()} }
+
+// Shard maps key to a shard index in [0, shards); shards must be a power of
+// two (as Shards returns).
+func (h Hasher) Shard(key string, shards int) int {
+	return int(maphash.String(h.seed, key) & uint64(shards-1))
+}

@@ -1,0 +1,41 @@
+// Package core implements the three set-agreement algorithms of the paper
+// "On the Space Complexity of Set Agreement" (Delporte-Gallet, Fauconnier,
+// Kuznetsov, Ruppert; PODC 2015):
+//
+//   - OneShot: the m-obstruction-free one-shot k-set agreement algorithm of
+//     Figure 3, using a snapshot object with n+2m−k components.
+//   - Repeated: the repeated k-set agreement algorithm of Figure 4, same
+//     space, with history shortcuts across instances.
+//   - AnonRepeated / AnonOneShot: the anonymous algorithm of Figure 5, using
+//     a snapshot with (m+1)(n−k)+m² components plus (repeated only) one
+//     extra register H.
+//
+// Algorithms are written against shmem.Mem, so they run unchanged on the
+// deterministic simulator (package sim) and on the native in-process runtime
+// (package register).
+//
+// # The Algorithm and Process contract
+//
+// An Algorithm is a factory plus a footprint: Spec() declares the shared
+// memory it needs (registers and snapshot component counts), Registers()
+// the paper's claimed register cost that experiments audit against, and
+// NewProcess(id) creates one process's persistent local state — what the
+// pseudocode keeps across operations of a single process (the current
+// instance number, the output history, the preferred value). A Process is
+// used by one caller at a time; every shared-memory effect flows through
+// the Mem passed to Propose, never through hidden state, which is what
+// lets the facade resolve a process's memory view once at handle-claim
+// time and what keeps the simulator's step accounting exact.
+//
+// Each algorithm also has a *Components constructor (NewOneShotComponents,
+// NewRepeatedComponents, NewAnonComponents) taking an explicit component
+// count r instead of the paper's formula: larger r preserves correctness
+// (the pigeonhole arguments only need the formula as a lower bound on r),
+// and smaller r is how the lower-bound adversaries in package lowerbound
+// exhibit counterexample executions.
+//
+// The paper's lemma-level safety arguments are executable: package spec
+// checks validity, k-agreement and m-obstruction-freedom over simulated
+// runs, and its invariants (Lemma 3, Lemma 12, stored-value validity) can
+// be checked after every simulator step.
+package core

@@ -1,18 +1,3 @@
-// Package core implements the three set-agreement algorithms of the paper
-// "On the Space Complexity of Set Agreement" (Delporte-Gallet, Fauconnier,
-// Kuznetsov, Ruppert; PODC 2015):
-//
-//   - OneShot: the m-obstruction-free one-shot k-set agreement algorithm of
-//     Figure 3, using a snapshot object with n+2m−k components.
-//   - Repeated: the repeated k-set agreement algorithm of Figure 4, same
-//     space, with history shortcuts across instances.
-//   - AnonRepeated / AnonOneShot: the anonymous algorithm of Figure 5, using
-//     a snapshot with (m+1)(n−k)+m² components plus (repeated only) one
-//     extra register H.
-//
-// Algorithms are written against shmem.Mem, so they run unchanged on the
-// deterministic simulator (package sim) and on the native in-process runtime
-// (package register).
 package core
 
 import (

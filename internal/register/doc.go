@@ -1,0 +1,29 @@
+// Package register provides the native in-process shared-memory runtime: the
+// substrate for running the paper's algorithms between real goroutines
+// rather than simulated processes.
+//
+// The runtime is pluggable (shmem.Backend): two backends realize the
+// atomic-register model of the paper with different synchronization
+// strategies.
+//
+//   - Locked: a single mutex guards each operation. Simple and obviously
+//     linearizable, but every operation of every goroutine serializes on one
+//     lock.
+//   - LockFree: per-register atomic pointer cells and immutable-version
+//     CAS snapshots (one atomic pointer per snapshot object). Reads,
+//     writes and scans are wait-free single atomic operations; updates
+//     install a new immutable version by compare-and-swap and are
+//     lock-free.
+//
+// Both backends implement the optional shmem capabilities they can honor:
+// Stepper (operation counts, effect visible no later than the increment),
+// Resetter (restore initial state for pooled reuse — the arena recycles
+// evicted objects' memories through this), and, on LockFree only,
+// CASRetrier (failed version installs, a direct contention signal).
+//
+// Register-based snapshot constructions from package snapshot can be layered
+// on top of either backend via snapshot.Wire for end-to-end register-only
+// runs. Conformance to the shmem.Mem contract is enforced by running
+// shmem/shmemtest against every backend in Backends(); linearizability
+// under real concurrency is checked by this package's test suites.
+package register

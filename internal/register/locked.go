@@ -1,23 +1,3 @@
-// Package register provides the native in-process shared-memory runtime: the
-// substrate for running the paper's algorithms between real goroutines
-// rather than simulated processes.
-//
-// The runtime is pluggable (shmem.Backend): two backends realize the
-// atomic-register model of the paper with different synchronization
-// strategies.
-//
-//   - Locked: a single mutex guards each operation. Simple and obviously
-//     linearizable, but every operation of every goroutine serializes on one
-//     lock.
-//   - LockFree: per-register atomic pointer cells and immutable-version
-//     CAS snapshots (one atomic pointer per snapshot object). Reads,
-//     writes and scans are wait-free single atomic operations; updates
-//     install a new immutable version by compare-and-swap and are
-//     lock-free.
-//
-// Register-based snapshot constructions from package snapshot can be layered
-// on top of either backend via snapshot.Wire for end-to-end register-only
-// runs.
 package register
 
 import (
@@ -38,8 +18,9 @@ type Locked struct {
 }
 
 var (
-	_ shmem.Mem     = (*Locked)(nil)
-	_ shmem.Stepper = (*Locked)(nil)
+	_ shmem.Mem      = (*Locked)(nil)
+	_ shmem.Stepper  = (*Locked)(nil)
+	_ shmem.Resetter = (*Locked)(nil)
 )
 
 // NewLocked allocates mutex-guarded native memory for the spec.
@@ -97,4 +78,22 @@ func (n *Locked) Steps() int64 {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.steps
+}
+
+// Reset implements shmem.Resetter: it restores the initial all-nil state and
+// zeroes the step counter. The caller must guarantee no operation is in
+// flight. Snapshot slices are zeroed in place — Scan hands out copies, so no
+// previously returned view is affected.
+func (n *Locked) Reset() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := range n.regs {
+		n.regs[i] = nil
+	}
+	for _, s := range n.snaps {
+		for i := range s {
+			s[i] = nil
+		}
+	}
+	n.steps = 0
 }

@@ -50,6 +50,7 @@ var (
 	_ shmem.Mem        = (*LockFree)(nil)
 	_ shmem.Stepper    = (*LockFree)(nil)
 	_ shmem.CASRetrier = (*LockFree)(nil)
+	_ shmem.Resetter   = (*LockFree)(nil)
 )
 
 // boxedInts interns boxed small non-negative ints, the dominant value type
@@ -139,3 +140,19 @@ func (m *LockFree) Steps() int64 { return m.steps.Load() }
 // CASRetries implements shmem.CASRetrier: each count is one Update install
 // that lost to a concurrent update and had to rebuild its version.
 func (m *LockFree) CASRetries() int64 { return m.retries.Load() }
+
+// Reset implements shmem.Resetter: it restores the initial all-nil state and
+// zeroes the counters. The caller must guarantee no operation is in flight.
+// Previously scanned versions stay immutable — Reset installs fresh initial
+// versions rather than mutating old ones.
+func (m *LockFree) Reset() {
+	for i := range m.regs {
+		m.regs[i].Store(nil)
+	}
+	for i := range m.snaps {
+		initial := make([]shmem.Value, len(*m.snaps[i].Load()))
+		m.snaps[i].Store(&initial)
+	}
+	m.steps.Store(0)
+	m.retries.Store(0)
+}

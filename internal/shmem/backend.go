@@ -34,6 +34,19 @@ type CASRetrier interface {
 	CASRetries() int64
 }
 
+// Resetter is an optional capability of a Mem: restore the memory to its
+// initial state (every register nil, every snapshot component nil, all
+// counters zero), so the allocation can be recycled for a fresh agreement
+// object instead of going back to the garbage collector. Reset must only be
+// called while no other goroutine is performing operations on the memory;
+// the caller is responsible for that quiescence (the arena guarantees it by
+// evicting an object only once every handle has been released). Concurrent
+// reads of optional counters (Stepper, CASRetrier) remain safe.
+type Resetter interface {
+	// Reset restores the memory to the state a fresh New(spec) would have.
+	Reset()
+}
+
 // BackendFunc adapts a name and a factory function to the Backend interface,
 // for lightweight backend definitions and test doubles.
 type BackendFunc struct {

@@ -1,0 +1,63 @@
+// Package shmem defines the shared-memory interface that all set-agreement
+// algorithms in this repository are written against.
+//
+// The same algorithm code runs on two substrates:
+//
+//   - the deterministic simulator (package sim), where every shared-memory
+//     operation is a scheduler-granted step, and
+//   - the native in-process runtime (package register), where operations are
+//     executed directly by goroutines against a pluggable Backend (lock-free
+//     atomic cells by default, or a mutex-guarded reference implementation).
+//
+// The model is the standard asynchronous shared memory of the paper: a fixed
+// set of multi-writer multi-reader atomic registers, plus multi-writer atomic
+// snapshot objects (which the paper builds from registers, citing its
+// references [1,5,7,13]; this repository also provides register-based
+// snapshot constructions in package snapshot).
+//
+// # The Mem contract
+//
+// A Mem is one process's handle to shared memory; each of its four
+// operations — Read, Write, Update, Scan — is a single atomic step in the
+// paper's model, linearizable and safe for unbounded goroutine concurrency.
+// Two rules matter to every implementor and caller:
+//
+//   - The read-only view rule: a slice returned by Scan must be treated as
+//     read-only and is stable — later operations never change it.
+//     Implementations may hand out an immutable shared version (the
+//     lock-free backend does) or a fresh copy (the mutex backend does);
+//     callers must not write into either. Symmetrically, values stored into
+//     memory must be treated as immutable by everyone afterwards.
+//   - A Mem value is one process's view: implementations must tolerate any
+//     number of concurrent processes, but a single Mem value is used by one
+//     process at a time.
+//
+// # Optional capabilities
+//
+// Backends advertise extra powers through optional interfaces on the Mem
+// they return:
+//
+//   - Stepper: a monotonic operation counter. An operation's effect must be
+//     visible no later than the counter increment it is charged to, which
+//     is what lets the linearizability harnesses derive conservative
+//     real-time intervals from counter readings.
+//   - CASRetrier: the count of failed compare-and-swap installs in a
+//     lock-free update path — a direct contention signal (each retry is one
+//     concurrent update that linearized first). Backends that never retry
+//     simply omit the capability.
+//   - TryScanner: bounded scan attempts, provided by wait-free substrates
+//     trivially and by the non-blocking double-collect construction so
+//     callers can interleave other work between attempts.
+//   - Resetter: restore the memory to its initial state so the allocation
+//     can be recycled for a fresh agreement object (the arena's pool uses
+//     this). Reset requires quiescence; concurrent counter reads stay safe.
+//
+// # Backend conformance
+//
+// Package shmem/shmemtest is the executable form of this contract: any
+// Backend must pass shmemtest.Run unchanged — initial state, read-own-write,
+// object independence, scan view stability, instance isolation, step and
+// CAS-retry accounting, reset semantics, scan atomicity and comparability
+// under concurrent updaters, and a race-detector hammer. Add a new backend
+// to register.Backends() and the existing test matrix picks it up.
+package shmem

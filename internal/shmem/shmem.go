@@ -1,19 +1,3 @@
-// Package shmem defines the shared-memory interface that all set-agreement
-// algorithms in this repository are written against.
-//
-// The same algorithm code runs on two substrates:
-//
-//   - the deterministic simulator (package sim), where every shared-memory
-//     operation is a scheduler-granted step, and
-//   - the native in-process runtime (package register), where operations are
-//     executed directly by goroutines against a pluggable Backend (lock-free
-//     atomic cells by default, or a mutex-guarded reference implementation).
-//
-// The model is the standard asynchronous shared memory of the paper: a fixed
-// set of multi-writer multi-reader atomic registers, plus multi-writer atomic
-// snapshot objects (which the paper builds from registers, citing its
-// references [1,5,7,13]; this repository also provides register-based
-// snapshot constructions in package snapshot).
 package shmem
 
 import "fmt"

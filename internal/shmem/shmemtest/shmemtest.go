@@ -27,6 +27,7 @@ func Run(t *testing.T, b shmem.Backend) {
 	t.Run("InstanceIsolation", func(t *testing.T) { instanceIsolation(t, b) })
 	t.Run("StepAccounting", func(t *testing.T) { stepAccounting(t, b) })
 	t.Run("CASRetryAccounting", func(t *testing.T) { casRetryAccounting(t, b) })
+	t.Run("ResetRestoresInitialState", func(t *testing.T) { resetRestoresInitialState(t, b) })
 	t.Run("ScanAtomicUnderUpdaters", func(t *testing.T) { scanAtomicUnderUpdaters(t, b) })
 	t.Run("ScanComparability", func(t *testing.T) { scanComparability(t, b) })
 	t.Run("ConcurrentHammer", func(t *testing.T) { concurrentHammer(t, b) })
@@ -195,6 +196,63 @@ func casRetryAccounting(t *testing.T, b shmem.Backend) {
 	end := rc.CASRetries()
 	if mid < 0 || end < mid {
 		t.Fatalf("CASRetries not monotonic: read %d then %d", mid, end)
+	}
+}
+
+func resetRestoresInitialState(t *testing.T, b shmem.Backend) {
+	// The Resetter capability: after Reset, the memory is indistinguishable
+	// from a fresh New(spec) — all registers and components nil, counters
+	// zero — and views scanned before the Reset stay stable. This is what
+	// lets a pool recycle one object's memory for the next.
+	m := mustNew(t, b, shmem.Spec{Regs: 2, Snaps: []int{3}})
+	r, ok := m.(shmem.Resetter)
+	if !ok {
+		t.Skipf("%s does not support Reset", b.Name())
+	}
+	m.Write(0, "x")
+	m.Write(1, 7)
+	m.Update(0, 0, 1)
+	m.Update(0, 2, "y")
+	before := m.Scan(0)
+	r.Reset()
+	if before[0] != 1 || before[1] != nil || before[2] != "y" {
+		t.Fatalf("pre-reset scan view changed retroactively: %v", before)
+	}
+	for reg := 0; reg < 2; reg++ {
+		if got := m.Read(reg); got != nil {
+			t.Errorf("post-reset Read(%d) = %v, want nil", reg, got)
+		}
+	}
+	view := m.Scan(0)
+	if len(view) != 3 {
+		t.Fatalf("post-reset Scan has %d components, want 3", len(view))
+	}
+	for c, v := range view {
+		if v != nil {
+			t.Errorf("post-reset Scan[%d] = %v, want nil", c, v)
+		}
+	}
+	// Counter capabilities restart from zero (3 ops since Reset: 2 reads +
+	// 1 scan... read them afresh to stay exact).
+	if clock, ok := m.(shmem.Stepper); ok {
+		base := clock.Steps()
+		m.Write(0, 1)
+		if got := clock.Steps(); got != base+1 {
+			t.Errorf("post-reset Steps() advanced %d, want 1", got-base)
+		}
+		if base != 3 { // Read(0), Read(1), Scan(0) above
+			t.Errorf("Steps() = %d right after Reset+3 ops, want 3 (counter not zeroed)", base)
+		}
+	}
+	if rc, ok := m.(shmem.CASRetrier); ok {
+		if got := rc.CASRetries(); got != 0 {
+			t.Errorf("post-reset CASRetries() = %d, want 0", got)
+		}
+	}
+	// The memory is fully usable after Reset.
+	m.Update(0, 1, "again")
+	if v := m.Scan(0); v[1] != "again" {
+		t.Fatalf("post-reset Update/Scan = %v", v)
 	}
 }
 

@@ -1,0 +1,35 @@
+// Package snapshot provides the multi-writer snapshot objects the paper's
+// algorithms are written against, in four implementations:
+//
+//   - Atomic: the snapshot as a primitive of the underlying memory (one
+//     atomic step per operation). This is the default substrate; the paper
+//     treats snapshots as given, citing register constructions [1,5,7,13].
+//   - MW: a wait-free r-component multi-writer snapshot from r MWMR
+//     registers using embedded scans (the construction family of Afek et
+//     al. [1], multi-writer variant as used by Ellen-Fatourou-Ruppert [5]).
+//   - SWEmulation: an r-component multi-writer snapshot from n single-writer
+//     components (Vitányi-Awerbuch-style [13] timestamped emulation layered
+//     over an inner snapshot), realizing the min(·, n) branch of Theorems
+//     7/8.
+//   - DoubleCollect: a non-blocking snapshot from r registers usable by
+//     anonymous processes, standing in for the Guerraoui-Ruppert anonymous
+//     construction [7] (see the type's documentation for the substitution).
+//
+// All register-based implementations are expressed against shmem.Mem
+// Read/Write only, so they run on both the simulator and the native runtime,
+// and their step costs are visible to the simulator's accounting.
+//
+// # Wiring and materializing
+//
+// Wire is the layout computation: given an algorithm's shmem.Spec and an
+// Impl, it returns the physical register spec that realization costs plus a
+// per-process wrapper presenting the algorithm's logical memory over the
+// physical one. Materialize additionally allocates the physical memory from
+// a shmem.Backend. Because the wiring is expressed against shmem.Mem alone,
+// every construction runs on every backend; the full construction × backend
+// matrix is covered by the conformance and linearizability suites. The
+// per-process wrapper keeps all shared state in the backend memory itself —
+// wrapper objects hold only process-local state — which is what lets an
+// arena recycle a materialized (memory, wrapper) pair for a fresh object
+// after a Reset.
+package snapshot

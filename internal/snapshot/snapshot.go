@@ -1,23 +1,3 @@
-// Package snapshot provides the multi-writer snapshot objects the paper's
-// algorithms are written against, in four implementations:
-//
-//   - Atomic: the snapshot as a primitive of the underlying memory (one
-//     atomic step per operation). This is the default substrate; the paper
-//     treats snapshots as given, citing register constructions [1,5,7,13].
-//   - MW: a wait-free r-component multi-writer snapshot from r MWMR
-//     registers using embedded scans (the construction family of Afek et
-//     al. [1], multi-writer variant as used by Ellen-Fatourou-Ruppert [5]).
-//   - SWEmulation: an r-component multi-writer snapshot from n single-writer
-//     components (Vitányi-Awerbuch-style [13] timestamped emulation layered
-//     over an inner snapshot), realizing the min(·, n) branch of Theorems
-//     7/8.
-//   - DoubleCollect: a non-blocking snapshot from r registers usable by
-//     anonymous processes, standing in for the Guerraoui-Ruppert anonymous
-//     construction [7] (see the type's documentation for the substitution).
-//
-// All register-based implementations are expressed against shmem.Mem
-// Read/Write only, so they run on both the simulator and the native runtime,
-// and their step costs are visible to the simulator's accounting.
 package snapshot
 
 import "setagreement/internal/shmem"

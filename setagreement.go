@@ -1,48 +1,3 @@
-// Package setagreement is a production-oriented implementation of the
-// m-obstruction-free k-set agreement algorithms of Delporte-Gallet,
-// Fauconnier, Kuznetsov and Ruppert, "On the Space Complexity of Set
-// Agreement" (PODC 2015).
-//
-// k-set agreement lets n processes each propose a value and decide values
-// such that at most k distinct values are decided; k = 1 is consensus. The
-// algorithms here are m-obstruction-free: they are safe under any schedule
-// and guarantee termination whenever at most m processes are executing
-// concurrently (m = 1 is classic obstruction-freedom). Space is the paper's
-// headline: the non-anonymous algorithms use min(n+2m−k, n) registers and
-// the anonymous one (m+1)(n−k)+m²+1.
-//
-// Three generic entry points mirror the paper's three algorithms, each over
-// an arbitrary comparable value domain T (the paper's abstract domain D):
-//
-//   - New[T] (one-shot, Figure 3): each process proposes once.
-//   - NewRepeated[T] (Figure 4): an unbounded ordered sequence of
-//     independent agreement instances, as needed by universal constructions.
-//   - NewAnonymous[T] (Figure 5): processes have no identifiers at all.
-//
-// The API is handle-first: a goroutine claims its process once — Proc(id)
-// on identified objects, Session() on anonymous ones — and then proposes
-// through the returned Handle. Claiming resolves the process's shared-
-// memory view, lifecycle state and instrumentation up front, so Propose
-// itself is lock- and allocation-free in the facade. Values are carried
-// through a pluggable Codec (WithCodec); the default interns arbitrary
-// comparable values and is the identity for int.
-//
-// Termination caveat: obstruction-free operations may run forever under
-// sustained contention. Use contexts to bound Propose calls, and WithBackoff
-// to make progress likely under contention (the scheduling-based approach
-// the paper's introduction describes).
-//
-// The native runtime is pluggable: WithMemoryBackend selects the
-// shared-memory substrate (lock-free atomic cells by default, or the
-// mutex-serialized reference backend), independently of WithSnapshot's
-// choice of snapshot construction. Every handle exposes Stats() — shared-
-// memory steps, scans, backend CAS retries, backoff sleep — as the
-// observability surface of the runtime.
-//
-// The repository around this package also contains the deterministic
-// simulator, the executable lower-bound adversaries for the paper's
-// Theorems 2 and 10, and the benchmark harness reproducing its Figure 1;
-// see README.md and DESIGN.md.
 package setagreement
 
 import (
@@ -72,6 +27,12 @@ var (
 	// ErrInUse is returned when a process id is claimed twice, or when two
 	// goroutines Propose concurrently on one handle.
 	ErrInUse = errors.New("setagreement: process already in use")
+	// ErrReleased is returned by Propose on a handle whose owner has called
+	// Release: the process has permanently left the object.
+	ErrReleased = errors.New("setagreement: handle released")
+	// ErrEvicted is returned by an arena object that has been evicted; fetch
+	// the current object for the key with Arena.Object again.
+	ErrEvicted = errors.New("setagreement: object evicted from arena")
 )
 
 // object is the shared core of the three public agreement types: the
