@@ -86,7 +86,9 @@ type retiredStats struct {
 	proposes   int64
 	steps      int64
 	scans      int64
-	backoffNS  int64
+	waitNS     int64
+	wakeups    int64
+	spurious   int64
 	memSteps   int64
 	casRetries int64
 }
@@ -420,10 +422,11 @@ type ArenaStats struct {
 	// Handles counts handles ever claimed; LiveHandles the claimed,
 	// unreleased ones.
 	Handles, LiveHandles int64
-	// Proposes, Steps, Scans and BackoffWait sum the per-handle counters
-	// of every handle ever claimed.
-	Proposes, Steps, Scans int64
-	BackoffWait            time.Duration
+	// Proposes, Steps, Scans, WaitTime, Wakeups and SpuriousWakeups sum
+	// the per-handle counters of every handle ever claimed.
+	Proposes, Steps, Scans   int64
+	WaitTime                 time.Duration
+	Wakeups, SpuriousWakeups int64
 	// MemSteps and CASRetries sum the backend memory counters over all
 	// objects and generations.
 	MemSteps, CASRetries int64
@@ -447,7 +450,8 @@ func (ar *Arena[T]) Stats() ArenaStats {
 	defer ar.retiredMu.Unlock()
 	r := ar.retired
 	s.Proposes, s.Steps, s.Scans = r.proposes, r.steps, r.scans
-	s.BackoffWait = time.Duration(r.backoffNS)
+	s.WaitTime = time.Duration(r.waitNS)
+	s.Wakeups, s.SpuriousWakeups = r.wakeups, r.spurious
 	s.MemSteps, s.CASRetries = r.memSteps, r.casRetries
 	for i := range ar.shards {
 		sh := &ar.shards[i]
@@ -475,7 +479,9 @@ func (ar *Arena[T]) Stats() ArenaStats {
 			s.Proposes += os.Proposes
 			s.Steps += os.Steps
 			s.Scans += os.Scans
-			s.BackoffWait += os.BackoffWait
+			s.WaitTime += os.WaitTime
+			s.Wakeups += os.Wakeups
+			s.SpuriousWakeups += os.SpuriousWakeups
 			s.MemSteps += os.MemSteps
 			s.CASRetries += os.CASRetries
 		}
@@ -595,7 +601,9 @@ func (ao *ArenaObject[T]) Stats() Stats {
 		s.Proposes += h.stats.proposes.Load()
 		s.Steps += h.stats.steps.Load()
 		s.Scans += h.stats.scans.Load()
-		s.BackoffWait += time.Duration(h.stats.backoffNS.Load())
+		s.WaitTime += time.Duration(h.stats.waitNS.Load())
+		s.Wakeups += h.stats.wakeups.Load()
+		s.SpuriousWakeups += h.stats.spurious.Load()
 	}
 	if dead {
 		s.MemSteps, s.CASRetries = frozenMS, frozenCR
@@ -653,7 +661,9 @@ func (ar *Arena[T]) fold(ao *ArenaObject[T]) {
 	ar.retired.proposes += s.Proposes
 	ar.retired.steps += s.Steps
 	ar.retired.scans += s.Scans
-	ar.retired.backoffNS += int64(s.BackoffWait)
+	ar.retired.waitNS += int64(s.WaitTime)
+	ar.retired.wakeups += s.Wakeups
+	ar.retired.spurious += s.SpuriousWakeups
 	ar.retired.memSteps += s.MemSteps
 	ar.retired.casRetries += s.CASRetries
 	ao.folded = true

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -144,6 +145,54 @@ func BenchmarkArenaPropose(b *testing.B) {
 					v++
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkArenaProposeWaits is the contended arena path under each wait
+// strategy: pairs of workers share a key (processes 0 and 1 of one object)
+// and drive repeated consensus against each other, with the strategy
+// threaded through the arena's object mold. This is where the wait
+// subsystem meets the serving layer: recycled runtimes reset their waiter
+// state through the same Resetter path the pool already uses.
+func BenchmarkArenaProposeWaits(b *testing.B) {
+	strategies := []setagreement.WaitStrategy{
+		setagreement.WaitBackoff, setagreement.WaitNotify, setagreement.WaitHybrid,
+	}
+	const pairs = 4
+	for _, strat := range strategies {
+		b.Run(fmt.Sprintf("strategy=%s/pairs=%d", strat, pairs), func(b *testing.B) {
+			ar, err := setagreement.NewArena[int](2, 1,
+				setagreement.WithObjectOptions(
+					setagreement.WithWaitStrategy(strat),
+					setagreement.WithBackoff(100*time.Microsecond, 5*time.Millisecond, 16)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			handles := make([]*setagreement.Handle[int], 2*pairs)
+			for w := range handles {
+				h, err := ar.Object(fmt.Sprintf("pair-%d", w/2)).Proc(w % 2)
+				if err != nil {
+					b.Fatal(err)
+				}
+				handles[w] = h
+			}
+			b.ResetTimer()
+			var wg sync.WaitGroup
+			for w, h := range handles {
+				wg.Add(1)
+				go func(w int, h *setagreement.Handle[int]) {
+					defer wg.Done()
+					for i := 0; i < b.N; i++ {
+						if _, err := h.Propose(ctx, 1000*i+w); err != nil {
+							b.Errorf("worker %d: %v", w, err)
+							return
+						}
+					}
+				}(w, h)
+			}
+			wg.Wait()
 		})
 	}
 }

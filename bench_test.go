@@ -433,6 +433,78 @@ func BenchmarkBackendPropose(b *testing.B) {
 	}
 }
 
+// BenchmarkWaitStrategies compares how contended Proposes spend their yield
+// points: blind backoff sleeps against event-driven notify/hybrid waits,
+// per backend, at increasing proposer counts over one repeated-consensus
+// object. All strategies share one escalation schedule (100µs–5ms cap,
+// window 16), so the difference is purely the wait mechanism; wait-ns/op
+// and wakeups/op expose it alongside ns/op. The solo case (proposers=1)
+// doubles as the no-regression check: an event-driven strategy must never
+// put a lone proposer to sleep.
+func BenchmarkWaitStrategies(b *testing.B) {
+	backends := []setagreement.MemoryBackend{
+		setagreement.BackendLockFree,
+		setagreement.BackendLocked,
+	}
+	strategies := []setagreement.WaitStrategy{
+		setagreement.WaitBackoff,
+		setagreement.WaitNotify,
+		setagreement.WaitHybrid,
+	}
+	for _, backend := range backends {
+		for _, strat := range strategies {
+			for _, g := range []int{1, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/proposers=%d", backend, strat, g), func(b *testing.B) {
+					n := g
+					if n < 2 {
+						n = 2
+					}
+					r, err := setagreement.NewRepeated[int](n, 1,
+						setagreement.WithMemoryBackend(backend),
+						setagreement.WithWaitStrategy(strat),
+						setagreement.WithBackoff(100*time.Microsecond, 5*time.Millisecond, 16),
+					)
+					if err != nil {
+						b.Fatalf("NewRepeated: %v", err)
+					}
+					handles := make([]*setagreement.Handle[int], g)
+					for id := range handles {
+						if handles[id], err = r.Proc(id); err != nil {
+							b.Fatalf("Proc: %v", err)
+						}
+					}
+					ctx := context.Background()
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					for id, h := range handles {
+						wg.Add(1)
+						go func(id int, h *setagreement.Handle[int]) {
+							defer wg.Done()
+							for i := 0; i < b.N; i++ {
+								if _, err := h.Propose(ctx, 1000*i+id); err != nil {
+									b.Errorf("propose: %v", err)
+									return
+								}
+							}
+						}(id, h)
+					}
+					wg.Wait()
+					b.StopTimer()
+					var waitNS, wakeups int64
+					for _, h := range handles {
+						s := h.Stats()
+						waitNS += int64(s.WaitTime)
+						wakeups += s.Wakeups
+					}
+					ops := float64(b.N * g)
+					b.ReportMetric(float64(waitNS)/ops, "wait-ns/op")
+					b.ReportMetric(float64(wakeups)/ops, "wakeups/op")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkCoverAttackMTwo measures the Theorem 2 adversary with m = 2
 // groups, where the γ fragments are found by exhaustive interleaving
 // search.

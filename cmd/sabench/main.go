@@ -13,6 +13,7 @@
 //	sabench -table backends -backend both
 //	sabench -table handles -n 6 -k 2 -backend lockfree
 //	sabench -table arena -backend lockfree
+//	sabench -table waits -backend lockfree -json
 package main
 
 import (
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,15 +40,17 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, arena, all")
+		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, arena, waits, all")
 		n         = flag.Int("n", 6, "number of processes")
 		m         = flag.Int("m", 1, "obstruction degree")
 		k         = flag.Int("k", 2, "agreement degree")
 		maxR      = flag.Int("maxr", 5, "maximum register count for the t10 sweep")
 		instances = flag.Int("instances", 3, "instances per repeated run")
 		seeds     = flag.Int("seeds", 2, "schedules per check")
-		backend   = flag.String("backend", "both", "native memory backend for the backends, handles and arena tables: locked, lockfree, both")
+		backend   = flag.String("backend", "both", "native memory backend for the backends, handles, arena and waits tables: locked, lockfree, both")
+		dur       = flag.Duration("dur", 150*time.Millisecond, "measurement duration per cell of the waits table")
 		format    = flag.String("format", "text", "output format: text, markdown, csv")
+		jsonOut   = flag.Bool("json", false, "emit results as one machine-readable JSON document (overrides -format)")
 	)
 	flag.Usage = func() {
 		fmt.Fprint(flag.CommandLine.Output(), `usage: sabench [flags]
@@ -66,11 +70,16 @@ benchmarks of this implementation. Pick one table with -table or run all:
   backends    native shared-memory throughput, mutex vs lock-free
   handles     per-handle instrumentation through the public API
   arena       arena serving throughput: shards x objects x goroutines
+  waits       wait-strategy latency: strategy x backend x contention
+
+The -json flag switches the output to one machine-readable document
+({"tables": [...]}), the format CI's bench-smoke job archives.
 
 Examples:
   sabench -table fig1 -format markdown
   sabench -table t2 -n 6 -m 1 -k 2
   sabench -table arena -backend lockfree
+  sabench -table waits -backend lockfree -json
 
 Flags:
 `)
@@ -78,13 +87,16 @@ Flags:
 	}
 	flag.Parse()
 
-	if err := run(*table, *n, *m, *k, *maxR, *instances, *seeds, *backend, *format); err != nil {
+	if *jsonOut {
+		*format = "json"
+	}
+	if err := run(*table, *n, *m, *k, *maxR, *instances, *seeds, *backend, *dur, *format); err != nil {
 		fmt.Fprintf(os.Stderr, "sabench: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(table string, n, m, k, maxR, instances, seeds int, backend, format string) error {
+func run(table string, n, m, k, maxR, instances, seeds int, backend string, dur time.Duration, format string) error {
 	p := core.Params{N: n, M: m, K: k}
 	var tables []*report.Table
 
@@ -198,10 +210,28 @@ func run(table string, n, m, k, maxR, instances, seeds int, backend, format stri
 			return err
 		}
 	}
+	if wantAll || table == "waits" {
+		ran = true
+		backends, err := selectPublicBackends(backend)
+		if err != nil {
+			return err
+		}
+		if err := add(waitStrategyTable(backends, dur)); err != nil {
+			return err
+		}
+	}
 	if !ran {
 		return fmt.Errorf("unknown table %q", table)
 	}
 
+	if format == "json" {
+		doc, err := report.JSON(tables...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(doc)
+		return nil
+	}
 	for i, t := range tables {
 		if i > 0 {
 			fmt.Println()
@@ -254,7 +284,7 @@ func selectPublicBackends(name string) ([]setagreement.MemoryBackend, error) {
 // numbers are available to any production caller via Handle.Stats.
 func handleStatsTable(backends []setagreement.MemoryBackend, n, k int) (*report.Table, error) {
 	t := report.New("Per-handle instrumentation (one-shot agreement, public API)",
-		"backend", "handle", "proposes", "steps", "scans", "backoff", "mem-steps", "cas-retries")
+		"backend", "handle", "proposes", "steps", "scans", "wait", "wakeups", "mem-steps", "cas-retries")
 	for _, be := range backends {
 		a, err := setagreement.New[int](n, k,
 			setagreement.WithMemoryBackend(be),
@@ -285,10 +315,133 @@ func handleStatsTable(backends []setagreement.MemoryBackend, n, k int) (*report.
 		for id, h := range handles {
 			s := h.Stats()
 			t.Add(be.String(), id, s.Proposes, s.Steps, s.Scans,
-				s.BackoffWait.Round(time.Microsecond).String(), s.MemSteps, s.CASRetries)
+				s.WaitTime.Round(time.Microsecond).String(), s.Wakeups, s.MemSteps, s.CASRetries)
 		}
 	}
 	return t, nil
+}
+
+// waitStrategyTable measures what the wait subsystem is for: Propose
+// latency under contention, per wait strategy × backend × proposer count.
+// Each cell runs one repeated-agreement object with g goroutines proposing
+// in a closed loop for the duration and reports the p50/p95 per-Propose
+// latency, throughput, and the notify instrumentation (wakeups, spurious
+// wakeups, total blocked time). All strategies share one escalation
+// schedule, so the comparison isolates how the yield is spent: blind sleep
+// (backoff) against being woken by the write that changes the memory
+// (notify, hybrid).
+func waitStrategyTable(backends []setagreement.MemoryBackend, dur time.Duration) (*report.Table, error) {
+	t := report.New("Wait-strategy Propose latency (repeated agreement, k=1)",
+		"backend", "strategy", "proposers", "p50", "p95", "proposes/sec", "wakeups", "spurious", "wait-total")
+	strategies := []setagreement.WaitStrategy{
+		setagreement.WaitBackoff, setagreement.WaitNotify, setagreement.WaitHybrid,
+	}
+	for _, be := range backends {
+		for _, strat := range strategies {
+			for _, proposers := range []int{1, 4, 8} {
+				cell, err := measureWaitStrategy(be, strat, proposers, dur)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(be.String(), strat.String(), proposers,
+					cell.p50.Round(time.Microsecond).String(),
+					cell.p95.Round(time.Microsecond).String(),
+					fmt.Sprintf("%.0f", cell.rate),
+					cell.wakeups, cell.spurious,
+					cell.waitTotal.Round(time.Microsecond).String())
+			}
+		}
+	}
+	return t, nil
+}
+
+type waitCell struct {
+	p50, p95  time.Duration
+	rate      float64
+	wakeups   int64
+	spurious  int64
+	waitTotal time.Duration
+}
+
+// measureWaitStrategy drives one contended repeated-agreement object: g of
+// n processes propose in a closed loop for the duration; per-Propose
+// latencies are recorded and summarized.
+func measureWaitStrategy(be setagreement.MemoryBackend, strat setagreement.WaitStrategy, g int, dur time.Duration) (waitCell, error) {
+	n := g
+	if n < 2 {
+		n = 2 // the core's minimum process count
+	}
+	// One escalation schedule for every strategy, with a window small
+	// enough that a Propose crosses several yield points: the comparison
+	// isolates how a yield is spent. Blind backoff sleeps at every yield it
+	// reaches; the event-driven strategies skip solo yields and end
+	// contended ones at the next foreign write.
+	r, err := setagreement.NewRepeated[int](n, 1,
+		setagreement.WithMemoryBackend(be),
+		setagreement.WithWaitStrategy(strat),
+		setagreement.WithBackoff(100*time.Microsecond, 5*time.Millisecond, 16),
+	)
+	if err != nil {
+		return waitCell{}, err
+	}
+	handles := make([]*setagreement.Handle[int], g)
+	for id := range handles {
+		if handles[id], err = r.Proc(id); err != nil {
+			return waitCell{}, err
+		}
+	}
+	var (
+		stop      atomic.Bool
+		wg        sync.WaitGroup
+		latMu     sync.Mutex
+		latencies []time.Duration
+		errs      = make([]error, g)
+	)
+	ctx := context.Background()
+	start := time.Now()
+	for id, h := range handles {
+		wg.Add(1)
+		go func(id int, h *setagreement.Handle[int]) {
+			defer wg.Done()
+			var local []time.Duration
+			for round := 0; !stop.Load(); round++ {
+				t0 := time.Now()
+				if _, err := h.Propose(ctx, 1000*round+id); err != nil {
+					errs[id] = fmt.Errorf("waits proposer %d: %w", id, err)
+					break
+				}
+				local = append(local, time.Since(t0))
+			}
+			latMu.Lock()
+			latencies = append(latencies, local...)
+			latMu.Unlock()
+		}(id, h)
+	}
+	time.Sleep(dur)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(start)
+	// A failed proposer means the cell's numbers are incomplete: fail the
+	// whole run rather than archive a silently corrupted table.
+	for _, err := range errs {
+		if err != nil {
+			return waitCell{}, err
+		}
+	}
+
+	cell := waitCell{rate: float64(len(latencies)) / elapsed.Seconds()}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		cell.p50 = latencies[len(latencies)/2]
+		cell.p95 = latencies[len(latencies)*95/100]
+	}
+	for _, h := range handles {
+		s := h.Stats()
+		cell.wakeups += s.Wakeups
+		cell.spurious += s.SpuriousWakeups
+		cell.waitTotal += s.WaitTime
+	}
+	return cell, nil
 }
 
 // arenaThroughput measures the arena serving path — Object(key) lookups on

@@ -2,6 +2,7 @@ package setagreement
 
 import (
 	"context"
+	goruntime "runtime"
 	"sync/atomic"
 	"time"
 
@@ -100,12 +101,19 @@ func (h *Handle[T]) Propose(ctx context.Context, v T) (T, error) {
 
 // run executes one Propose of the underlying algorithm through the
 // handle's guard. The guard is reused across calls: only the context and
-// backoff progress change per call.
+// wait-plan progress change per call.
 func (h *Handle[T]) run(ctx context.Context, code int) (out int, err error) {
-	h.guard.ctx = ctx
-	if h.guard.backoff != nil {
-		h.guard.backoff.reset()
+	// Check cancellation once up front: the per-step gate below never fires
+	// for a Propose that decides without touching shared memory (the
+	// repeated algorithm's history shortcut), and a call with a dead
+	// context must fail rather than quietly succeed.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 	}
+	h.guard.ctx = ctx
+	h.guard.resetWait()
 	defer func() {
 		h.guard.ctx = nil
 		if r := recover(); r != nil {
@@ -146,10 +154,10 @@ func (h *Handle[T]) Release() error {
 }
 
 // Stats is a point-in-time view of a handle's instrumentation. Proposes,
-// Steps, Scans and BackoffWait are exact per-handle counters; MemSteps and
-// CASRetries come from the object's shared memory backend and therefore
-// aggregate over all handles of the object (CASRetries is zero on backends
-// that never retry, such as the mutex one).
+// Steps, Scans, WaitTime, Wakeups and SpuriousWakeups are exact per-handle
+// counters; MemSteps and CASRetries come from the object's shared memory
+// backend and therefore aggregate over all handles of the object
+// (CASRetries is zero on backends that never retry, such as the mutex one).
 type Stats struct {
 	// Proposes counts Propose calls started on this handle.
 	Proposes int64
@@ -157,8 +165,16 @@ type Stats struct {
 	Steps int64
 	// Scans counts the snapshot scans among those operations.
 	Scans int64
-	// BackoffWait is the total time this handle slept in backoff.
-	BackoffWait time.Duration
+	// WaitTime is the total time this handle spent blocked between
+	// shared-memory steps: backoff sleeps under WaitBackoff, notifier
+	// waits (and their timeout fallbacks) under WaitNotify/WaitHybrid.
+	WaitTime time.Duration
+	// Wakeups counts notify-waits ended by a memory change rather than by
+	// the timeout cap (WaitNotify/WaitHybrid only).
+	Wakeups int64
+	// SpuriousWakeups counts wakeups the notifier absorbed where the
+	// memory's version had not actually advanced; the waiter re-armed.
+	SpuriousWakeups int64
 	// MemSteps counts operations executed by the object's shared memory,
 	// across all handles.
 	MemSteps int64
@@ -171,10 +187,12 @@ type Stats struct {
 // concurrently with an in-flight Propose, e.g. from a monitoring loop.
 func (h *Handle[T]) Stats() Stats {
 	s := Stats{
-		Proposes:    h.stats.proposes.Load(),
-		Steps:       h.stats.steps.Load(),
-		Scans:       h.stats.scans.Load(),
-		BackoffWait: time.Duration(h.stats.backoffNS.Load()),
+		Proposes:        h.stats.proposes.Load(),
+		Steps:           h.stats.steps.Load(),
+		Scans:           h.stats.scans.Load(),
+		WaitTime:        time.Duration(h.stats.waitNS.Load()),
+		Wakeups:         h.stats.wakeups.Load(),
+		SpuriousWakeups: h.stats.spurious.Load(),
 	}
 	if st, ok := h.rt.mem.(shmem.Stepper); ok {
 		s.MemSteps = st.Steps()
@@ -188,30 +206,74 @@ func (h *Handle[T]) Stats() Stats {
 // handleStats holds the per-handle counters behind Stats. Counters are
 // atomic so Stats can be read while a Propose is running.
 type handleStats struct {
-	proposes  atomic.Int64
-	steps     atomic.Int64
-	scans     atomic.Int64
-	backoffNS atomic.Int64
+	proposes atomic.Int64
+	steps    atomic.Int64
+	scans    atomic.Int64
+	waitNS   atomic.Int64
+	wakeups  atomic.Int64
+	spurious atomic.Int64
 }
 
 // cancelPanic unwinds a Propose blocked inside the algorithm loop when its
 // context is cancelled. It never escapes run.
 type cancelPanic struct{ err error }
 
+// waitPlan is the per-handle state of the configured WaitStrategy: the
+// escalation schedule (reused backoffState) plus, for the event-driven
+// strategies, the solo-detection baseline — the notifier version and own
+// mutation count at the previous yield point, whose deltas tell whether any
+// other process has written since.
+type waitPlan struct {
+	strategy    WaitStrategy
+	backoff     backoffState
+	lastVersion uint64
+	lastOwnMuts uint64
+}
+
+// hybridSpinRounds bounds the polling phase of WaitHybrid: the version is
+// re-checked this many times (yielding the processor between checks) before
+// the strategy falls back to the blocking notify-wait.
+const hybridSpinRounds = 32
+
 // guardMem wraps a process's resolved memory with context cancellation,
-// backoff and step accounting. One guardMem lives inside each handle and
-// is reused across Propose calls.
+// the wait strategy and step accounting. One guardMem lives inside each
+// handle and is reused across Propose calls.
 type guardMem struct {
-	inner   shmem.Mem
-	ctx     context.Context
-	backoff *backoffState
-	stats   *handleStats
+	inner shmem.Mem
+	ctx   context.Context
+	wait  *waitPlan
+	stats *handleStats
+	// notifier is the memory's change-notification capability, resolved at
+	// claim time (nil when the backend lacks it — the event-driven
+	// strategies then degrade to plain backoff sleeps). notifyExact records
+	// whether the notifier's version ticks exactly once per logical
+	// mutation this guard issues (true on the atomic snapshot runtime,
+	// where guard operations map 1:1 onto backend operations); only then
+	// can own writes be subtracted out for solo detection.
+	notifier    shmem.Notifier
+	notifyExact bool
+	// ownMuts counts mutating operations (Write, Update) issued through
+	// this guard. Only the owning goroutine touches it.
+	ownMuts uint64
 }
 
 var (
 	_ shmem.Mem        = (*guardMem)(nil)
 	_ shmem.TryScanner = (*guardMem)(nil)
 )
+
+// resetWait rewinds the wait plan for a fresh Propose: the escalation
+// restarts and every memory change before this call counts as seen.
+func (g *guardMem) resetWait() {
+	if g.wait == nil {
+		return
+	}
+	g.wait.backoff.reset()
+	if g.notifier != nil {
+		g.wait.lastVersion = g.notifier.Version()
+		g.wait.lastOwnMuts = g.ownMuts
+	}
+}
 
 func (g *guardMem) pre() {
 	g.stats.steps.Add(1)
@@ -222,18 +284,84 @@ func (g *guardMem) pre() {
 		default:
 		}
 	}
-	if g.backoff != nil {
-		if d := g.backoff.step(); d > 0 {
-			g.sleep(d)
+	if g.wait != nil {
+		if d := g.wait.backoff.step(); d > 0 {
+			g.pause(d)
 		}
 	}
+}
+
+// pause is one yield point: the strategy decides how the next d is spent.
+func (g *guardMem) pause(d time.Duration) {
+	if g.wait.strategy == WaitBackoff || g.notifier == nil {
+		// Blind sleep: the reference strategy, and the capped-backoff
+		// fallback for memories without the Notifier capability.
+		g.sleep(d)
+		return
+	}
+	g.notifyPause(d)
+}
+
+// notifyPause implements WaitNotify and WaitHybrid at one yield point:
+// skip entirely when no other process has written since the last yield
+// (waiting solo could only end by timeout — notify never blocks a solo
+// process), otherwise block on the notifier with d as the timeout cap,
+// after an optional brief polling phase (WaitHybrid). The cap is the
+// liveness fallback: the conflicting process may have decided and left, in
+// which case no wakeup ever comes and the wait must end on its own.
+func (g *guardMem) notifyPause(d time.Duration) {
+	nt := g.notifier
+	v := nt.Version()
+	if g.notifyExact {
+		foreign := v-g.wait.lastVersion != g.ownMuts-g.wait.lastOwnMuts
+		g.wait.lastVersion = v
+		g.wait.lastOwnMuts = g.ownMuts
+		if !foreign {
+			return
+		}
+	}
+	start := time.Now()
+	defer func() {
+		g.stats.waitNS.Add(int64(time.Since(start)))
+		// Changes that landed while we waited are visible to our next
+		// reads; re-base the solo detector so they are not mistaken for
+		// fresh contention at the next yield point.
+		g.wait.lastVersion = nt.Version()
+		g.wait.lastOwnMuts = g.ownMuts
+	}()
+	if g.wait.strategy == WaitHybrid {
+		for i := 0; i < hybridSpinRounds; i++ {
+			if nt.Version() > v {
+				g.stats.wakeups.Add(1)
+				return
+			}
+			goruntime.Gosched()
+		}
+	}
+	ctx := g.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	wctx, cancel := context.WithTimeout(ctx, d)
+	spurious, err := nt.AwaitChange(wctx, v)
+	cancel()
+	g.stats.spurious.Add(int64(spurious))
+	if err == nil {
+		g.stats.wakeups.Add(1)
+		return
+	}
+	if g.ctx != nil && g.ctx.Err() != nil {
+		panic(cancelPanic{err: g.ctx.Err()})
+	}
+	// Timeout cap reached with no change: resume stepping, exactly as a
+	// blind backoff sleep of d would have.
 }
 
 // sleep pauses for the backoff duration without outliving the context: a
 // cancelled Propose must return promptly even mid-sleep.
 func (g *guardMem) sleep(d time.Duration) {
 	start := time.Now()
-	defer func() { g.stats.backoffNS.Add(int64(time.Since(start))) }()
+	defer func() { g.stats.waitNS.Add(int64(time.Since(start))) }()
 	if g.ctx == nil {
 		time.Sleep(d)
 		return
@@ -254,11 +382,13 @@ func (g *guardMem) Read(reg int) shmem.Value {
 
 func (g *guardMem) Write(reg int, v shmem.Value) {
 	g.pre()
+	g.ownMuts++
 	g.inner.Write(reg, v)
 }
 
 func (g *guardMem) Update(snap, comp int, v shmem.Value) {
 	g.pre()
+	g.ownMuts++
 	g.inner.Update(snap, comp, v)
 }
 

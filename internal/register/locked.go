@@ -1,6 +1,7 @@
 package register
 
 import (
+	"context"
 	"sync"
 
 	"setagreement/internal/shmem"
@@ -9,18 +10,27 @@ import (
 // Locked is an in-process shared memory guarded by one mutex. All processes
 // share one Locked; its methods are safe for concurrent use. Values stored
 // must be treated as immutable by callers, as everywhere in this module.
+//
+// Change notification (shmem.Notifier) uses the shared broadcast helper —
+// the mutex-guarded equivalent of a condition variable whose waits are
+// context-cancellable: every mutation publishes under the memory's mutex,
+// waiters block on the broadcast channel outside it. The broadcast's own
+// lock only nests inside the memory mutex, never the other way, so the
+// pairing cannot deadlock.
 type Locked struct {
 	mu    sync.Mutex
 	regs  []shmem.Value
 	snaps [][]shmem.Value
 
-	steps int64 // operations executed, for reporting
+	steps  int64 // operations executed, for reporting
+	notify shmem.Broadcast
 }
 
 var (
 	_ shmem.Mem      = (*Locked)(nil)
 	_ shmem.Stepper  = (*Locked)(nil)
 	_ shmem.Resetter = (*Locked)(nil)
+	_ shmem.Notifier = (*Locked)(nil)
 )
 
 // NewLocked allocates mutex-guarded native memory for the spec.
@@ -52,6 +62,7 @@ func (n *Locked) Write(reg int, v shmem.Value) {
 	defer n.mu.Unlock()
 	n.steps++
 	n.regs[reg] = v
+	n.notify.Publish()
 }
 
 // Update implements shmem.Mem.
@@ -60,6 +71,7 @@ func (n *Locked) Update(snap, comp int, v shmem.Value) {
 	defer n.mu.Unlock()
 	n.steps++
 	n.snaps[snap][comp] = v
+	n.notify.Publish()
 }
 
 // Scan implements shmem.Mem.
@@ -96,4 +108,16 @@ func (n *Locked) Reset() {
 		}
 	}
 	n.steps = 0
+	n.notify.Reset()
 }
+
+// Version implements shmem.Notifier.
+func (n *Locked) Version() uint64 { return n.notify.Version() }
+
+// AwaitChange implements shmem.Notifier.
+func (n *Locked) AwaitChange(ctx context.Context, v uint64) (int, error) {
+	return n.notify.AwaitChange(ctx, v)
+}
+
+// Waiters implements shmem.Notifier.
+func (n *Locked) Waiters() int64 { return n.notify.Waiters() }

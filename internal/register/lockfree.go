@@ -1,6 +1,7 @@
 package register
 
 import (
+	"context"
 	"sync/atomic"
 
 	"setagreement/internal/shmem"
@@ -39,11 +40,18 @@ import (
 // The step counter is incremented after an operation's effect, so a caller
 // that reads Steps before and after an operation gets a conservative
 // real-time interval for it (used by the linearizability test harnesses).
+//
+// Change notification (shmem.Notifier) is a broadcast generation: every
+// Write and every successful Update advance an atomic version and wake any
+// blocked waiter by swapping out a broadcast channel (shmem.Broadcast).
+// When no one waits, the write path pays two uncontended atomics and the
+// wait machinery is never touched.
 type LockFree struct {
 	regs    []atomic.Pointer[shmem.Value]
 	snaps   []atomic.Pointer[[]shmem.Value]
 	steps   atomic.Int64
 	retries atomic.Int64
+	notify  shmem.Broadcast
 }
 
 var (
@@ -51,6 +59,7 @@ var (
 	_ shmem.Stepper    = (*LockFree)(nil)
 	_ shmem.CASRetrier = (*LockFree)(nil)
 	_ shmem.Resetter   = (*LockFree)(nil)
+	_ shmem.Notifier   = (*LockFree)(nil)
 )
 
 // boxedInts interns boxed small non-negative ints, the dominant value type
@@ -108,6 +117,7 @@ func (m *LockFree) Read(reg int) shmem.Value {
 // Write implements shmem.Mem.
 func (m *LockFree) Write(reg int, v shmem.Value) {
 	m.regs[reg].Store(boxValue(v))
+	m.notify.Publish()
 	m.steps.Add(1)
 }
 
@@ -120,6 +130,7 @@ func (m *LockFree) Update(snap, comp int, v shmem.Value) {
 		copy(next, *cur)
 		next[comp] = v
 		if cell.CompareAndSwap(cur, &next) {
+			m.notify.Publish()
 			m.steps.Add(1)
 			return
 		}
@@ -141,6 +152,17 @@ func (m *LockFree) Steps() int64 { return m.steps.Load() }
 // that lost to a concurrent update and had to rebuild its version.
 func (m *LockFree) CASRetries() int64 { return m.retries.Load() }
 
+// Version implements shmem.Notifier.
+func (m *LockFree) Version() uint64 { return m.notify.Version() }
+
+// AwaitChange implements shmem.Notifier.
+func (m *LockFree) AwaitChange(ctx context.Context, v uint64) (int, error) {
+	return m.notify.AwaitChange(ctx, v)
+}
+
+// Waiters implements shmem.Notifier.
+func (m *LockFree) Waiters() int64 { return m.notify.Waiters() }
+
 // Reset implements shmem.Resetter: it restores the initial all-nil state and
 // zeroes the counters. The caller must guarantee no operation is in flight.
 // Previously scanned versions stay immutable — Reset installs fresh initial
@@ -155,4 +177,5 @@ func (m *LockFree) Reset() {
 	}
 	m.steps.Store(0)
 	m.retries.Store(0)
+	m.notify.Reset()
 }

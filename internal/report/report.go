@@ -4,6 +4,7 @@
 package report
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -89,6 +90,39 @@ func (t *Table) Markdown() string {
 		fmt.Fprintf(&b, "| %s |\n", strings.Join(row, " | "))
 	}
 	return b.String()
+}
+
+// JSON renders one or more tables as a machine-readable document:
+// {"tables": [{"title": ..., "columns": [...], "rows": [[...]]}]}. This is
+// the format CI's bench-smoke job archives, so external tooling can track
+// the repository's perf trajectory without scraping the text tables.
+func JSON(tables ...*Table) (string, error) {
+	type jsonTable struct {
+		Title   string     `json:"title"`
+		Columns []string   `json:"columns"`
+		Rows    [][]string `json:"rows"`
+	}
+	doc := struct {
+		Tables []jsonTable `json:"tables"`
+	}{Tables: make([]jsonTable, 0, len(tables))}
+	for _, t := range tables {
+		// Normalize nil slices to empty ones so consumers can iterate both
+		// fields without null checks.
+		rows := t.Rows
+		if rows == nil {
+			rows = [][]string{}
+		}
+		cols := t.Columns
+		if cols == nil {
+			cols = []string{}
+		}
+		doc.Tables = append(doc.Tables, jsonTable{Title: t.Title, Columns: cols, Rows: rows})
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return string(out) + "\n", nil
 }
 
 // CSV renders the table as comma-separated values with a header row. Cells

@@ -1,6 +1,7 @@
 package report
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -38,6 +39,38 @@ func TestMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(md, "| --- | --- | --- |") {
 		t.Fatalf("missing separator:\n%s", md)
+	}
+}
+
+func TestJSON(t *testing.T) {
+	doc, err := JSON(sample(), New("Empty", "only-header"))
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var parsed struct {
+		Tables []struct {
+			Title   string     `json:"title"`
+			Columns []string   `json:"columns"`
+			Rows    [][]string `json:"rows"`
+		} `json:"tables"`
+	}
+	if err := json.Unmarshal([]byte(doc), &parsed); err != nil {
+		t.Fatalf("output does not round-trip as JSON: %v\n%s", err, doc)
+	}
+	if len(parsed.Tables) != 2 {
+		t.Fatalf("table count = %d, want 2", len(parsed.Tables))
+	}
+	first := parsed.Tables[0]
+	if first.Title != "Bounds" || len(first.Columns) != 3 || len(first.Rows) != 2 {
+		t.Fatalf("first table = %+v", first)
+	}
+	if first.Rows[1][2] != "min(n+2m-k, n)" {
+		t.Fatalf("cell round-trip = %q", first.Rows[1][2])
+	}
+	// A rowless table must serialize rows as [] (not null) so consumers can
+	// iterate without nil checks.
+	if parsed.Tables[1].Rows == nil || !strings.Contains(doc, `"rows": []`) {
+		t.Fatalf("empty table rows not serialized as []:\n%s", doc)
 	}
 }
 

@@ -51,13 +51,21 @@
 //   - Resetter: restore the memory to its initial state so the allocation
 //     can be recycled for a fresh agreement object (the arena's pool uses
 //     this). Reset requires quiescence; concurrent counter reads stay safe.
+//   - Notifier: event-driven waiting for memory changes — an exact change
+//     version plus a blocking, context-cancellable AwaitChange. This is
+//     what lets the runtime's wait strategies replace blind backoff
+//     sleeps with being woken by the write that changes the memory a
+//     contended process is waiting on. The Broadcast helper implements it
+//     for any backend that calls Publish after each mutation.
 //
 // # Backend conformance
 //
 // Package shmem/shmemtest is the executable form of this contract: any
 // Backend must pass shmemtest.Run unchanged — initial state, read-own-write,
 // object independence, scan view stability, instance isolation, step and
-// CAS-retry accounting, reset semantics, scan atomicity and comparability
-// under concurrent updaters, and a race-detector hammer. Add a new backend
-// to register.Backends() and the existing test matrix picks it up.
+// CAS-retry accounting, notifier semantics (exact versions, no lost
+// wakeups, leak-free cancellation), reset semantics, scan atomicity and
+// comparability under concurrent updaters, and a race-detector hammer. Add
+// a new backend to register.Backends() and the existing test matrix picks
+// it up.
 package shmem

@@ -1,0 +1,144 @@
+package shmem
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Notifier is an optional capability of a Mem: event-driven waiting for
+// memory changes. It is what turns contended progress from timer-polling
+// into being woken by the write that changes the memory a process is
+// waiting on.
+//
+// The contract:
+//
+//   - Version is a change counter that advances by exactly one for every
+//     mutating operation (Write, Update) and never otherwise; Read and Scan
+//     do not advance it. The "exactly one" part lets a caller that counts
+//     its own mutations tell whether anyone else has written — the solo
+//     detection the wait strategies rely on to never block a lone process.
+//   - An operation's effect must be visible no later than the version
+//     advance it is charged to, so a waiter released by AwaitChange can
+//     immediately re-read memory and observe the write that woke it.
+//   - AwaitChange(ctx, v) blocks until Version() > v or ctx is done.
+//     Wakeups may be spurious internally (the implementation re-arms and
+//     reports how many times that happened), but wakeups must never be
+//     lost: a waiter blocked on version v must be released by any write
+//     that installs a version v' > v, no matter how the two race.
+//   - Waiters reports how many goroutines are currently blocked inside
+//     AwaitChange, so tests and monitors can check that cancellation leaves
+//     no waiter behind.
+//
+// Version's absolute value is meaningful only between a reading and a later
+// wait on the same memory; Reset (see Resetter) may rewind it, which is
+// safe because Reset already requires quiescence — no operation, and hence
+// no wait, in flight.
+type Notifier interface {
+	// Version returns the memory's current change version.
+	Version() uint64
+	// AwaitChange blocks until Version() > v or ctx is done. It returns the
+	// number of spurious wakeups it absorbed while waiting, and ctx.Err()
+	// if the context ended the wait.
+	AwaitChange(ctx context.Context, v uint64) (spurious int, err error)
+	// Waiters returns the number of goroutines currently blocked in
+	// AwaitChange.
+	Waiters() int64
+}
+
+// Broadcast is a reusable implementation of the Notifier capability for
+// backends: an atomic version plus a lazily allocated broadcast channel
+// that Publish swaps out (close-and-replace) when waiters exist. Backends
+// embed one and call Publish after each mutating operation's effect.
+//
+// The write hot path pays one atomic add and one atomic load when no one is
+// waiting; the channel machinery is touched only by waiters and by writes
+// that actually have someone to wake. The no-lost-wakeup argument: a waiter
+// registers itself (waiter count), then acquires the current channel, then
+// re-checks the version before sleeping; Publish advances the version
+// before checking the waiter count. Under sequentially consistent atomics
+// either the publisher sees the waiter and closes its channel, or the
+// waiter's re-check sees the new version — there is no interleaving in
+// which both miss.
+//
+// The zero Broadcast is ready to use.
+type Broadcast struct {
+	version atomic.Uint64
+	waiters atomic.Int64
+
+	mu sync.Mutex
+	ch chan struct{} // current broadcast channel; nil until a waiter arms
+}
+
+var _ Notifier = (*Broadcast)(nil)
+
+// Version implements Notifier.
+func (b *Broadcast) Version() uint64 { return b.version.Load() }
+
+// Waiters implements Notifier.
+func (b *Broadcast) Waiters() int64 { return b.waiters.Load() }
+
+// Publish records one mutation: the version advances by exactly one and any
+// blocked waiter is released. Call it after the mutation's effect is
+// visible.
+func (b *Broadcast) Publish() {
+	b.version.Add(1)
+	if b.waiters.Load() == 0 {
+		return
+	}
+	b.broadcast()
+}
+
+// broadcast closes the current channel, releasing every goroutine blocked
+// on it; the next waiter allocates a fresh one.
+func (b *Broadcast) broadcast() {
+	b.mu.Lock()
+	if b.ch != nil {
+		close(b.ch)
+		b.ch = nil
+	}
+	b.mu.Unlock()
+}
+
+// AwaitChange implements Notifier.
+func (b *Broadcast) AwaitChange(ctx context.Context, v uint64) (int, error) {
+	if b.version.Load() > v {
+		return 0, nil
+	}
+	b.waiters.Add(1)
+	defer b.waiters.Add(-1)
+	spurious := 0
+	for {
+		b.mu.Lock()
+		if b.ch == nil {
+			b.ch = make(chan struct{})
+		}
+		ch := b.ch
+		b.mu.Unlock()
+		// Re-check after acquiring the exact channel we would sleep on:
+		// any Publish after this load closes ch, so a wakeup cannot be
+		// lost between the check and the select.
+		if b.version.Load() > v {
+			return spurious, nil
+		}
+		select {
+		case <-ch:
+			if b.version.Load() > v {
+				return spurious, nil
+			}
+			spurious++ // woken by a stale or racing broadcast; re-arm
+		case <-ctx.Done():
+			return spurious, ctx.Err()
+		}
+	}
+}
+
+// Reset rewinds the version to zero and wakes any straggling waiter, for
+// memories recycled through the Resetter capability. Like Reset on the
+// memory itself, it must only be called while quiescent — in particular
+// with no waiter legitimately blocked (the defensive wakeup turns a
+// latent hang from a leaked waiter into a visible spurious return).
+func (b *Broadcast) Reset() {
+	b.version.Store(0)
+	b.broadcast()
+}

@@ -1,0 +1,115 @@
+package shmem_test
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"setagreement/internal/shmem"
+)
+
+// The backend-facing behavior of Broadcast (wakeups, cancellation, reset)
+// is conformance-checked through every backend in shmemtest; the tests here
+// pin down the helper's own contract at the unit level, including the
+// arm/publish race no backend test can force deterministically.
+
+func TestBroadcastFastPath(t *testing.T) {
+	var b shmem.Broadcast
+	if got := b.Version(); got != 0 {
+		t.Fatalf("zero Broadcast Version() = %d", got)
+	}
+	b.Publish()
+	b.Publish()
+	if got := b.Version(); got != 2 {
+		t.Fatalf("Version() = %d after 2 publishes", got)
+	}
+	// A wait on an already-superseded version returns without blocking.
+	if sp, err := b.AwaitChange(context.Background(), 0); err != nil || sp != 0 {
+		t.Fatalf("AwaitChange(past version) = (%d, %v)", sp, err)
+	}
+}
+
+func TestBroadcastArmPublishRace(t *testing.T) {
+	// Hammer the exact interleaving the no-lost-wakeup argument covers: a
+	// waiter arming at version v while the publisher concurrently installs
+	// v+1. Whichever side wins the race, the wait must return.
+	var b shmem.Broadcast
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for i := 0; i < 2000; i++ {
+		v := b.Version()
+		done := make(chan error, 1)
+		go func() {
+			_, err := b.AwaitChange(ctx, v)
+			done <- err
+		}()
+		b.Publish()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("round %d: %v", i, err)
+			}
+		case <-ctx.Done():
+			t.Fatalf("round %d: lost wakeup", i)
+		}
+	}
+}
+
+func TestBroadcastManyWaitersOnePublish(t *testing.T) {
+	var b shmem.Broadcast
+	const waiters = 16
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	v := b.Version()
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := b.AwaitChange(ctx, v)
+			errs <- err
+		}()
+	}
+	for b.Waiters() < waiters {
+		runtime.Gosched()
+	}
+	b.Publish()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := b.Waiters(); got != 0 {
+		t.Fatalf("Waiters() = %d after release", got)
+	}
+}
+
+func TestBroadcastCancellationCountsDown(t *testing.T) {
+	var b shmem.Broadcast
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.AwaitChange(ctx, b.Version())
+		done <- err
+	}()
+	for b.Waiters() == 0 {
+		runtime.Gosched()
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancellation did not release the waiter")
+	}
+	if got := b.Waiters(); got != 0 {
+		t.Fatalf("Waiters() = %d after cancellation", got)
+	}
+}

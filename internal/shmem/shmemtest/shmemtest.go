@@ -3,16 +3,21 @@
 // NUMA-aware, persistent) must pass Run; it checks the Mem contract that
 // the algorithm and snapshot-construction layers rely on — initial state,
 // read-own-write, scan view stability, object independence, step
-// accounting, and atomicity of scans under concurrent updaters.
+// accounting, atomicity of scans under concurrent updaters, and the
+// change-notification capability (exact version accounting, no lost
+// wakeups, cancellation that leaves no waiter behind).
 //
 // Run uses only the public shmem interfaces, so it lives beside the
 // contract it checks rather than beside any one implementation.
 package shmemtest
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"setagreement/internal/shmem"
 )
@@ -27,6 +32,11 @@ func Run(t *testing.T, b shmem.Backend) {
 	t.Run("InstanceIsolation", func(t *testing.T) { instanceIsolation(t, b) })
 	t.Run("StepAccounting", func(t *testing.T) { stepAccounting(t, b) })
 	t.Run("CASRetryAccounting", func(t *testing.T) { casRetryAccounting(t, b) })
+	t.Run("NotifierVersionCountsMutations", func(t *testing.T) { notifierVersionCountsMutations(t, b) })
+	t.Run("NotifierWakeup", func(t *testing.T) { notifierWakeup(t, b) })
+	t.Run("NotifierNoLostWakeups", func(t *testing.T) { notifierNoLostWakeups(t, b) })
+	t.Run("NotifierCancellation", func(t *testing.T) { notifierCancellation(t, b) })
+	t.Run("NotifierReset", func(t *testing.T) { notifierReset(t, b) })
 	t.Run("ResetRestoresInitialState", func(t *testing.T) { resetRestoresInitialState(t, b) })
 	t.Run("ScanAtomicUnderUpdaters", func(t *testing.T) { scanAtomicUnderUpdaters(t, b) })
 	t.Run("ScanComparability", func(t *testing.T) { scanComparability(t, b) })
@@ -196,6 +206,215 @@ func casRetryAccounting(t *testing.T, b shmem.Backend) {
 	end := rc.CASRetries()
 	if mid < 0 || end < mid {
 		t.Fatalf("CASRetries not monotonic: read %d then %d", mid, end)
+	}
+}
+
+// notifyTimeout bounds every wait the notifier conformance checks perform:
+// long enough that a slow CI runner never trips it, short enough that a
+// lost wakeup fails the suite instead of hanging it.
+const notifyTimeout = 10 * time.Second
+
+// awaitWaiters polls until the notifier reports at least want blocked
+// waiters, so a test's write provably races a fully armed wait.
+func awaitWaiters(t *testing.T, nt shmem.Notifier, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(notifyTimeout)
+	for nt.Waiters() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("notifier never reached %d waiters (have %d)", want, nt.Waiters())
+		}
+		runtime.Gosched()
+	}
+}
+
+func notifierVersionCountsMutations(t *testing.T, b shmem.Backend) {
+	// The version contract: advance by exactly one per mutating operation
+	// (Write, Update), never on Read or Scan. Exactness is what lets a
+	// caller that counts its own mutations detect foreign writes — the
+	// solo detection of the wait strategies.
+	m := mustNew(t, b, shmem.Spec{Regs: 2, Snaps: []int{2}})
+	nt, ok := m.(shmem.Notifier)
+	if !ok {
+		t.Skipf("%s does not expose change notification", b.Name())
+	}
+	v0 := nt.Version()
+	m.Read(0)
+	m.Scan(0)
+	if got := nt.Version(); got != v0 {
+		t.Fatalf("version advanced %d by reads/scans", got-v0)
+	}
+	m.Write(0, 1)
+	m.Write(1, 2)
+	m.Update(0, 0, 3)
+	if got := nt.Version(); got != v0+3 {
+		t.Fatalf("version advanced %d after 3 mutations, want 3", got-v0)
+	}
+	if got := nt.Waiters(); got != 0 {
+		t.Fatalf("idle memory reports %d waiters", got)
+	}
+}
+
+func notifierWakeup(t *testing.T, b shmem.Backend) {
+	// The no-lost-wakeup core: a waiter provably blocked on version v must
+	// be released by any write installing v' > v. Exercised for both
+	// mutation kinds, repeatedly.
+	m := mustNew(t, b, shmem.Spec{Regs: 1, Snaps: []int{2}})
+	nt, ok := m.(shmem.Notifier)
+	if !ok {
+		t.Skipf("%s does not expose change notification", b.Name())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), notifyTimeout)
+	defer cancel()
+	for i := 0; i < 25; i++ {
+		v := nt.Version()
+		done := make(chan error, 1)
+		go func() {
+			_, err := nt.AwaitChange(ctx, v)
+			done <- err
+		}()
+		awaitWaiters(t, nt, 1)
+		if i%2 == 0 {
+			m.Write(0, i)
+		} else {
+			m.Update(0, i%2, i)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("round %d: AwaitChange: %v", i, err)
+			}
+		case <-time.After(notifyTimeout):
+			t.Fatalf("round %d: waiter not released by a write (lost wakeup)", i)
+		}
+	}
+	if got := nt.Waiters(); got != 0 {
+		t.Fatalf("%d waiters left after all were released", got)
+	}
+}
+
+func notifierNoLostWakeups(t *testing.T, b shmem.Backend) {
+	// Several waiters chase a known number of writes, re-arming after each
+	// wakeup, while the writer runs as fast as it can: every arm/publish
+	// interleaving is exercised. A single lost wakeup leaves a waiter
+	// blocked until the context deadline fails the test.
+	m := mustNew(t, b, shmem.Spec{Regs: 1})
+	nt, ok := m.(shmem.Notifier)
+	if !ok {
+		t.Skipf("%s does not expose change notification", b.Name())
+	}
+	const waiters, writes = 4, 500
+	target := nt.Version() + writes
+	ctx, cancel := context.WithTimeout(context.Background(), notifyTimeout)
+	defer cancel()
+	errs := make(chan error, waiters)
+	var wg sync.WaitGroup
+	for w := 0; w < waiters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v := nt.Version()
+				if v >= target {
+					errs <- nil
+					return
+				}
+				if _, err := nt.AwaitChange(ctx, v); err != nil {
+					errs <- fmt.Errorf("waiter gave up at version %d of %d: %w", v, target, err)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < writes; i++ {
+		m.Write(0, i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func notifierCancellation(t *testing.T, b shmem.Backend) {
+	// Context cancellation must release a blocked waiter promptly and
+	// leave no waiter registered on the object.
+	m := mustNew(t, b, shmem.Spec{Regs: 1})
+	nt, ok := m.(shmem.Notifier)
+	if !ok {
+		t.Skipf("%s does not expose change notification", b.Name())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := nt.AwaitChange(ctx, nt.Version())
+		done <- err
+	}()
+	awaitWaiters(t, nt, 1)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("cancelled AwaitChange returned %v, want context.Canceled", err)
+		}
+	case <-time.After(notifyTimeout):
+		t.Fatal("cancellation did not release the waiter")
+	}
+	if got := nt.Waiters(); got != 0 {
+		t.Fatalf("%d waiters leaked after cancellation", got)
+	}
+	// The notifier still works after an abandoned wait.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), notifyTimeout)
+	defer cancel2()
+	v := nt.Version()
+	go func() {
+		awaitWaiters(t, nt, 1)
+		m.Write(0, "wake")
+	}()
+	if _, err := nt.AwaitChange(ctx2, v); err != nil {
+		t.Fatalf("AwaitChange after cancellation: %v", err)
+	}
+}
+
+func notifierReset(t *testing.T, b shmem.Backend) {
+	// Recycling a memory through Reset rewinds the change version with the
+	// rest of the state, and the notifier keeps working for the next
+	// generation (the arena pool path).
+	m := mustNew(t, b, shmem.Spec{Regs: 1, Snaps: []int{1}})
+	nt, ok := m.(shmem.Notifier)
+	if !ok {
+		t.Skipf("%s does not expose change notification", b.Name())
+	}
+	r, ok := m.(shmem.Resetter)
+	if !ok {
+		t.Skipf("%s does not support Reset", b.Name())
+	}
+	m.Write(0, 1)
+	m.Update(0, 0, 2)
+	if nt.Version() == 0 {
+		t.Fatal("version did not advance before Reset")
+	}
+	r.Reset()
+	if got := nt.Version(); got != 0 {
+		t.Fatalf("post-reset Version() = %d, want 0", got)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), notifyTimeout)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		_, err := nt.AwaitChange(ctx, nt.Version())
+		done <- err
+	}()
+	awaitWaiters(t, nt, 1)
+	m.Write(0, "next-generation")
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("post-reset AwaitChange: %v", err)
+		}
+	case <-time.After(notifyTimeout):
+		t.Fatal("post-reset write did not wake the waiter")
 	}
 }
 

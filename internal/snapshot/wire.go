@@ -1,6 +1,7 @@
 package snapshot
 
 import (
+	"context"
 	"fmt"
 
 	"setagreement/internal/shmem"
@@ -87,7 +88,16 @@ func Wire(spec shmem.Spec, impl Impl, n int) (shmem.Spec, func(inner shmem.Mem, 
 				objs[s] = NewDoubleCollect(inner, bases[s], r, id)
 			}
 		}
-		return &wiredMem{inner: inner, objs: objs}
+		wm := &wiredMem{inner: inner, objs: objs}
+		// Every register-implemented snapshot construction exposes the
+		// notifier of its underlying registers: a logical Update is some
+		// number of physical writes, each of which publishes, so waiting on
+		// the physical version wakes on any logical mutation. The wrapper
+		// only advertises the capability when the substrate has it.
+		if nt, ok := inner.(shmem.Notifier); ok {
+			return &notifiedWiredMem{wiredMem: wm, nt: nt}
+		}
+		return wm
 	}
 	return physical, wrap, nil
 }
@@ -134,3 +144,21 @@ func (w *wiredMem) TryScan(s, attempts int) ([]shmem.Value, bool) {
 	}
 	return w.objs[s].Scan(), true
 }
+
+// notifiedWiredMem is a wiredMem over a substrate with the Notifier
+// capability; it forwards the substrate's notifier so the capability
+// survives the wrapping. A separate type (rather than optional methods on
+// wiredMem) keeps the `mem.(shmem.Notifier)` assertion honest when the
+// substrate lacks the capability.
+type notifiedWiredMem struct {
+	*wiredMem
+	nt shmem.Notifier
+}
+
+var _ shmem.Notifier = (*notifiedWiredMem)(nil)
+
+func (m *notifiedWiredMem) Version() uint64 { return m.nt.Version() }
+func (m *notifiedWiredMem) AwaitChange(ctx context.Context, v uint64) (int, error) {
+	return m.nt.AwaitChange(ctx, v)
+}
+func (m *notifiedWiredMem) Waiters() int64 { return m.nt.Waiters() }

@@ -83,6 +83,59 @@ func (s SnapshotImpl) internal() snapshot.Impl {
 	}
 }
 
+// WaitStrategy selects how a Propose that is not making progress waits for
+// the shared memory to change before its next attempt. Strategies only
+// engage at the yield points of the backoff schedule (WithBackoff, or the
+// default schedule installed when an event-driven strategy is chosen
+// without one); between yield points every strategy steps at full speed.
+type WaitStrategy int
+
+const (
+	// WaitBackoff (default) sleeps blindly for the scheduled backoff
+	// duration — the original behavior, kept as the reference strategy.
+	// With no WithBackoff configured it never sleeps at all.
+	WaitBackoff WaitStrategy = iota
+	// WaitNotify blocks on the memory's change notifier (shmem.Notifier)
+	// until another process writes, with the scheduled backoff duration as
+	// a timeout cap — the liveness fallback that keeps obstruction-freedom
+	// intact (a wait can never outlast the cap) and the whole strategy
+	// working on backends without the capability (it degrades to
+	// WaitBackoff). A process that has seen no foreign write since its
+	// previous yield point skips the wait entirely: notify never blocks a
+	// solo process.
+	WaitNotify
+	// WaitHybrid spins briefly polling the change version (cheap on
+	// multicore, where the conflicting write often lands within
+	// microseconds), then falls back to the blocking notify-wait of
+	// WaitNotify.
+	WaitHybrid
+)
+
+// String names the strategy.
+func (s WaitStrategy) String() string {
+	switch s {
+	case WaitBackoff:
+		return "backoff"
+	case WaitNotify:
+		return "notify"
+	case WaitHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("waitstrategy(%d)", int(s))
+	}
+}
+
+// Default wait schedule installed when an event-driven strategy is selected
+// without WithBackoff: yield every 64 operations, cap waits at 100µs
+// doubling to 10ms. The caps only bound how long a process can block when
+// no wakeup comes (contention vanished); under contention the notifier
+// wakes it as soon as the memory changes.
+const (
+	defaultWaitMin    = 100 * time.Microsecond
+	defaultWaitMax    = 10 * time.Millisecond
+	defaultWaitWindow = 64
+)
+
 // Option configures an agreement object.
 type Option interface {
 	apply(*options) error
@@ -92,6 +145,8 @@ type options struct {
 	m           int
 	impl        SnapshotImpl
 	backend     MemoryBackend
+	strategy    WaitStrategy
+	backoffSet  bool
 	backoffMin  time.Duration
 	backoffMax  time.Duration
 	backoffStep int
@@ -103,6 +158,19 @@ func buildOptions(opts []Option) (options, error) {
 	for _, op := range opts {
 		if err := op.apply(&o); err != nil {
 			return options{}, err
+		}
+	}
+	// Backoff arguments are validated here, once per object build, so every
+	// entry point (including the arena's object mold) rejects a bad schedule
+	// at construction instead of silently misbehaving at Propose time.
+	if o.backoffSet {
+		switch {
+		case o.backoffMin <= 0:
+			return options{}, fmt.Errorf("setagreement: backoff min must be positive, got %v", o.backoffMin)
+		case o.backoffMax < o.backoffMin:
+			return options{}, fmt.Errorf("setagreement: backoff max %v below min %v", o.backoffMax, o.backoffMin)
+		case o.backoffStep < 1:
+			return options{}, fmt.Errorf("setagreement: backoff window must be ≥ 1, got %d", o.backoffStep)
 		}
 	}
 	return o, nil
@@ -169,17 +237,19 @@ func WithCodec[T comparable](c Codec[T]) Option {
 	})
 }
 
-// WithBackoff makes each Propose sleep between shared-memory operations
-// once it has run for a while without deciding, doubling from min to max
-// every `window` operations. Backoff is how obstruction-free algorithms are
-// made to terminate in practice (see the paper's introduction): sleeping
-// processes yield the solo window another process needs. The sleeps honor
-// the Propose context: cancellation interrupts a sleeping process promptly.
+// WithBackoff schedules the yield points of the wait strategy: every
+// `window` shared-memory operations without deciding, the process yields
+// for a duration doubling from min to max. Under WaitBackoff (the default
+// strategy) the yield is a blind sleep — how obstruction-free algorithms
+// are made to terminate in practice (see the paper's introduction):
+// sleeping processes yield the solo window another process needs. Under
+// WaitNotify/WaitHybrid the duration is instead the cap on an event-driven
+// wait that ends as soon as the memory changes. Waits and sleeps honor the
+// Propose context: cancellation interrupts them promptly. Arguments are
+// validated at construction: min must be positive, max ≥ min, window ≥ 1.
 func WithBackoff(min, max time.Duration, window int) Option {
 	return optionFunc(func(o *options) error {
-		if min <= 0 || max < min || window < 1 {
-			return fmt.Errorf("setagreement: invalid backoff (min=%v max=%v window=%d)", min, max, window)
-		}
+		o.backoffSet = true
 		o.backoffMin = min
 		o.backoffMax = max
 		o.backoffStep = window
@@ -187,11 +257,38 @@ func WithBackoff(min, max time.Duration, window int) Option {
 	})
 }
 
-func (o options) newBackoff() *backoffState {
-	if o.backoffMin == 0 {
-		return nil
+// WithWaitStrategy selects how contended Proposes wait between attempts:
+// WaitBackoff (blind timed sleeps, the default), WaitNotify (block until
+// the memory changes, capped by the backoff schedule), or WaitHybrid (spin
+// briefly, then notify-wait). Event-driven strategies install a default
+// schedule (100µs–10ms cap, window 64) when WithBackoff is not given.
+func WithWaitStrategy(s WaitStrategy) Option {
+	return optionFunc(func(o *options) error {
+		switch s {
+		case WaitBackoff, WaitNotify, WaitHybrid:
+			o.strategy = s
+			return nil
+		default:
+			return fmt.Errorf("setagreement: unknown wait strategy %d", s)
+		}
+	})
+}
+
+// newWait assembles the per-handle wait plan, or nil when the handle should
+// never yield (the default strategy with no backoff configured — a pure
+// spin, today's zero-configuration behavior).
+func (o options) newWait() *waitPlan {
+	min, max, window := o.backoffMin, o.backoffMax, o.backoffStep
+	if !o.backoffSet {
+		if o.strategy == WaitBackoff {
+			return nil
+		}
+		min, max, window = defaultWaitMin, defaultWaitMax, defaultWaitWindow
 	}
-	return &backoffState{min: o.backoffMin, max: o.backoffMax, window: o.backoffStep}
+	return &waitPlan{
+		strategy: o.strategy,
+		backoff:  backoffState{min: min, max: max, window: window},
+	}
 }
 
 // backoffState implements per-Propose exponential backoff between

@@ -61,8 +61,19 @@ func (o *object[T]) handle(id int, oneShot bool) *Handle[T] {
 		oneShot: oneShot,
 	}
 	h.guard.inner = o.rt.wrap(id)
-	h.guard.backoff = o.rt.opts.newBackoff()
+	h.guard.wait = o.rt.opts.newWait()
 	h.guard.stats = &h.stats
+	if nt, ok := h.guard.inner.(shmem.Notifier); ok {
+		h.guard.notifier = nt
+		// Solo detection needs the notifier's version to tick exactly once
+		// per logical mutation this guard issues; that holds only on the
+		// atomic snapshot runtime, where guard operations are backend
+		// operations 1:1. Register-implemented snapshots fan one logical
+		// Update into several physical writes (and mw-waitfree scans write
+		// helping records), so there every yield is treated as contended —
+		// the capped wait still preserves obstruction-freedom.
+		h.guard.notifyExact = o.rt.opts.impl == SnapshotAtomic
+	}
 	return h
 }
 

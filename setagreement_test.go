@@ -366,8 +366,8 @@ func TestBackoffSleepHonorsContext(t *testing.T) {
 	if elapsed > 10*time.Second {
 		t.Fatalf("cancelled propose took %v; backoff sleep ignored the context", elapsed)
 	}
-	if got := h.Stats().BackoffWait; got <= 0 {
-		t.Fatalf("BackoffWait = %v after sleeping in backoff", got)
+	if got := h.Stats().WaitTime; got <= 0 {
+		t.Fatalf("WaitTime = %v after sleeping in backoff", got)
 	}
 }
 
@@ -425,8 +425,32 @@ func TestOptionValidation(t *testing.T) {
 	if _, err := setagreement.New[int](4, 2, setagreement.WithObstruction(3)); err == nil {
 		t.Fatal("m>k accepted")
 	}
+	// The backoff schedule is validated at construction, for every entry
+	// point: non-positive durations, inverted bounds and a degenerate
+	// window are all rejected before any handle exists.
 	if _, err := setagreement.New[int](4, 2, setagreement.WithBackoff(0, time.Second, 1)); err == nil {
 		t.Fatal("zero backoff min accepted")
+	}
+	if _, err := setagreement.New[int](4, 2, setagreement.WithBackoff(-time.Second, time.Second, 1)); err == nil {
+		t.Fatal("negative backoff min accepted")
+	}
+	if _, err := setagreement.New[int](4, 2, setagreement.WithBackoff(time.Second, time.Millisecond, 1)); err == nil {
+		t.Fatal("backoff min > max accepted")
+	}
+	if _, err := setagreement.New[int](4, 2, setagreement.WithBackoff(time.Millisecond, time.Second, 0)); err == nil {
+		t.Fatal("zero backoff window accepted")
+	}
+	if _, err := setagreement.New[int](4, 2, setagreement.WithBackoff(time.Millisecond, time.Second, -3)); err == nil {
+		t.Fatal("negative backoff window accepted")
+	}
+	if _, err := setagreement.NewRepeated[int](4, 2, setagreement.WithBackoff(time.Second, time.Millisecond, 8)); err == nil {
+		t.Fatal("NewRepeated accepted an invalid backoff")
+	}
+	if _, err := setagreement.NewArena[int](4, 2, setagreement.WithObjectOptions(setagreement.WithBackoff(time.Second, time.Millisecond, 8))); err == nil {
+		t.Fatal("NewArena accepted an invalid backoff in its object mold")
+	}
+	if _, err := setagreement.New[int](4, 2, setagreement.WithWaitStrategy(setagreement.WaitStrategy(42))); err == nil {
+		t.Fatal("unknown wait strategy accepted")
 	}
 	if _, err := setagreement.New[int](4, 2, setagreement.WithSnapshot(setagreement.SnapshotImpl(42))); err == nil {
 		t.Fatal("unknown snapshot impl accepted")

@@ -327,7 +327,7 @@ func TestHandleStats(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Proc: %v", err)
 	}
-	if s := h.Stats(); s.Proposes != 0 || s.Steps != 0 || s.Scans != 0 || s.BackoffWait != 0 {
+	if s := h.Stats(); s.Proposes != 0 || s.Steps != 0 || s.Scans != 0 || s.WaitTime != 0 {
 		t.Fatalf("fresh handle stats = %+v", s)
 	}
 	ctx := context.Background()
