@@ -45,6 +45,11 @@ type Arena[T comparable] struct {
 	shards []arenaShard[T]
 	hasher iarena.Hasher
 	pool   iarena.Pool
+	// eng is the async proposal engine every object of the arena shares —
+	// created lazily at the arena's first ProposeAsync, so all stalled
+	// async proposals across all shards multiplex over one small worker
+	// set (the million-key serving shape).
+	eng *engineRef
 
 	n, k    int
 	oneShot bool
@@ -193,6 +198,7 @@ func NewArena[T comparable](n, k int, aopts ...ArenaOption) (*Arena[T], error) {
 	ar := &Arena[T]{
 		shards:   make([]arenaShard[T], iarena.Shards(cfg.shards)),
 		hasher:   iarena.NewHasher(),
+		eng:      &engineRef{workers: o.engineWorkers},
 		n:        n,
 		k:        k,
 		oneShot:  cfg.oneShot,
@@ -319,7 +325,7 @@ func (ar *Arena[T]) create(sh *arenaShard[T], key string) *ArenaObject[T] {
 	}
 	ao.obj = object[T]{
 		alg:   alg,
-		rt:    &runtime{mem: rt.Mem, wrap: rt.Wrap, opts: ar.opts},
+		rt:    &runtime{mem: rt.Mem, wrap: rt.Wrap, opts: ar.opts, eng: ar.eng},
 		codec: codec,
 	}
 	ao.handles = make([]*Handle[T], ar.n)
@@ -430,6 +436,19 @@ type ArenaStats struct {
 	// MemSteps and CASRetries sum the backend memory counters over all
 	// objects and generations.
 	MemSteps, CASRetries int64
+	// AsyncInFlight and AsyncParked are gauges (not cumulative counters —
+	// they fall as proposals resolve) of the arena's shared async engine:
+	// ProposeAsync proposals submitted and not yet resolved, and the subset
+	// currently parked on their objects' notifiers rather than advancing.
+	// Both are zero until the arena's first ProposeAsync creates the engine.
+	AsyncInFlight, AsyncParked int64
+	// NotifyWaiters is a gauge summing Notifier.Waiters over the live
+	// objects' memories: goroutines blocked in notify-waits plus parked
+	// async proposals' wake registrations. It is the arena's live
+	// contention signal — which the ROADMAP earmarks for admission and
+	// rebalancing decisions — where the cumulative counters above are its
+	// history.
+	NotifyWaiters int64
 }
 
 // Stats rolls up the arena's instrumentation. Safe to call concurrently
@@ -438,13 +457,19 @@ type ArenaStats struct {
 // retired totals — so successive readings of the cumulative counters never
 // decrease: holding retiredMu across the walk makes an eviction's fold
 // atomic with respect to the roll-up, and a dead object is deleted from
-// its shard only after it has been folded.
+// its shard only after it has been folded. (The gauges — Objects,
+// LiveHandles, AsyncInFlight, AsyncParked, NotifyWaiters — move both ways
+// by nature.)
 func (ar *Arena[T]) Stats() ArenaStats {
 	s := ArenaStats{
 		Created:  ar.created.Load(),
 		Evicted:  ar.evicted.Load(),
 		PoolHits: ar.pool.Stats().Hits,
 		Handles:  ar.handlesTotal.Load(),
+	}
+	if e := ar.eng.peek(); e != nil {
+		s.AsyncInFlight = e.InFlight()
+		s.AsyncParked = e.Parked()
 	}
 	ar.retiredMu.Lock()
 	defer ar.retiredMu.Unlock()
@@ -475,6 +500,7 @@ func (ar *Arena[T]) Stats() ArenaStats {
 			if live {
 				s.Objects++
 				s.LiveHandles += int64(ao.liveHandles())
+				s.NotifyWaiters += ao.notifyWaiters()
 			}
 			s.Proposes += os.Proposes
 			s.Steps += os.Steps
@@ -568,6 +594,24 @@ func (ao *ArenaObject[T]) liveHandles() int {
 	ao.mu.Lock()
 	defer ao.mu.Unlock()
 	return ao.live
+}
+
+// notifyWaiters reads the object's live-contention gauge — pending waits
+// on its memory's notifier. Zero once the object is dead: the memory then
+// serves another key and must not be read through this generation.
+func (ao *ArenaObject[T]) notifyWaiters() int64 {
+	if ao.err != nil {
+		return 0
+	}
+	ao.mu.Lock()
+	defer ao.mu.Unlock()
+	if ao.dead {
+		return 0
+	}
+	if nt, ok := ao.obj.rt.mem.(shmem.Notifier); ok {
+		return nt.Waiters()
+	}
+	return 0
 }
 
 // Evicted reports whether the object has been reclaimed.

@@ -1,0 +1,199 @@
+package setagreement
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"setagreement/internal/core"
+	"setagreement/internal/engine"
+)
+
+// ErrEngineClosed resolves futures whose proposals were still queued or
+// parked when their object's async engine shut down. Like cancellation, it
+// poisons the handle: the proposal's half-written state cannot be resumed.
+var ErrEngineClosed = errors.New("setagreement: async engine closed")
+
+// engineRef lazily creates the proposal engine shared by every handle of
+// one standalone object — or, through the arena, by every object of one
+// arena, which is what lets one small engine multiplex thousands of keys'
+// agreements. Creation is deferred to the first ProposeAsync so purely
+// synchronous users never pay for it; peek exposes the engine to stats
+// without forcing it into existence.
+type engineRef struct {
+	workers int
+	mu      sync.Mutex
+	eng     atomic.Pointer[engine.Engine]
+}
+
+func (er *engineRef) get() *engine.Engine {
+	if e := er.eng.Load(); e != nil {
+		return e
+	}
+	er.mu.Lock()
+	defer er.mu.Unlock()
+	if e := er.eng.Load(); e != nil {
+		return e
+	}
+	e := engine.New(er.workers)
+	er.eng.Store(e)
+	return e
+}
+
+func (er *engineRef) peek() *engine.Engine { return er.eng.Load() }
+
+// ProposeAsync submits value v as this process and returns a Future that
+// resolves to the decided value — the completion-based form of Propose.
+// The call itself never blocks on agreement: the proposal runs on the
+// object's engine (WithEngine), which advances it until it would wait,
+// then parks it on the memory's change notifier (with the backoff duration
+// as the timeout cap) instead of holding a goroutine — N stalled proposals
+// across an arena cost O(engine workers) goroutines, not N. On memories
+// without the notifier capability a park is a plain timed one; parking
+// wakes on notification whenever the capability exists, whatever the sync
+// WaitStrategy, because the cap preserves that strategy's schedule either
+// way. Handles with no backoff schedule configured run async under the
+// default schedule (100µs–10ms cap, window 64) — an async proposal must
+// yield, since yield points are where the engine multiplexes.
+//
+// Lifecycle is exactly Propose's, delivered through the future: ErrInUse
+// while any Propose (sync or async) is in flight on the handle,
+// ErrAlreadyProposed after a one-shot decision, and poisoning on
+// cancellation — a ctx that ends before the proposal decides (even while
+// parked) resolves the future with ctx.Err() and every later call fails
+// with ErrPoisoned, just as cancelling a blocking Propose would. Engine
+// shutdown resolves still-pending futures with ErrEngineClosed, poisoning
+// likewise. Solo execution still decides without ever parking: the solo
+// detection of the wait layer applies at engine yield points too.
+func (h *Handle[T]) ProposeAsync(ctx context.Context, v T) *Future[T] {
+	var zero T
+	if err := h.claim(); err != nil {
+		return resolvedFuture(zero, err)
+	}
+	// A dead context must fail (and poison, as in Propose) rather than let
+	// a zero-step decision quietly succeed.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			h.st.Store(statePoisoned)
+			return resolvedFuture(zero, err)
+		}
+	}
+	g := &h.guard
+	g.cur = g.wait
+	if g.cur == nil {
+		if h.asyncWait == nil {
+			h.asyncWait = &waitPlan{
+				strategy: h.rt.opts.strategy,
+				backoff:  backoffState{min: defaultWaitMin, max: defaultWaitMax, window: defaultWaitWindow},
+			}
+		}
+		g.cur = h.asyncWait
+	}
+	g.park = true
+	g.resetWait()
+	fut := newFuture[T]()
+	ap := &asyncProposal[T]{h: h, fut: fut, ctx: ctx, att: h.res.Begin(h.codec.Encode(v))}
+	h.rt.eng.get().Submit(ap)
+	return fut
+}
+
+// asyncProposal adapts one engine-driven Propose — the handle, its guard
+// in park mode, the algorithm's resumable attempt and the future to
+// resolve — to the engine's Proposal interface.
+type asyncProposal[T comparable] struct {
+	h   *Handle[T]
+	fut *Future[T]
+	ctx context.Context
+	att core.Attempt
+}
+
+var _ engine.Proposal = (*asyncProposal[int])(nil)
+
+// Advance implements engine.Proposal: account for the wake, then step the
+// machine until it decides, fails, or signals a park.
+func (ap *asyncProposal[T]) Advance(w engine.Wake) (engine.Park, bool) {
+	h := ap.h
+	g := &h.guard
+	if w.Reason != engine.WakeStart {
+		// Wait accounting precedes the wakeup count (the Stats ordering
+		// contract), and the solo detector re-bases exactly as after a
+		// blocking notify-wait.
+		h.stats.waitNS.Add(int64(w.Waited))
+		if w.Reason == engine.WakeNotify {
+			h.stats.wakeups.Add(1)
+		}
+		g.rebase()
+		// The resumed Step runs yield-free (see guardMem.skipYield): the
+		// woken proposal takes the loop iteration it was parked in, as a
+		// blocking waiter proceeds when AwaitChange returns.
+		g.skipYield = true
+	}
+	out, err, park, parked := h.stepAsync(ap.ctx, ap.att)
+	if parked {
+		p := engine.Park{Version: park.version, Cap: park.cap, Ctx: ap.ctx}
+		if park.notify {
+			p.Notifier = g.notifier
+		}
+		return p, true
+	}
+	ap.finish(out, err)
+	return engine.Park{}, false
+}
+
+// Abort implements engine.Proposal: the engine shut down with this
+// proposal queued or parked. Its partial writes stay behind, so the
+// handle poisons, exactly as after cancellation.
+func (ap *asyncProposal[T]) Abort(err error) {
+	if errors.Is(err, engine.ErrClosed) {
+		err = ErrEngineClosed
+	}
+	ap.finish(0, err)
+}
+
+// finish commits the proposal's outcome to the handle lifecycle —
+// Handle.commit, the very code Propose's tail runs — and resolves the
+// future with the result.
+func (ap *asyncProposal[T]) finish(out int, err error) {
+	ap.h.guard.park = false
+	ap.fut.resolve(ap.h.commit(out, err))
+}
+
+// stepAsync runs the attempt through the handle's guard until it decides,
+// its context dies, or a yield point signals a park. It is run's engine
+// face: the same guard, the same cancelPanic unwinding, plus the
+// parkSignal the blocking path never sees.
+func (h *Handle[T]) stepAsync(ctx context.Context, att core.Attempt) (out int, err error, park parkSignal, parked bool) {
+	// Checked on every entry — initial and after every park — so a
+	// cancellation always resolves the future even when the attempt could
+	// decide without touching shared memory (the history shortcut).
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return 0, err, parkSignal{}, false
+		}
+	}
+	g := &h.guard
+	g.ctx = ctx
+	defer func() {
+		g.ctx = nil
+		if r := recover(); r != nil {
+			switch s := r.(type) {
+			case parkSignal:
+				park, parked = s, true
+			case cancelPanic:
+				err = s.err
+			default:
+				panic(r)
+			}
+		}
+	}()
+	for {
+		o, done := att.Step(g)
+		if done {
+			return o, nil, parkSignal{}, false
+		}
+		// One full Step has completed since the resume; parking is fair
+		// game again from the next Step's first yield point.
+		g.skipYield = false
+	}
+}

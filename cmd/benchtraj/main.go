@@ -1,0 +1,178 @@
+// Command benchtraj is the perf-trajectory gate seeded by the ROADMAP: it
+// compares a current sabench -json document against a committed baseline
+// and fails (exit 1) when any cell's p50 latency regressed beyond the
+// allowed factor. CI's bench-smoke job runs it on every push against
+// bench/baseline-async.json, so a change that triples contended propose
+// latency fails the build instead of silently rotting the trajectory.
+//
+// The check is deliberately trivial: tables are matched by title, rows by
+// their identifying columns (everything that is not a measured quantity),
+// and only the p50 column is gated. Latencies below the noise floor are
+// ignored — microsecond-scale cells vary more across machines than any
+// regression they could hide — and rows present in only one document are
+// reported but never fail the gate, so reshaping a table does not require
+// lockstep baseline edits.
+//
+// Usage:
+//
+//	benchtraj -baseline bench/baseline-async.json -current bench-async.json
+//	benchtraj -baseline old.json -current new.json -factor 2 -floor 500µs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+// doc mirrors internal/report's JSON shape.
+type doc struct {
+	Tables []table `json:"tables"`
+}
+
+type table struct {
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+}
+
+// measuredColumns are result columns; everything else identifies a row.
+var measuredColumns = map[string]bool{
+	"p50": true, "p95": true, "proposes/sec": true, "wakeups": true,
+	"spurious": true, "wait-total": true, "goroutines": true,
+	"parked-peak": true, "lookups/sec": true, "ops/sec": true,
+	"proposes": true, "steps": true, "scans": true, "wait": true,
+	"mem-steps": true, "cas-retries": true,
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench/baseline-async.json", "committed baseline JSON (sabench -json format)")
+		currentPath  = flag.String("current", "", "current-run JSON to gate (sabench -json format)")
+		factor       = flag.Float64("factor", 3, "fail when current p50 > factor × baseline p50")
+		floor        = flag.Duration("floor", time.Millisecond, "ignore cells whose current p50 is below this (machine noise)")
+	)
+	flag.Usage = func() {
+		fmt.Fprint(flag.CommandLine.Output(), `usage: benchtraj -baseline FILE -current FILE [-factor N] [-floor D]
+
+benchtraj gates the repository's perf trajectory: it fails (exit 1) when a
+current sabench -json run shows a p50 latency more than -factor times its
+committed baseline, for any row the two documents share. Cells below the
+-floor are ignored as machine noise; unmatched rows are reported only.
+
+Flags:
+`)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "benchtraj: -current is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
+		os.Exit(2)
+	}
+	regressions, compared := compare(baseline, current, *factor, *floor)
+	fmt.Printf("benchtraj: compared %d cells against %s (factor %g, floor %v)\n",
+		compared, *baselinePath, *factor, *floor)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Println("REGRESSION: " + r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchtraj: p50 trajectory OK")
+}
+
+func load(path string) (doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc{}, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err != nil {
+		return doc{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// compare gates every shared row's p50 and returns the offending cells.
+func compare(baseline, current doc, factor float64, floor time.Duration) (regressions []string, compared int) {
+	curTables := make(map[string]table, len(current.Tables))
+	for _, t := range current.Tables {
+		curTables[t.Title] = t
+	}
+	for _, base := range baseline.Tables {
+		baseP50 := columnIndex(base.Columns, "p50")
+		if baseP50 < 0 {
+			continue
+		}
+		cur, ok := curTables[base.Title]
+		if !ok {
+			fmt.Printf("note: table %q missing from current run\n", base.Title)
+			continue
+		}
+		curP50 := columnIndex(cur.Columns, "p50")
+		if curP50 < 0 {
+			fmt.Printf("note: table %q lost its p50 column\n", base.Title)
+			continue
+		}
+		curRows := make(map[string][]string, len(cur.Rows))
+		for _, row := range cur.Rows {
+			curRows[rowKey(cur.Columns, row)] = row
+		}
+		for _, row := range base.Rows {
+			key := rowKey(base.Columns, row)
+			curRow, ok := curRows[key]
+			if !ok {
+				fmt.Printf("note: row [%s] of %q missing from current run\n", key, base.Title)
+				continue
+			}
+			baseD, err1 := time.ParseDuration(row[baseP50])
+			curD, err2 := time.ParseDuration(curRow[curP50])
+			if err1 != nil || err2 != nil {
+				continue // non-duration p50 cells are outside the gate
+			}
+			compared++
+			if curD < floor || baseD <= 0 {
+				continue
+			}
+			if float64(curD) > factor*float64(baseD) {
+				regressions = append(regressions,
+					fmt.Sprintf("%s [%s]: p50 %v → %v (>%gx)", base.Title, key, baseD, curD, factor))
+			}
+		}
+	}
+	return regressions, compared
+}
+
+func columnIndex(columns []string, name string) int {
+	for i, c := range columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// rowKey joins a row's identifying cells (the non-measured columns).
+func rowKey(columns []string, row []string) string {
+	var parts []string
+	for i, c := range columns {
+		if i < len(row) && !measuredColumns[c] {
+			parts = append(parts, c+"="+row[i])
+		}
+	}
+	return strings.Join(parts, " ")
+}

@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, arena, waits, all")
+		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, arena, waits, async, all")
 		n         = flag.Int("n", 6, "number of processes")
 		m         = flag.Int("m", 1, "obstruction degree")
 		k         = flag.Int("k", 2, "agreement degree")
@@ -71,15 +71,19 @@ benchmarks of this implementation. Pick one table with -table or run all:
   handles     per-handle instrumentation through the public API
   arena       arena serving throughput: shards x objects x goroutines
   waits       wait-strategy latency: strategy x backend x contention
+  async       sync vs async serving: in-flight proposals x backend,
+              with goroutine cost (the point of ProposeAsync)
 
 The -json flag switches the output to one machine-readable document
-({"tables": [...]}), the format CI's bench-smoke job archives.
+({"tables": [...]}), the format CI's bench-smoke job archives; the async
+table's JSON is also what cmd/benchtraj gates regressions against.
 
 Examples:
   sabench -table fig1 -format markdown
   sabench -table t2 -n 6 -m 1 -k 2
   sabench -table arena -backend lockfree
   sabench -table waits -backend lockfree -json
+  sabench -table async -backend both -json
 
 Flags:
 `)
@@ -217,6 +221,16 @@ func run(table string, n, m, k, maxR, instances, seeds int, backend string, dur 
 			return err
 		}
 		if err := add(waitStrategyTable(backends, dur)); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "async" {
+		ran = true
+		backends, err := selectPublicBackends(backend)
+		if err != nil {
+			return err
+		}
+		if err := add(asyncTable(backends, dur)); err != nil {
 			return err
 		}
 	}
@@ -441,6 +455,175 @@ func measureWaitStrategy(be setagreement.MemoryBackend, strat setagreement.WaitS
 		cell.spurious += s.SpuriousWakeups
 		cell.waitTotal += s.WaitTime
 	}
+	return cell, nil
+}
+
+// asyncTable measures what the async proposal engine is for: the cost of
+// in-flight proposals, sync versus async, over one contended arena (k=1,
+// up to 8 processes per object). Sync drives each in-flight proposal from
+// its own goroutine — the classic shape, one blocked goroutine per
+// stalled Propose. Async drives every future from ONE submitter goroutine
+// over the arena's shared engine, which parks stalled proposals on their
+// objects' notifiers. The goroutines column (peak runtime.NumGoroutine) is
+// the headline: at 512 in-flight, sync pays 512+, async a small constant.
+// p50/p95 are per-proposal completion latencies; parked-peak is the async
+// engine's high-water mark of parked proposals.
+func asyncTable(backends []setagreement.MemoryBackend, dur time.Duration) (*report.Table, error) {
+	t := report.New("Async proposal engine (arena serving, k=1, ≤8 procs/object)",
+		"backend", "mode", "in-flight", "p50", "p95", "proposes/sec", "goroutines", "wakeups", "parked-peak")
+	for _, be := range backends {
+		for _, inflight := range []int{1, 8, 64, 512} {
+			for _, mode := range []string{"sync", "async"} {
+				cell, err := measureAsync(be, mode, inflight, dur)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(be.String(), mode, inflight,
+					cell.p50.Round(time.Microsecond).String(),
+					cell.p95.Round(time.Microsecond).String(),
+					fmt.Sprintf("%.0f", cell.rate),
+					cell.goroutines, cell.wakeups, cell.parkedPeak)
+			}
+		}
+	}
+	return t, nil
+}
+
+type asyncCell struct {
+	p50, p95   time.Duration
+	rate       float64
+	goroutines int64
+	wakeups    int64
+	parkedPeak int64
+}
+
+// measureAsync runs one cell of the async table: `inflight` concurrently
+// outstanding proposals over ceil(inflight/8) arena objects for the
+// duration.
+func measureAsync(be setagreement.MemoryBackend, mode string, inflight int, dur time.Duration) (asyncCell, error) {
+	procs := inflight
+	if procs > 8 {
+		procs = 8
+	}
+	objects := (inflight + procs - 1) / procs
+	ar, err := setagreement.NewArena[int](8, 1, setagreement.WithObjectOptions(
+		setagreement.WithMemoryBackend(be),
+		setagreement.WithWaitStrategy(setagreement.WaitNotify),
+		setagreement.WithBackoff(50*time.Microsecond, 2*time.Millisecond, 16)))
+	if err != nil {
+		return asyncCell{}, err
+	}
+	handles := make([]*setagreement.Handle[int], 0, inflight)
+	for o := 0; o < objects; o++ {
+		obj := ar.Object(fmt.Sprintf("tenant-%04d", o))
+		for p := 0; p < procs && len(handles) < inflight; p++ {
+			h, err := obj.Proc(p)
+			if err != nil {
+				return asyncCell{}, err
+			}
+			handles = append(handles, h)
+		}
+	}
+	ctx := context.Background()
+	var (
+		cell      asyncCell
+		latencies []time.Duration
+	)
+	sample := func() {
+		if g := int64(runtime.NumGoroutine()); g > cell.goroutines {
+			cell.goroutines = g
+		}
+		if p := ar.Stats().AsyncParked; p > cell.parkedPeak {
+			cell.parkedPeak = p
+		}
+	}
+	start := time.Now()
+	switch mode {
+	case "sync":
+		var (
+			stop  atomic.Bool
+			wg    sync.WaitGroup
+			latMu sync.Mutex
+		)
+		errs := make([]error, len(handles))
+		for i, h := range handles {
+			wg.Add(1)
+			go func(i int, h *setagreement.Handle[int]) {
+				defer wg.Done()
+				var local []time.Duration
+				for round := 0; !stop.Load(); round++ {
+					t0 := time.Now()
+					if _, err := h.Propose(ctx, 1000*round+i); err != nil {
+						errs[i] = fmt.Errorf("async-table sync proposer %d: %w", i, err)
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				latMu.Lock()
+				latencies = append(latencies, local...)
+				latMu.Unlock()
+			}(i, h)
+		}
+		for deadline := start.Add(dur); time.Now().Before(deadline); {
+			time.Sleep(dur / 50)
+			sample()
+		}
+		stop.Store(true)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return asyncCell{}, err
+			}
+		}
+	case "async":
+		outstanding := make([]*setagreement.Future[int], len(handles))
+		submitted := make([]time.Time, len(handles))
+		rounds := make([]int, len(handles))
+		for i, h := range handles {
+			submitted[i] = time.Now()
+			outstanding[i] = h.ProposeAsync(ctx, i)
+		}
+		deadline := start.Add(dur)
+		for time.Now().Before(deadline) {
+			progressed := false
+			for i, f := range outstanding {
+				if f == nil || !f.Resolved() {
+					continue
+				}
+				if _, err := f.Value(); err != nil {
+					return asyncCell{}, fmt.Errorf("async-table future %d: %w", i, err)
+				}
+				latencies = append(latencies, time.Since(submitted[i]))
+				progressed = true
+				rounds[i]++
+				submitted[i] = time.Now()
+				outstanding[i] = handles[i].ProposeAsync(ctx, 1000*rounds[i]+i)
+			}
+			sample()
+			if !progressed {
+				runtime.Gosched()
+			}
+		}
+		// Drain the tail so no proposal outlives its arena.
+		for i, f := range outstanding {
+			if f == nil {
+				continue
+			}
+			if _, err := f.Value(); err != nil {
+				return asyncCell{}, fmt.Errorf("async-table drain %d: %w", i, err)
+			}
+		}
+	default:
+		return asyncCell{}, fmt.Errorf("unknown async mode %q", mode)
+	}
+	elapsed := time.Since(start)
+	cell.rate = float64(len(latencies)) / elapsed.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		cell.p50 = latencies[len(latencies)/2]
+		cell.p95 = latencies[len(latencies)*95/100]
+	}
+	cell.wakeups = ar.Stats().Wakeups
 	return cell, nil
 }
 

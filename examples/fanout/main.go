@@ -1,0 +1,100 @@
+// Command fanout demonstrates the async proposal engine at its intended
+// scale: ONE goroutine drives 1,000 keyed agreements to completion through
+// futures over an arena. Each key is a consensus (k = 1) between two
+// contenders — both submitted asynchronously by the same driver — so at
+// any moment hundreds of proposals are in flight, contending, parking on
+// their objects' change notifiers and resuming on each other's writes,
+// while the process holds no goroutine per proposal: the engine multiplexes
+// them all over a handful of transient workers.
+//
+// Compare the synchronous shape: 2,000 blocking Proposes would need 2,000
+// goroutines. Here the driver submits every proposal, then collects the
+// futures; the goroutine count printed mid-flight is the whole story.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"time"
+
+	"setagreement"
+)
+
+const keys = 1000
+
+func main() {
+	// Two contenders per key, consensus per key, one shared engine.
+	ar, err := setagreement.NewArena[string](2, 1,
+		setagreement.WithObjectOptions(
+			setagreement.WithWaitStrategy(setagreement.WaitNotify),
+			setagreement.WithBackoff(50*time.Microsecond, 2*time.Millisecond, 16),
+		),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	baseline := runtime.NumGoroutine()
+
+	// Submit phase: 2 async proposals per key, 2,000 in flight, still one
+	// goroutine. ProposeAsync never blocks on agreement — it hands the
+	// proposal to the arena's engine and returns the future.
+	type pending struct {
+		key        string
+		alice, bob *setagreement.Future[string]
+	}
+	inflight := make([]pending, 0, keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("account-%04d", i)
+		obj := ar.Object(k)
+		alice, err := obj.Proc(0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bob, err := obj.Proc(1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inflight = append(inflight, pending{
+			key:   k,
+			alice: alice.ProposeAsync(ctx, "alice@"+k),
+			bob:   bob.ProposeAsync(ctx, "bob@"+k),
+		})
+	}
+	stats := ar.Stats()
+	fmt.Printf("submitted %d proposals over %d keys from one goroutine\n", 2*keys, keys)
+	fmt.Printf("  in flight: %d, parked: %d, notify waiters: %d\n",
+		stats.AsyncInFlight, stats.AsyncParked, stats.NotifyWaiters)
+	fmt.Printf("  goroutines: %d (baseline was %d)\n", runtime.NumGoroutine(), baseline)
+
+	// Collect phase: every pair must agree on its key's winner.
+	winners := make(map[string]int)
+	for _, p := range inflight {
+		a, err := p.alice.Value()
+		if err != nil {
+			log.Fatalf("%s/alice: %v", p.key, err)
+		}
+		b, err := p.bob.Value()
+		if err != nil {
+			log.Fatalf("%s/bob: %v", p.key, err)
+		}
+		if a != b {
+			log.Fatalf("key %s disagreed: %q vs %q", p.key, a, b)
+		}
+		if a == "alice@"+p.key {
+			winners["alice"]++
+		} else {
+			winners["bob"]++
+		}
+	}
+	stats = ar.Stats()
+	fmt.Printf("all %d keys decided and agreed in %v (alice won %d, bob won %d)\n",
+		keys, time.Since(start).Round(time.Millisecond), winners["alice"], winners["bob"])
+	fmt.Printf("  proposes: %d, wakeups: %d, wait total: %v, mem steps: %d\n",
+		stats.Proposes, stats.Wakeups, stats.WaitTime.Round(time.Millisecond), stats.MemSteps)
+}

@@ -1,0 +1,65 @@
+package setagreement
+
+// Future is the pending result of a ProposeAsync: it resolves exactly once
+// — with the decided value, or with the error the equivalent synchronous
+// Propose would have returned (lifecycle errors like ErrInUse, context
+// cancellation, ErrEngineClosed at engine shutdown). All methods are safe
+// for concurrent use from any number of goroutines, and all reads are
+// idempotent: every Value call returns the same pair forever.
+//
+// Done is the select-friendly face for callers multiplexing many futures
+// (see examples/fanout); Value and Err are the blocking conveniences.
+type Future[T comparable] struct {
+	done chan struct{}
+	val  T
+	err  error
+}
+
+func newFuture[T comparable]() *Future[T] {
+	return &Future[T]{done: make(chan struct{})}
+}
+
+// resolve delivers the outcome. Called exactly once, by the async driver
+// (or by ProposeAsync itself for immediate lifecycle failures); the
+// channel close publishes val and err to every reader.
+func (f *Future[T]) resolve(v T, err error) {
+	f.val, f.err = v, err
+	close(f.done)
+}
+
+// resolved builds an already-resolved future, for submissions that fail
+// before reaching the engine.
+func resolvedFuture[T comparable](v T, err error) *Future[T] {
+	f := newFuture[T]()
+	f.resolve(v, err)
+	return f
+}
+
+// Done returns a channel that is closed when the proposal has resolved.
+// After it is closed, Value and Err return without blocking.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// Value blocks until the proposal resolves and returns its outcome. It may
+// be called any number of times, from any goroutine; every call returns
+// the same result.
+func (f *Future[T]) Value() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// Err blocks until the proposal resolves and returns its error, nil on
+// success. Like Value, it is idempotent.
+func (f *Future[T]) Err() error {
+	<-f.done
+	return f.err
+}
+
+// Resolved reports, without blocking, whether the proposal has resolved.
+func (f *Future[T]) Resolved() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}

@@ -26,11 +26,17 @@ type Handle[T comparable] struct {
 	rt      *runtime
 	codec   Codec[T]
 	proc    core.Process
+	res     core.Resumable // proc's resumable face, resolved at claim time
 	id      int
 	oneShot bool
 	st      atomic.Uint32
 	guard   guardMem
 	stats   handleStats
+	// asyncWait is the wait plan engine-driven Proposes fall back to when
+	// no schedule is configured (a sync Propose then never yields, but an
+	// async one must — yield points are where the engine multiplexes).
+	// Allocated at the handle's first ProposeAsync, reused afterwards.
+	asyncWait *waitPlan
 	// onRelease, when set by the object that issued the handle (the arena
 	// does), runs exactly once when Release succeeds. Set before the handle
 	// escapes to the caller, never mutated afterwards.
@@ -60,32 +66,48 @@ func (h *Handle[T]) ID() int { return h.id }
 // every later call fails with ErrPoisoned. A codec Decode failure — only
 // possible with a misbehaving custom codec — also poisons the handle.
 func (h *Handle[T]) Propose(ctx context.Context, v T) (T, error) {
-	var zero T
+	if err := h.claim(); err != nil {
+		var zero T
+		return zero, err
+	}
+	out, err := h.run(ctx, h.codec.Encode(v))
+	return h.commit(out, err)
+}
+
+// claim moves the handle free→busy for one Propose (sync or async),
+// translating every other lifecycle state into its error.
+func (h *Handle[T]) claim() error {
 	for {
 		switch h.st.Load() {
 		case stateBusy:
-			return zero, ErrInUse
+			return ErrInUse
 		case stateDone:
-			return zero, ErrAlreadyProposed
+			return ErrAlreadyProposed
 		case statePoisoned:
-			return zero, ErrPoisoned
+			return ErrPoisoned
 		case stateReleased:
-			return zero, ErrReleased
+			return ErrReleased
 		}
 		if h.st.CompareAndSwap(stateFree, stateBusy) {
-			break
+			h.stats.proposes.Add(1)
+			return nil
 		}
 	}
-	h.stats.proposes.Add(1)
-	out, err := h.run(ctx, h.codec.Encode(v))
+}
+
+// commit ends a claimed Propose with the machine's outcome, shared by the
+// sync driver and the async finish so the two paths cannot diverge: any
+// error poisons (half-written state cannot be resumed), and the decode
+// runs before the lifecycle transition — a decode failure (a misbehaving
+// custom codec) must not park a one-shot handle at Done with its decision
+// irretrievable; it poisons instead, the handle's typed view of the
+// decided code being broken.
+func (h *Handle[T]) commit(out int, err error) (T, error) {
+	var zero T
 	if err != nil {
 		h.st.Store(statePoisoned)
 		return zero, err
 	}
-	// Decode before committing the lifecycle transition: a decode failure
-	// (a misbehaving custom codec) must not park a one-shot handle at Done
-	// with its decision irretrievable. It poisons instead — the handle's
-	// typed view of the decided code is broken.
 	dec, err := h.codec.Decode(out)
 	if err != nil {
 		h.st.Store(statePoisoned)
@@ -113,6 +135,8 @@ func (h *Handle[T]) run(ctx context.Context, code int) (out int, err error) {
 		}
 	}
 	h.guard.ctx = ctx
+	h.guard.cur = h.guard.wait
+	h.guard.park = false
 	h.guard.resetWait()
 	defer func() {
 		h.guard.ctx = nil
@@ -184,7 +208,17 @@ type Stats struct {
 }
 
 // Stats returns the handle's instrumentation counters. It is safe to call
-// concurrently with an in-flight Propose, e.g. from a monitoring loop.
+// concurrently with an in-flight Propose — synchronous or asynchronous —
+// e.g. from a monitoring loop.
+//
+// Consistency under concurrency: every counter is an independent atomic,
+// so a snapshot taken mid-Propose is not a single linearization point
+// across fields, but each individual counter is exact and monotone
+// (successive snapshots never show a field decreasing). Paired fields are
+// ordered so a snapshot never tears them the misleading way: WaitTime is
+// charged before the Wakeups increment of the wait it ends — for blocking
+// waits and engine parks alike — so a snapshot showing a wakeup already
+// includes that wakeup's wait time.
 func (h *Handle[T]) Stats() Stats {
 	s := Stats{
 		Proposes:        h.stats.proposes.Load(),
@@ -218,6 +252,16 @@ type handleStats struct {
 // context is cancelled. It never escapes run.
 type cancelPanic struct{ err error }
 
+// parkSignal unwinds an engine-driven Propose at a yield point where it
+// would otherwise block: version is the notifier version already seen
+// (meaningful when notify is set), cap bounds the park like a backoff
+// sleep bounds a wait. It never escapes the async driver.
+type parkSignal struct {
+	version uint64
+	cap     time.Duration
+	notify  bool
+}
+
 // waitPlan is the per-handle state of the configured WaitStrategy: the
 // escalation schedule (reused backoffState) plus, for the event-driven
 // strategies, the solo-detection baseline — the notifier version and own
@@ -237,12 +281,32 @@ const hybridSpinRounds = 32
 
 // guardMem wraps a process's resolved memory with context cancellation,
 // the wait strategy and step accounting. One guardMem lives inside each
-// handle and is reused across Propose calls.
+// handle and is reused across Propose calls — synchronous and asynchronous
+// alike, since a handle is one process and runs at most one Propose at a
+// time.
 type guardMem struct {
 	inner shmem.Mem
 	ctx   context.Context
-	wait  *waitPlan
-	stats *handleStats
+	// wait is the configured wait plan (nil when the default strategy has
+	// no backoff schedule); cur is the plan the current Propose actually
+	// runs under — wait for sync calls, the handle's async fallback when an
+	// engine drives a scheduleless handle.
+	wait *waitPlan
+	cur  *waitPlan
+	// park switches the yield points from blocking (sleep or notify-wait)
+	// to signaling: instead of holding the goroutine, the guard unwinds
+	// with a parkSignal the engine turns into a completion-based park.
+	// skipYield suppresses parking until the resumed Step completes (the
+	// async driver clears it as each Step returns). A park unwinds the
+	// whole Step and a resume re-runs it from the top, so the Step is the
+	// unit of restart — and must also be the unit of progress: a woken
+	// proposal that could re-park at any of the re-run's yield points
+	// would, under a yield-every-op schedule, re-execute its first
+	// operation and park at its second forever. Running the resumed Step
+	// yield-free is the engine's form of the woken-waiter-proceeds rule.
+	park      bool
+	skipYield bool
+	stats     *handleStats
 	// notifier is the memory's change-notification capability, resolved at
 	// claim time (nil when the backend lacks it — the event-driven
 	// strategies then degrade to plain backoff sleeps). notifyExact records
@@ -262,17 +326,30 @@ var (
 	_ shmem.TryScanner = (*guardMem)(nil)
 )
 
-// resetWait rewinds the wait plan for a fresh Propose: the escalation
-// restarts and every memory change before this call counts as seen.
+// resetWait rewinds the current wait plan for a fresh Propose: the
+// escalation restarts and every memory change before this call counts as
+// seen.
 func (g *guardMem) resetWait() {
-	if g.wait == nil {
+	g.skipYield = false
+	if g.cur == nil {
 		return
 	}
-	g.wait.backoff.reset()
+	g.cur.backoff.reset()
 	if g.notifier != nil {
-		g.wait.lastVersion = g.notifier.Version()
-		g.wait.lastOwnMuts = g.ownMuts
+		g.cur.lastVersion = g.notifier.Version()
+		g.cur.lastOwnMuts = g.ownMuts
 	}
+}
+
+// rebase re-bases the solo detector after an engine park: changes that
+// landed while the proposal was parked are visible to its next reads, so
+// they must not read as fresh contention at the next yield point.
+func (g *guardMem) rebase() {
+	if g.cur == nil || g.notifier == nil {
+		return
+	}
+	g.cur.lastVersion = g.notifier.Version()
+	g.cur.lastOwnMuts = g.ownMuts
 }
 
 func (g *guardMem) pre() {
@@ -284,22 +361,53 @@ func (g *guardMem) pre() {
 		default:
 		}
 	}
-	if g.wait != nil {
-		if d := g.wait.backoff.step(); d > 0 {
+	if g.cur != nil {
+		if d := g.cur.backoff.step(); d > 0 && !g.skipYield {
 			g.pause(d)
 		}
 	}
 }
 
-// pause is one yield point: the strategy decides how the next d is spent.
+// pause is one yield point: the strategy decides how the next d is spent —
+// or, under an engine, how the park it unwinds into is shaped.
 func (g *guardMem) pause(d time.Duration) {
-	if g.wait.strategy == WaitBackoff || g.notifier == nil {
+	if g.park {
+		g.parkPause(d)
+		return
+	}
+	if g.cur.strategy == WaitBackoff || g.notifier == nil {
 		// Blind sleep: the reference strategy, and the capped-backoff
 		// fallback for memories without the Notifier capability.
 		g.sleep(d)
 		return
 	}
 	g.notifyPause(d)
+}
+
+// parkPause is the engine-driven yield point: it never blocks. Solo
+// detection applies exactly as in notifyPause — a proposal that has seen
+// no foreign write since its last yield keeps stepping, so the engine
+// never parks a solo process and m-obstruction-freedom carries over
+// unchanged. Otherwise the guard unwinds with the park descriptor: the
+// notifier version to wake past (when the memory has one — parking wakes
+// on notification regardless of the configured sync strategy, since d
+// stays the cap either way and a timed park is all WaitBackoff's blind
+// sleep ever bought) and d as the cap.
+func (g *guardMem) parkPause(d time.Duration) {
+	nt := g.notifier
+	if nt == nil {
+		panic(parkSignal{cap: d})
+	}
+	v := nt.Version()
+	if g.notifyExact {
+		foreign := v-g.cur.lastVersion != g.ownMuts-g.cur.lastOwnMuts
+		g.cur.lastVersion = v
+		g.cur.lastOwnMuts = g.ownMuts
+		if !foreign {
+			return
+		}
+	}
+	panic(parkSignal{version: v, cap: d, notify: true})
 }
 
 // notifyPause implements WaitNotify and WaitHybrid at one yield point:
@@ -313,26 +421,32 @@ func (g *guardMem) notifyPause(d time.Duration) {
 	nt := g.notifier
 	v := nt.Version()
 	if g.notifyExact {
-		foreign := v-g.wait.lastVersion != g.ownMuts-g.wait.lastOwnMuts
-		g.wait.lastVersion = v
-		g.wait.lastOwnMuts = g.ownMuts
+		foreign := v-g.cur.lastVersion != g.ownMuts-g.cur.lastOwnMuts
+		g.cur.lastVersion = v
+		g.cur.lastOwnMuts = g.ownMuts
 		if !foreign {
 			return
 		}
 	}
 	start := time.Now()
+	woke := false
 	defer func() {
+		// Wait time is charged before the wakeup is counted (the Stats
+		// ordering contract: a snapshot showing a wakeup includes its wait).
 		g.stats.waitNS.Add(int64(time.Since(start)))
+		if woke {
+			g.stats.wakeups.Add(1)
+		}
 		// Changes that landed while we waited are visible to our next
 		// reads; re-base the solo detector so they are not mistaken for
 		// fresh contention at the next yield point.
-		g.wait.lastVersion = nt.Version()
-		g.wait.lastOwnMuts = g.ownMuts
+		g.cur.lastVersion = nt.Version()
+		g.cur.lastOwnMuts = g.ownMuts
 	}()
-	if g.wait.strategy == WaitHybrid {
+	if g.cur.strategy == WaitHybrid {
 		for i := 0; i < hybridSpinRounds; i++ {
 			if nt.Version() > v {
-				g.stats.wakeups.Add(1)
+				woke = true
 				return
 			}
 			goruntime.Gosched()
@@ -347,7 +461,7 @@ func (g *guardMem) notifyPause(d time.Duration) {
 	cancel()
 	g.stats.spurious.Add(int64(spurious))
 	if err == nil {
-		g.stats.wakeups.Add(1)
+		woke = true
 		return
 	}
 	if g.ctx != nil && g.ctx.Err() != nil {

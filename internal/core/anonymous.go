@@ -123,79 +123,111 @@ const regH = 0
 
 type anonProc struct {
 	alg *AnonRepeated
-	i   int     // persistent component index
-	t   int     // persistent instance counter
-	his History // persistent output history
+	i   int         // persistent component index
+	t   int         // persistent instance counter
+	his History     // persistent output history
+	att anonAttempt // reused per Propose; no allocation per call
 }
 
-// Propose is the code of Figure 5 for one invocation.
-func (p *anonProc) Propose(mem shmem.Mem, v int) int {
-	a := p.alg
-	m := a.params.M
-	ell := a.params.Ell() // line 16: ℓ ← n+m−k
-	r := a.r
+var _ Resumable = (*anonProc)(nil)
 
-	if a.withH {
+// Propose is the code of Figure 5 for one invocation: the synchronous
+// driver over the resumable machine.
+func (p *anonProc) Propose(mem shmem.Mem, v int) int {
+	return drive(p.Begin(v), mem)
+}
+
+// Begin implements Resumable: lines 10-12 and 15 — t ← t+1, the history
+// replay shortcut, pref ← v. The H write of line 9 is a shared-memory
+// operation, so it belongs to the Attempt (its first Step), not to the
+// process-local prelude; the operation order a sequential run issues is
+// unchanged (H write first, before any replay return).
+func (p *anonProc) Begin(v int) Attempt {
+	p.t++
+	p.att = anonAttempt{p: p, t: p.t, pref: v}
+	if p.his.Len() >= p.t {
+		p.att.out, p.att.done = p.his.At(p.t), true
+	}
+	return &p.att
+}
+
+// anonAttempt carries the loop-local state of Figure 5 across Steps.
+type anonAttempt struct {
+	p      *anonProc
+	t      int
+	pref   int
+	wroteH bool
+	out    int
+	done   bool
+}
+
+// Step runs one iteration of the Figure 5 loop, after the one-time H write
+// of line 9 (or replays the decision Begin already reached).
+func (a *anonAttempt) Step(mem shmem.Mem) (int, bool) {
+	p := a.p
+	alg, t := p.alg, a.t
+	if alg.withH && !a.wroteH {
 		// line 9: write history into H.
 		mem.Write(regH, p.his)
+		a.wroteH = true
 	}
-	// lines 10-12: t ← t+1; replay history if it already covers t.
-	p.t++
-	t := p.t
-	if p.his.Len() >= t {
-		return p.his.At(t)
+	if a.done {
+		return a.out, true
 	}
-	// line 15: pref ← v.
-	pref := v
+	m := alg.params.M
+	ell := alg.params.Ell() // line 16: ℓ ← n+m−k
+	r := alg.r
 
-	for {
-		// Thread 2 (lines 32-36), interleaved once per iteration:
-		// if |H| ≥ t, adopt its t-th value.
-		if a.withH {
-			if w, ok := p.pollH(mem, t); ok {
-				return w
-			}
+	// Thread 2 (lines 32-36), interleaved once per iteration: if
+	// |H| ≥ t, adopt its t-th value.
+	if alg.withH {
+		if w, ok := p.pollH(mem, t); ok {
+			a.out, a.done = w, true
+			return w, true
 		}
-
-		// line 18: update ith component with (pref, t, history).
-		mem.Update(0, p.i, ATuple{Val: pref, T: t, His: p.his})
-		// line 19: s ← scan of A. Over a non-blocking snapshot
-		// substrate a scan can starve; thread 2's H poll is
-		// interleaved between bounded retry rounds, which is a legal
-		// schedule of the pseudocode's two parallel threads and is
-		// what rescues starved processes (Appendix B's final
-		// argument).
-		s, rescued, w := p.scanInterleavingH(mem, t)
-		if rescued {
-			return w
-		}
-
-		// lines 20-22: adopt the history of any process past t.
-		for _, x := range s {
-			if tu, ok := x.(ATuple); ok && tu.T > t {
-				p.his = tu.His
-				return p.his.At(t)
-			}
-		}
-
-		// lines 23-26: decide on the most frequent value if at most m
-		// distinct entries and every entry is a t-tuple.
-		if allTTuples(s, t) && distinctCount(s) <= m {
-			w := mostFrequentValue(s)
-			p.his = p.his.Append(w)
-			return w
-		}
-
-		// lines 27-28: if my preference appears in fewer than ℓ
-		// components and some other value fills at least ℓ, adopt it.
-		if countValT(s, pref, t) < ell {
-			if nv, ok := dominantValue(s, t, ell); ok {
-				pref = nv
-			}
-		}
-		// line 29: advance i unconditionally.
-		p.i = (p.i + 1) % r
 	}
+
+	// line 18: update ith component with (pref, t, history).
+	mem.Update(0, p.i, ATuple{Val: a.pref, T: t, His: p.his})
+	// line 19: s ← scan of A. Over a non-blocking snapshot substrate a
+	// scan can starve; thread 2's H poll is interleaved between bounded
+	// retry rounds, which is a legal schedule of the pseudocode's two
+	// parallel threads and is what rescues starved processes (Appendix
+	// B's final argument).
+	s, rescued, w := p.scanInterleavingH(mem, t)
+	if rescued {
+		a.out, a.done = w, true
+		return w, true
+	}
+
+	// lines 20-22: adopt the history of any process past t.
+	for _, x := range s {
+		if tu, ok := x.(ATuple); ok && tu.T > t {
+			p.his = tu.His
+			a.out, a.done = p.his.At(t), true
+			return a.out, true
+		}
+	}
+
+	// lines 23-26: decide on the most frequent value if at most m
+	// distinct entries and every entry is a t-tuple.
+	if allTTuples(s, t) && distinctCount(s) <= m {
+		w := mostFrequentValue(s)
+		p.his = p.his.Append(w)
+		a.out, a.done = w, true
+		return w, true
+	}
+
+	// lines 27-28: if my preference appears in fewer than ℓ components
+	// and some other value fills at least ℓ, adopt it.
+	if countValT(s, a.pref, t) < ell {
+		if nv, ok := dominantValue(s, t, ell); ok {
+			a.pref = nv
+		}
+	}
+	// line 29: advance i unconditionally.
+	p.i = (p.i + 1) % r
+	return 0, false
 }
 
 // pollH implements thread 2's body: if H holds a history covering instance

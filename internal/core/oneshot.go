@@ -77,56 +77,76 @@ type oneShotProc struct {
 	alg      *OneShot
 	id       int
 	proposed bool
+	att      oneShotAttempt // reused per Propose; no allocation per call
 }
 
-// Propose is the code of Figure 3 for the process with identifier id.
+var _ Resumable = (*oneShotProc)(nil)
+
+// Propose is the code of Figure 3 for the process with identifier id: the
+// synchronous driver over the resumable machine.
 func (p *oneShotProc) Propose(mem shmem.Mem, v int) int {
+	return drive(p.Begin(v), mem)
+}
+
+// Begin implements Resumable: the one-shot guard plus the loop's initial
+// state (pref ← v, i ← 0).
+func (p *oneShotProc) Begin(v int) Attempt {
 	if p.proposed {
 		panic("core: one-shot Propose invoked twice on the same process")
 	}
 	p.proposed = true
+	p.att = oneShotAttempt{p: p, pref: v}
+	return &p.att
+}
 
+// oneShotAttempt carries the loop-local state of Figure 3 across Steps.
+type oneShotAttempt struct {
+	p    *oneShotProc
+	pref int
+	i    int
+}
+
+// Step runs one iteration of the Figure 3 loop.
+func (a *oneShotAttempt) Step(mem shmem.Mem) (int, bool) {
+	p := a.p
 	r, m := p.alg.r, p.alg.params.M
-	pref := v
-	i := 0
-	for {
-		// line 7: update ith component of A with (pref, id)
-		mem.Update(0, i, Pair{Val: pref, ID: p.id})
-		// line 8: s ← scan of A
-		s := mem.Scan(0)
 
-		// lines 9-10: if |{s[j]}| ≤ m and no component is ⊥, output
-		// the value of the first duplicated pair and halt.
-		if !hasNil(s) && distinctCount(s) <= m {
-			j1, ok := minDupIndex(s)
-			if !ok {
-				// Unreachable when r > m (pigeonhole); with an
-				// undersized experimental r every entry can be
-				// distinct, in which case the rule cannot fire.
-				i = (i + 1) % r
-				continue
-			}
-			return s[j1].(Pair).Val
-		}
+	// line 7: update ith component of A with (pref, id)
+	mem.Update(0, a.i, Pair{Val: a.pref, ID: p.id})
+	// line 8: s ← scan of A
+	s := mem.Scan(0)
 
-		// lines 11-13: if my pair appears nowhere but position i and
-		// some pair appears twice, adopt the first duplicated value.
-		//
-		// Lemma 5 states the loop dichotomy: each iteration either
-		// keeps pref and advances i, or *changes* pref and keeps i.
-		// A duplicated pair may carry the value the process already
-		// prefers (under another identifier); adopting it would
-		// change nothing, so that iteration must advance i instead —
-		// otherwise a solo process facing stale duplicated pairs of
-		// its own value would spin forever, contradicting Lemma 5.
-		mine := Pair{Val: pref, ID: p.id}
-		if allOthersForeign(s, i, mine) {
-			if j1, ok := minDupIndex(s); ok && s[j1].(Pair).Val != pref {
-				pref = s[j1].(Pair).Val
-				continue
-			}
+	// lines 9-10: if |{s[j]}| ≤ m and no component is ⊥, output the
+	// value of the first duplicated pair and halt.
+	if !hasNil(s) && distinctCount(s) <= m {
+		if j1, ok := minDupIndex(s); ok {
+			return s[j1].(Pair).Val, true
 		}
-		// line 14: otherwise advance to the next component.
-		i = (i + 1) % r
+		// Unreachable when r > m (pigeonhole); with an undersized
+		// experimental r every entry can be distinct, in which case
+		// the rule cannot fire.
+		a.i = (a.i + 1) % r
+		return 0, false
 	}
+
+	// lines 11-13: if my pair appears nowhere but position i and some
+	// pair appears twice, adopt the first duplicated value.
+	//
+	// Lemma 5 states the loop dichotomy: each iteration either keeps
+	// pref and advances i, or *changes* pref and keeps i. A duplicated
+	// pair may carry the value the process already prefers (under
+	// another identifier); adopting it would change nothing, so that
+	// iteration must advance i instead — otherwise a solo process
+	// facing stale duplicated pairs of its own value would spin
+	// forever, contradicting Lemma 5.
+	mine := Pair{Val: a.pref, ID: p.id}
+	if allOthersForeign(s, a.i, mine) {
+		if j1, ok := minDupIndex(s); ok && s[j1].(Pair).Val != a.pref {
+			a.pref = s[j1].(Pair).Val
+			return 0, false
+		}
+	}
+	// line 14: otherwise advance to the next component.
+	a.i = (a.i + 1) % r
+	return 0, false
 }

@@ -79,74 +79,99 @@ func (a *Repeated) NewProcess(id int) Process {
 type repeatedProc struct {
 	alg *Repeated
 	id  int
-	i   int     // persistent component index
-	t   int     // persistent instance counter
-	his History // persistent output history
+	i   int             // persistent component index
+	t   int             // persistent instance counter
+	his History         // persistent output history
+	att repeatedAttempt // reused per Propose; no allocation per call
 }
 
-// Propose is the code of Figure 4 for one invocation.
+var _ Resumable = (*repeatedProc)(nil)
+
+// Propose is the code of Figure 4 for one invocation: the synchronous
+// driver over the resumable machine.
 func (p *repeatedProc) Propose(mem shmem.Mem, v int) int {
+	return drive(p.Begin(v), mem)
+}
+
+// Begin implements Resumable: lines 8-11 — t ← t+1, the history replay
+// shortcut (an Attempt that is done before its first Step), pref ← v.
+func (p *repeatedProc) Begin(v int) Attempt {
+	p.t++
+	p.att = repeatedAttempt{p: p, t: p.t, pref: v}
+	if p.his.Len() >= p.t {
+		p.att.out, p.att.done = p.his.At(p.t), true
+	}
+	return &p.att
+}
+
+// repeatedAttempt carries the loop-local state of Figure 4 across Steps.
+type repeatedAttempt struct {
+	p    *repeatedProc
+	t    int
+	pref int
+	out  int
+	done bool
+}
+
+// Step runs one iteration of the Figure 4 loop (or replays the decision
+// Begin already reached).
+func (a *repeatedAttempt) Step(mem shmem.Mem) (int, bool) {
+	if a.done {
+		return a.out, true
+	}
+	p, t := a.p, a.t
 	r, m := p.alg.r, p.alg.params.M
 
-	// lines 8-10: t ← t+1; if history already covers t, replay it.
-	p.t++
-	t := p.t
-	if p.his.Len() >= t {
-		return p.his.At(t)
-	}
-	// line 11: pref ← v
-	pref := v
+	// line 13: update ith component with (pref, id, t, history).
+	mem.Update(0, p.i, RTuple{Val: a.pref, ID: p.id, T: t, His: p.his})
+	// line 14: s ← scan of A.
+	s := mem.Scan(0)
 
-	for {
-		// line 13: update ith component with (pref, id, t, history).
-		mem.Update(0, p.i, RTuple{Val: pref, ID: p.id, T: t, His: p.his})
-		// line 14: s ← scan of A.
-		s := mem.Scan(0)
-
-		// lines 15-16: shortcut — adopt the history of any process
-		// already past instance t.
-		for _, x := range s {
-			if tu, ok := x.(RTuple); ok && tu.T > t {
-				p.his = tu.His
-				return p.his.At(t)
-			}
-		}
-
-		// lines 17-21: decide if at most m distinct entries and no
-		// entry is ⊥ or from an earlier instance. (Entries from later
-		// instances were handled above, so every entry is a t-tuple.)
-		if p.canDecide(s, t, m) {
-			if j1, ok := minDupIndex(s); ok {
-				w := s[j1].(RTuple).Val
-				p.his = p.his.Append(w)
-				return w
-			}
-			// Only reachable with an experimentally undersized
-			// r ≤ m: no duplicate to pick, keep looping.
-		}
-
-		// lines 22-24: adopt the value of the first duplicated
-		// t-tuple if my own tuple appears nowhere else and some
-		// t-tuple is duplicated. As in the one-shot algorithm, an
-		// iteration adopts only if it actually changes pref (the
-		// dichotomy of Lemma 5, reused by Lemma 14); otherwise it
-		// advances i.
-		mine := RTuple{Val: pref, ID: p.id, T: t, His: p.his}
-		adopted := false
-		if allOthersForeign(s, p.i, mine) {
-			if j1, ok := minDupIndexWhere(s, func(v shmem.Value) bool {
-				tu, ok := v.(RTuple)
-				return ok && tu.T == t
-			}); ok && s[j1].(RTuple).Val != pref {
-				pref = s[j1].(RTuple).Val
-				adopted = true
-			}
-		}
-		if !adopted {
-			// line 25: advance to the next component.
-			p.i = (p.i + 1) % r
+	// lines 15-16: shortcut — adopt the history of any process already
+	// past instance t.
+	for _, x := range s {
+		if tu, ok := x.(RTuple); ok && tu.T > t {
+			p.his = tu.His
+			a.out, a.done = p.his.At(t), true
+			return a.out, true
 		}
 	}
+
+	// lines 17-21: decide if at most m distinct entries and no entry is
+	// ⊥ or from an earlier instance. (Entries from later instances were
+	// handled above, so every entry is a t-tuple.)
+	if p.canDecide(s, t, m) {
+		if j1, ok := minDupIndex(s); ok {
+			w := s[j1].(RTuple).Val
+			p.his = p.his.Append(w)
+			a.out, a.done = w, true
+			return w, true
+		}
+		// Only reachable with an experimentally undersized r ≤ m: no
+		// duplicate to pick, keep looping.
+	}
+
+	// lines 22-24: adopt the value of the first duplicated t-tuple if my
+	// own tuple appears nowhere else and some t-tuple is duplicated. As
+	// in the one-shot algorithm, an iteration adopts only if it actually
+	// changes pref (the dichotomy of Lemma 5, reused by Lemma 14);
+	// otherwise it advances i.
+	mine := RTuple{Val: a.pref, ID: p.id, T: t, His: p.his}
+	adopted := false
+	if allOthersForeign(s, p.i, mine) {
+		if j1, ok := minDupIndexWhere(s, func(v shmem.Value) bool {
+			tu, ok := v.(RTuple)
+			return ok && tu.T == t
+		}); ok && s[j1].(RTuple).Val != a.pref {
+			a.pref = s[j1].(RTuple).Val
+			adopted = true
+		}
+	}
+	if !adopted {
+		// line 25: advance to the next component.
+		p.i = (p.i + 1) % r
+	}
+	return 0, false
 }
 
 // canDecide checks the condition of line 17: every component holds a tuple

@@ -1,0 +1,51 @@
+package core
+
+import "setagreement/internal/shmem"
+
+// Attempt is one in-flight Propose of a resumable algorithm, cut at loop
+// granularity: each Step runs one iteration of the pseudocode's retry loop
+// (a bounded number of shared-memory operations, never a wait) and reports
+// whether the invocation decided. An Attempt belongs to the Process that
+// began it and is driven by a single caller at a time.
+//
+// Restartability is the contract that lets an event loop abandon a Step
+// partway — unwound at a shared-memory operation — and later call Step
+// again from the top: within one Step, every shared-memory operation
+// precedes every mutation of state that survives the Step, and re-issuing
+// those operations re-writes exactly what the abandoned execution wrote
+// (the process's current tuple). A restarted Step is therefore
+// indistinguishable from one extra iteration of the pseudocode's loop,
+// which the algorithms' safety arguments already cover; only the step
+// count pays.
+type Attempt interface {
+	// Step runs one loop iteration against mem. done=true means the
+	// invocation decided on `decided`; the Attempt must not be stepped
+	// again afterwards.
+	Step(mem shmem.Mem) (decided int, done bool)
+}
+
+// Resumable is implemented by processes whose Propose is exposed as a
+// resumable machine: Begin performs the invocation's process-local prelude
+// (instance accounting, an immediate decision from the history shortcut)
+// and returns the Attempt that runs its loop. Propose on such a process is
+// exactly Begin followed by Step until done — the synchronous driver over
+// the same machine an asynchronous engine multiplexes.
+//
+// Begin must be called at most once per Propose invocation (it advances
+// persistent per-process state), and the returned Attempt is only valid
+// until the next Begin. Every algorithm in this package is Resumable.
+type Resumable interface {
+	Process
+	// Begin starts one Propose invocation with input v.
+	Begin(v int) Attempt
+}
+
+// drive is the synchronous Propose driver shared by the algorithms: step
+// the attempt to completion.
+func drive(a Attempt, mem shmem.Mem) int {
+	for {
+		if out, done := a.Step(mem); done {
+			return out
+		}
+	}
+}

@@ -119,5 +119,12 @@ func (n *Locked) AwaitChange(ctx context.Context, v uint64) (int, error) {
 	return n.notify.AwaitChange(ctx, v)
 }
 
+// RegisterWake implements shmem.Notifier. Callbacks fire under the memory
+// mutex (Publish runs inside it), one more reason the Notifier contract
+// forbids them from touching the memory.
+func (n *Locked) RegisterWake(v uint64, fn func()) (cancel func()) {
+	return n.notify.RegisterWake(v, fn)
+}
+
 // Waiters implements shmem.Notifier.
 func (n *Locked) Waiters() int64 { return n.notify.Waiters() }

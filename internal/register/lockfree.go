@@ -160,6 +160,11 @@ func (m *LockFree) AwaitChange(ctx context.Context, v uint64) (int, error) {
 	return m.notify.AwaitChange(ctx, v)
 }
 
+// RegisterWake implements shmem.Notifier.
+func (m *LockFree) RegisterWake(v uint64, fn func()) (cancel func()) {
+	return m.notify.RegisterWake(v, fn)
+}
+
 // Waiters implements shmem.Notifier.
 func (m *LockFree) Waiters() int64 { return m.notify.Waiters() }
 

@@ -26,9 +26,16 @@ import (
 //     reports how many times that happened), but wakeups must never be
 //     lost: a waiter blocked on version v must be released by any write
 //     that installs a version v' > v, no matter how the two race.
-//   - Waiters reports how many goroutines are currently blocked inside
-//     AwaitChange, so tests and monitors can check that cancellation leaves
-//     no waiter behind.
+//   - RegisterWake is the completion-based (proactor) form of the same
+//     wait: instead of blocking a goroutine, it registers a callback to run
+//     once when Version() > v. It obeys the same no-lost-wakeup rule as
+//     AwaitChange, so an engine can park thousands of stalled operations on
+//     one memory at the cost of zero goroutines.
+//   - Waiters reports how many operations are currently waiting on the
+//     memory — goroutines blocked inside AwaitChange plus wake callbacks
+//     registered and not yet fired — so tests and monitors can check that
+//     cancellation leaves nothing behind, and so schedulers can read
+//     per-object contention.
 //
 // Version's absolute value is meaningful only between a reading and a later
 // wait on the same memory; Reset (see Resetter) may rewind it, which is
@@ -41,8 +48,20 @@ type Notifier interface {
 	// number of spurious wakeups it absorbed while waiting, and ctx.Err()
 	// if the context ended the wait.
 	AwaitChange(ctx context.Context, v uint64) (spurious int, err error)
-	// Waiters returns the number of goroutines currently blocked in
-	// AwaitChange.
+	// RegisterWake arranges for fn to be called exactly once when
+	// Version() > v. If the version is already past v, fn runs synchronously
+	// before RegisterWake returns; otherwise it runs on the goroutine of the
+	// mutation that advances the version past v, so fn must be brief, must
+	// not block and must not itself operate on the memory — some backends
+	// publish while holding their own locks (hand off to a queue, don't do
+	// the work in fn). The
+	// returned cancel is idempotent and revokes a not-yet-fired
+	// registration; after cancel returns, fn will not be called unless it
+	// already was.
+	RegisterWake(v uint64, fn func()) (cancel func())
+	// Waiters returns the number of waits currently pending on the memory:
+	// goroutines blocked in AwaitChange plus unfired RegisterWake
+	// registrations.
 	Waiters() int64
 }
 
@@ -61,13 +80,30 @@ type Notifier interface {
 // waiter's re-check sees the new version — there is no interleaving in
 // which both miss.
 //
+// The callback side (RegisterWake) shares the argument: a registration is
+// installed (pending count, then the node, both under mu), then the version
+// is re-checked before the registrar leaves; Publish advances the version
+// before checking the pending count. Either the publisher sees the pending
+// registration and drains it under mu, or the registrar's re-check sees the
+// new version and fires immediately — again no interleaving misses both.
+//
 // The zero Broadcast is ready to use.
 type Broadcast struct {
 	version atomic.Uint64
 	waiters atomic.Int64
+	pending atomic.Int64 // RegisterWake registrations not yet fired
 
-	mu sync.Mutex
-	ch chan struct{} // current broadcast channel; nil until a waiter arms
+	mu   sync.Mutex
+	ch   chan struct{}         // current broadcast channel; nil until a waiter arms
+	regs map[*wakeReg]struct{} // live registrations; nil until one arms
+}
+
+// wakeReg is one RegisterWake registration. Its identity (the pointer) is
+// what Publish, cancel and Reset race over; membership in Broadcast.regs,
+// guarded by Broadcast.mu, decides who fires or revokes it — exactly once.
+type wakeReg struct {
+	after uint64
+	fn    func()
 }
 
 var _ Notifier = (*Broadcast)(nil)
@@ -75,29 +111,77 @@ var _ Notifier = (*Broadcast)(nil)
 // Version implements Notifier.
 func (b *Broadcast) Version() uint64 { return b.version.Load() }
 
-// Waiters implements Notifier.
-func (b *Broadcast) Waiters() int64 { return b.waiters.Load() }
+// Waiters implements Notifier: blocked AwaitChange callers plus unfired
+// RegisterWake registrations.
+func (b *Broadcast) Waiters() int64 { return b.waiters.Load() + b.pending.Load() }
 
-// Publish records one mutation: the version advances by exactly one and any
-// blocked waiter is released. Call it after the mutation's effect is
-// visible.
+// Publish records one mutation: the version advances by exactly one, any
+// blocked waiter is released and any registration the new version satisfies
+// is fired. Call it after the mutation's effect is visible.
 func (b *Broadcast) Publish() {
 	b.version.Add(1)
-	if b.waiters.Load() == 0 {
+	if b.waiters.Load() == 0 && b.pending.Load() == 0 {
 		return
 	}
-	b.broadcast()
+	b.broadcast(false)
 }
 
 // broadcast closes the current channel, releasing every goroutine blocked
-// on it; the next waiter allocates a fresh one.
-func (b *Broadcast) broadcast() {
+// on it (the next waiter allocates a fresh one), and fires the satisfied
+// wake registrations — all of them when all is set (Reset's defensive
+// drain). Callbacks run outside the lock: a callback may re-register
+// without deadlocking, and membership in b.regs (checked and cleared under
+// mu) keeps each registration's fire exactly-once even when broadcasts
+// race.
+func (b *Broadcast) broadcast(all bool) {
+	v := b.version.Load()
+	var fire []func()
 	b.mu.Lock()
 	if b.ch != nil {
 		close(b.ch)
 		b.ch = nil
 	}
+	for r := range b.regs {
+		if all || r.after < v {
+			delete(b.regs, r)
+			b.pending.Add(-1)
+			fire = append(fire, r.fn)
+		}
+	}
 	b.mu.Unlock()
+	for _, fn := range fire {
+		fn()
+	}
+}
+
+// RegisterWake implements Notifier.
+func (b *Broadcast) RegisterWake(after uint64, fn func()) (cancel func()) {
+	r := &wakeReg{after: after, fn: fn}
+	b.mu.Lock()
+	if b.regs == nil {
+		b.regs = make(map[*wakeReg]struct{})
+	}
+	b.regs[r] = struct{}{}
+	b.pending.Add(1)
+	// Re-check after the registration is visible: any Publish after this
+	// load finds pending > 0 and drains under mu, so a wakeup cannot be
+	// lost between the caller's version read and the registration.
+	if b.version.Load() > after {
+		delete(b.regs, r)
+		b.pending.Add(-1)
+		b.mu.Unlock()
+		fn()
+		return func() {}
+	}
+	b.mu.Unlock()
+	return func() {
+		b.mu.Lock()
+		if _, ok := b.regs[r]; ok {
+			delete(b.regs, r)
+			b.pending.Add(-1)
+		}
+		b.mu.Unlock()
+	}
 }
 
 // AwaitChange implements Notifier.
@@ -133,12 +217,13 @@ func (b *Broadcast) AwaitChange(ctx context.Context, v uint64) (int, error) {
 	}
 }
 
-// Reset rewinds the version to zero and wakes any straggling waiter, for
-// memories recycled through the Resetter capability. Like Reset on the
-// memory itself, it must only be called while quiescent — in particular
-// with no waiter legitimately blocked (the defensive wakeup turns a
-// latent hang from a leaked waiter into a visible spurious return).
+// Reset rewinds the version to zero, wakes any straggling waiter and fires
+// any straggling registration, for memories recycled through the Resetter
+// capability. Like Reset on the memory itself, it must only be called while
+// quiescent — in particular with no wait legitimately pending (the
+// defensive drain turns a latent hang from a leaked waiter or registration
+// into a visible spurious wake).
 func (b *Broadcast) Reset() {
 	b.version.Store(0)
-	b.broadcast()
+	b.broadcast(true)
 }

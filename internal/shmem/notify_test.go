@@ -89,6 +89,61 @@ func TestBroadcastManyWaitersOnePublish(t *testing.T) {
 	}
 }
 
+func TestBroadcastRegisterWakeArmPublishRace(t *testing.T) {
+	// The callback counterpart of the arm/publish race: a registration on
+	// version v races a publisher installing v+1. Whichever side wins, the
+	// callback must run — synchronously from RegisterWake when the
+	// registrar loses, from Publish's drain when it wins — and exactly once.
+	var b shmem.Broadcast
+	for i := 0; i < 2000; i++ {
+		v := b.Version()
+		done := make(chan struct{})
+		go b.Publish()
+		b.RegisterWake(v, func() { close(done) })
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: lost callback wakeup", i)
+		}
+	}
+	if got := b.Waiters(); got != 0 {
+		t.Fatalf("Waiters() = %d after all registrations fired", got)
+	}
+}
+
+func TestBroadcastRegisterWakeReentrant(t *testing.T) {
+	// A callback may re-register from inside the fire (the engine's re-park
+	// shape). Publish drains outside its lock, so this must neither deadlock
+	// nor lose the chained registration.
+	var b shmem.Broadcast
+	done := make(chan struct{})
+	b.RegisterWake(b.Version(), func() {
+		b.RegisterWake(b.Version(), func() { close(done) })
+	})
+	b.Publish() // fires the outer callback, which chains the inner one
+	b.Publish() // fires the inner one
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("chained registration never fired")
+	}
+}
+
+func TestBroadcastResetDrainsRegistrations(t *testing.T) {
+	// Reset's defensive drain: a registration leaked past quiescence fires
+	// (visibly, spuriously) instead of hanging its owner forever.
+	var b shmem.Broadcast
+	fired := false
+	b.RegisterWake(b.Version()+100, func() { fired = true })
+	b.Reset()
+	if !fired {
+		t.Fatal("Reset did not drain the straggling registration")
+	}
+	if got := b.Waiters(); got != 0 {
+		t.Fatalf("Waiters() = %d after Reset", got)
+	}
+}
+
 func TestBroadcastCancellationCountsDown(t *testing.T) {
 	var b shmem.Broadcast
 	ctx, cancel := context.WithCancel(context.Background())

@@ -5,7 +5,8 @@
 // read-own-write, scan view stability, object independence, step
 // accounting, atomicity of scans under concurrent updaters, and the
 // change-notification capability (exact version accounting, no lost
-// wakeups, cancellation that leaves no waiter behind).
+// wakeups — blocking and completion-based alike — and cancellation that
+// leaves no waiter behind).
 //
 // Run uses only the public shmem interfaces, so it lives beside the
 // contract it checks rather than beside any one implementation.
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -32,15 +34,26 @@ func Run(t *testing.T, b shmem.Backend) {
 	t.Run("InstanceIsolation", func(t *testing.T) { instanceIsolation(t, b) })
 	t.Run("StepAccounting", func(t *testing.T) { stepAccounting(t, b) })
 	t.Run("CASRetryAccounting", func(t *testing.T) { casRetryAccounting(t, b) })
-	t.Run("NotifierVersionCountsMutations", func(t *testing.T) { notifierVersionCountsMutations(t, b) })
-	t.Run("NotifierWakeup", func(t *testing.T) { notifierWakeup(t, b) })
-	t.Run("NotifierNoLostWakeups", func(t *testing.T) { notifierNoLostWakeups(t, b) })
-	t.Run("NotifierCancellation", func(t *testing.T) { notifierCancellation(t, b) })
-	t.Run("NotifierReset", func(t *testing.T) { notifierReset(t, b) })
+	RunNotifier(t, b)
 	t.Run("ResetRestoresInitialState", func(t *testing.T) { resetRestoresInitialState(t, b) })
 	t.Run("ScanAtomicUnderUpdaters", func(t *testing.T) { scanAtomicUnderUpdaters(t, b) })
 	t.Run("ScanComparability", func(t *testing.T) { scanComparability(t, b) })
 	t.Run("ConcurrentHammer", func(t *testing.T) { concurrentHammer(t, b) })
+}
+
+// RunNotifier executes only the change-notification conformance checks
+// against the backend. It exists for substrates whose memories implement
+// shmem.Notifier but not the full concurrent-Mem contract — the simulated
+// memory of internal/sim, whose cells are scheduler-owned and unlocked,
+// while its notifier is internally synchronized like every other.
+func RunNotifier(t *testing.T, b shmem.Backend) {
+	t.Run("NotifierVersionCountsMutations", func(t *testing.T) { notifierVersionCountsMutations(t, b) })
+	t.Run("NotifierWakeup", func(t *testing.T) { notifierWakeup(t, b) })
+	t.Run("NotifierNoLostWakeups", func(t *testing.T) { notifierNoLostWakeups(t, b) })
+	t.Run("NotifierRegisterWake", func(t *testing.T) { notifierRegisterWake(t, b) })
+	t.Run("NotifierRegisterWakeNoLostWakeups", func(t *testing.T) { notifierRegisterWakeNoLostWakeups(t, b) })
+	t.Run("NotifierCancellation", func(t *testing.T) { notifierCancellation(t, b) })
+	t.Run("NotifierReset", func(t *testing.T) { notifierReset(t, b) })
 }
 
 func mustNew(t *testing.T, b shmem.Backend, spec shmem.Spec) shmem.Mem {
@@ -334,6 +347,130 @@ func notifierNoLostWakeups(t *testing.T, b shmem.Backend) {
 		if err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func notifierRegisterWake(t *testing.T, b shmem.Backend) {
+	// The completion-based wait: a registration on version v fires exactly
+	// once when a mutation installs v' > v; a cancelled registration never
+	// fires; a registration on an already-passed version fires synchronously;
+	// pending registrations are visible through Waiters.
+	m := mustNew(t, b, shmem.Spec{Regs: 1, Snaps: []int{1}})
+	nt, ok := m.(shmem.Notifier)
+	if !ok {
+		t.Skipf("%s does not expose change notification", b.Name())
+	}
+
+	// Already-passed version: fires before RegisterWake returns.
+	m.Write(0, "pre")
+	fired := 0
+	cancel := nt.RegisterWake(0, func() { fired++ })
+	if fired != 1 {
+		t.Fatalf("registration on a passed version fired %d times synchronously, want 1", fired)
+	}
+	cancel() // must be a no-op on an already-fired registration
+	if fired != 1 {
+		t.Fatalf("cancel after fire changed the count to %d", fired)
+	}
+
+	// Armed registration: counted as a waiter, fired exactly once per kind
+	// of mutation, and never again by later mutations.
+	for round, mutate := range []func(){
+		func() { m.Write(0, "wake") },
+		func() { m.Update(0, 0, "wake") },
+	} {
+		var n atomic.Int64
+		nt.RegisterWake(nt.Version(), func() { n.Add(1) })
+		if got := nt.Waiters(); got != 1 {
+			t.Fatalf("round %d: Waiters() = %d with one pending registration, want 1", round, got)
+		}
+		mutate()
+		if got := n.Load(); got != 1 {
+			t.Fatalf("round %d: registration fired %d times after the mutation, want 1", round, got)
+		}
+		mutate()
+		if got := n.Load(); got != 1 {
+			t.Fatalf("round %d: registration re-fired (%d) on a later mutation", round, got)
+		}
+		if got := nt.Waiters(); got != 0 {
+			t.Fatalf("round %d: Waiters() = %d after the registration fired, want 0", round, got)
+		}
+	}
+
+	// Cancelled registration: never fires, leaves no waiter behind.
+	var n atomic.Int64
+	cancel = nt.RegisterWake(nt.Version(), func() { n.Add(1) })
+	cancel()
+	cancel() // idempotent
+	if got := nt.Waiters(); got != 0 {
+		t.Fatalf("Waiters() = %d after cancellation, want 0", got)
+	}
+	m.Write(0, "after-cancel")
+	if got := n.Load(); got != 0 {
+		t.Fatalf("cancelled registration fired %d times", got)
+	}
+}
+
+func notifierRegisterWakeNoLostWakeups(t *testing.T, b shmem.Backend) {
+	// Registrations race a writer running flat out: every arm/publish
+	// interleaving must either fire synchronously (version already past) or
+	// be fired by a later publish — and each exactly once. A lost callback
+	// leaves the counter short; a double fire overshoots it.
+	m := mustNew(t, b, shmem.Spec{Regs: 1})
+	nt, ok := m.(shmem.Notifier)
+	if !ok {
+		t.Skipf("%s does not expose change notification", b.Name())
+	}
+	const registrars, rounds = 4, 300
+	var fired atomic.Int64
+	stop := make(chan struct{})
+	var writerWG, regWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.Write(0, i)
+		}
+	}()
+	for r := 0; r < registrars; r++ {
+		regWG.Add(1)
+		go func(r int) {
+			defer regWG.Done()
+			for i := 0; i < rounds; i++ {
+				done := make(chan struct{})
+				var once atomic.Int64
+				nt.RegisterWake(nt.Version(), func() {
+					if once.Add(1) == 1 {
+						fired.Add(1)
+						close(done)
+					}
+				})
+				select {
+				case <-done:
+				case <-time.After(notifyTimeout):
+					t.Errorf("registrar %d round %d never fired under a running writer (lost wakeup)", r, i)
+					return
+				}
+				if got := once.Load(); got != 1 {
+					t.Errorf("registrar %d round %d fired %d times", r, i, got)
+					return
+				}
+			}
+		}(r)
+	}
+	regWG.Wait()
+	close(stop)
+	writerWG.Wait()
+	if got, want := fired.Load(), int64(registrars*rounds); got != want && !t.Failed() {
+		t.Fatalf("%d registrations fired, want %d", got, want)
+	}
+	if got := nt.Waiters(); got != 0 {
+		t.Fatalf("%d waiters left after all registrations fired", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"setagreement/internal/shmem"
@@ -11,11 +12,25 @@ import (
 // and components are initially nil (the paper's ⊥).
 //
 // Memory is owned by the Runner; simulated processes access it only through
-// scheduler-granted steps, so no locking is needed.
+// scheduler-granted steps, so the cells themselves need no locking. The
+// change-notification capability (shmem.Notifier, via the shared Broadcast
+// helper) is the exception: it is internally synchronized, so a
+// deterministic scheduler can drive wait/wakeup interleavings — granting a
+// mutation step provably wakes whoever is parked on the memory's version —
+// and the shmemtest Notifier conformance checks run against the simulated
+// substrate exactly as against the native backends.
 type Memory struct {
 	regs  []shmem.Value
 	snaps [][]shmem.Value
+
+	notify shmem.Broadcast
 }
+
+var (
+	_ shmem.Mem      = (*Memory)(nil)
+	_ shmem.Notifier = (*Memory)(nil)
+	_ shmem.Resetter = (*Memory)(nil)
+)
 
 // NewMemory allocates memory for the given spec.
 func NewMemory(spec shmem.Spec) (*Memory, error) {
@@ -49,11 +64,13 @@ func (m *Memory) Read(reg int) shmem.Value {
 // Write sets register reg.
 func (m *Memory) Write(reg int, v shmem.Value) {
 	m.regs[reg] = v
+	m.notify.Publish()
 }
 
 // Update sets component comp of snapshot snap.
 func (m *Memory) Update(snap, comp int, v shmem.Value) {
 	m.snaps[snap][comp] = v
+	m.notify.Publish()
 }
 
 // Scan copies out the components of snapshot snap.
@@ -72,13 +89,46 @@ func (m *Memory) Get(l Loc) shmem.Value {
 	return m.snaps[l.Snap][l.Reg]
 }
 
-// Set stores a value at an arbitrary location.
+// Set stores a value at an arbitrary location. It is a mutation like Write
+// and Update, so it publishes a change — an adversary's direct store wakes
+// a parked waiter exactly as an algorithm's write would.
 func (m *Memory) Set(l Loc, v shmem.Value) {
 	if l.Snap == SnapNone {
 		m.regs[l.Reg] = v
-		return
+	} else {
+		m.snaps[l.Snap][l.Reg] = v
 	}
-	m.snaps[l.Snap][l.Reg] = v
+	m.notify.Publish()
+}
+
+// Version implements shmem.Notifier.
+func (m *Memory) Version() uint64 { return m.notify.Version() }
+
+// AwaitChange implements shmem.Notifier.
+func (m *Memory) AwaitChange(ctx context.Context, v uint64) (int, error) {
+	return m.notify.AwaitChange(ctx, v)
+}
+
+// RegisterWake implements shmem.Notifier.
+func (m *Memory) RegisterWake(v uint64, fn func()) (cancel func()) {
+	return m.notify.RegisterWake(v, fn)
+}
+
+// Waiters implements shmem.Notifier.
+func (m *Memory) Waiters() int64 { return m.notify.Waiters() }
+
+// Reset implements shmem.Resetter: every cell back to nil (the paper's ⊥)
+// and the change version rewound, under the usual quiescence obligation.
+func (m *Memory) Reset() {
+	for i := range m.regs {
+		m.regs[i] = nil
+	}
+	for _, s := range m.snaps {
+		for i := range s {
+			s[i] = nil
+		}
+	}
+	m.notify.Reset()
 }
 
 // Locations returns every writable location in the memory, registers first,

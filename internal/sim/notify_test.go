@@ -1,0 +1,87 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"setagreement/internal/shmem"
+	"setagreement/internal/shmem/shmemtest"
+	"setagreement/internal/sim"
+)
+
+// memoryBackend adapts sim.NewMemory to shmem.Backend so the simulated
+// substrate runs the same Notifier conformance checks as the native ones.
+// Only the notifier subset applies: the memory's cells are scheduler-owned
+// and unlocked, so the full concurrent-Mem suite does not.
+var memoryBackend = shmem.BackendFunc{
+	BackendName: "sim",
+	Factory: func(spec shmem.Spec) (shmem.Mem, error) {
+		return sim.NewMemory(spec)
+	},
+}
+
+func TestSimNotifierConformance(t *testing.T) {
+	shmemtest.RunNotifier(t, memoryBackend)
+}
+
+// TestRunnerStepDrivesWakeups is what the simulator notifier is for: the
+// deterministic scheduler decides, by granting a single step, the exact
+// moment a parked waiter wakes. Before the granted mutation the registered
+// wake provably has not fired; after it, it provably has — a wait/wakeup
+// interleaving pinned step by step rather than left to the Go scheduler.
+func TestRunnerStepDrivesWakeups(t *testing.T) {
+	writer := func(p *sim.Proc) {
+		p.Write(0, "first")
+		p.Write(0, "second")
+	}
+	r, err := sim.NewRunner(shmem.Spec{Regs: 1}, []sim.ProcSpec{{ID: 0, Run: writer}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	mem := r.Memory()
+
+	fired := make(chan struct{}, 2)
+	mem.RegisterWake(mem.Version(), func() { fired <- struct{}{} })
+	select {
+	case <-fired:
+		t.Fatal("wake fired before the scheduler granted any step")
+	default:
+	}
+	if _, err := r.Step(0); err != nil { // grant the first Write
+		t.Fatalf("Step: %v", err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(10 * time.Second):
+		t.Fatal("granted mutation step did not fire the registered wake")
+	}
+	if got := mem.Version(); got != 1 {
+		t.Fatalf("Version() = %d after one granted mutation, want 1", got)
+	}
+
+	// A blocking wait is released by the next granted step the same way.
+	done := make(chan error, 1)
+	go func() {
+		_, err := mem.AwaitChange(context.Background(), mem.Version())
+		done <- err
+	}()
+	deadline := time.Now().Add(10 * time.Second)
+	for mem.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never armed")
+		}
+	}
+	if _, err := r.Step(0); err != nil { // grant the second Write
+		t.Fatalf("Step: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("AwaitChange released with %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("granted step did not release the blocked waiter")
+	}
+}

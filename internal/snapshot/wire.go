@@ -161,4 +161,7 @@ func (m *notifiedWiredMem) Version() uint64 { return m.nt.Version() }
 func (m *notifiedWiredMem) AwaitChange(ctx context.Context, v uint64) (int, error) {
 	return m.nt.AwaitChange(ctx, v)
 }
+func (m *notifiedWiredMem) RegisterWake(v uint64, fn func()) (cancel func()) {
+	return m.nt.RegisterWake(v, fn)
+}
 func (m *notifiedWiredMem) Waiters() int64 { return m.nt.Waiters() }

@@ -142,15 +142,16 @@ type Option interface {
 }
 
 type options struct {
-	m           int
-	impl        SnapshotImpl
-	backend     MemoryBackend
-	strategy    WaitStrategy
-	backoffSet  bool
-	backoffMin  time.Duration
-	backoffMax  time.Duration
-	backoffStep int
-	codec       any // Codec[T] supplied by WithCodec; resolved per entry point
+	m             int
+	impl          SnapshotImpl
+	backend       MemoryBackend
+	strategy      WaitStrategy
+	backoffSet    bool
+	backoffMin    time.Duration
+	backoffMax    time.Duration
+	backoffStep   int
+	engineWorkers int // 0 = GOMAXPROCS, resolved by engine.New
+	codec         any // Codec[T] supplied by WithCodec; resolved per entry point
 }
 
 func buildOptions(opts []Option) (options, error) {
@@ -253,6 +254,24 @@ func WithBackoff(min, max time.Duration, window int) Option {
 		o.backoffMin = min
 		o.backoffMax = max
 		o.backoffStep = window
+		return nil
+	})
+}
+
+// WithEngine sets the worker count of the object's async proposal engine —
+// the concurrency ceiling for ProposeAsync proposals advancing at once.
+// The engine itself is created lazily at the first ProposeAsync (purely
+// synchronous users never pay for it), its drain goroutines are transient
+// (zero goroutines while every proposal is parked or the engine is idle),
+// and on an arena the engine is one, shared by all objects across all
+// shards (set it through WithObjectOptions). The default (0) uses
+// GOMAXPROCS workers.
+func WithEngine(workers int) Option {
+	return optionFunc(func(o *options) error {
+		if workers < 0 {
+			return fmt.Errorf("setagreement: engine worker count must be ≥ 0, got %d", workers)
+		}
+		o.engineWorkers = workers
 		return nil
 	})
 }

@@ -60,6 +60,14 @@ func (o *object[T]) handle(id int, oneShot bool) *Handle[T] {
 		id:      id,
 		oneShot: oneShot,
 	}
+	// Every algorithm in this module exposes its Propose as a resumable
+	// machine (core.Resumable) — Propose itself is the synchronous driver
+	// over it, ProposeAsync the engine-driven one.
+	res, ok := h.proc.(core.Resumable)
+	if !ok {
+		panic("setagreement: algorithm process is not core.Resumable")
+	}
+	h.res = res
 	h.guard.inner = o.rt.wrap(id)
 	h.guard.wait = o.rt.opts.newWait()
 	h.guard.stats = &h.stats
@@ -229,13 +237,16 @@ func (a *Anonymous[T]) Session() (*Handle[T], error) {
 
 // runtime owns the native shared memory of one agreement object: mem is
 // the backend memory allocated by Materialize (the anchor for object-wide
-// instrumentation), and wrap yields one process's view over it — resolved
-// once per handle, at claim time. The memory comes from the configured
-// backend (WithMemoryBackend); the runtime itself is backend-agnostic.
+// instrumentation), wrap yields one process's view over it — resolved
+// once per handle, at claim time — and eng is the object's async proposal
+// engine (lazily created; shared arena-wide when the arena built the
+// runtime). The memory comes from the configured backend
+// (WithMemoryBackend); the runtime itself is backend-agnostic.
 type runtime struct {
 	mem  shmem.Mem
 	wrap func(id int) shmem.Mem
 	opts options
+	eng  *engineRef
 }
 
 func newRuntime(alg core.Algorithm, o options, anonymous bool) (*runtime, error) {
@@ -247,5 +258,5 @@ func newRuntime(alg core.Algorithm, o options, anonymous bool) (*runtime, error)
 	if err != nil {
 		return nil, err
 	}
-	return &runtime{mem: mem, wrap: wrap, opts: o}, nil
+	return &runtime{mem: mem, wrap: wrap, opts: o, eng: &engineRef{workers: o.engineWorkers}}, nil
 }

@@ -31,6 +31,7 @@ func newNotifyGuard(t *testing.T, strategy WaitStrategy) (*guardMem, *register.L
 		},
 		stats: &handleStats{},
 	}
+	g.cur = g.wait // what run() does at the top of every sync Propose
 	return g, mem
 }
 
