@@ -94,6 +94,8 @@ type retiredStats struct {
 	waitNS     int64
 	wakeups    int64
 	spurious   int64
+	combined   int64
+	adopted    int64
 	memSteps   int64
 	casRetries int64
 }
@@ -222,8 +224,17 @@ func NewArena[T comparable](n, k int, aopts ...ArenaOption) (*Arena[T], error) {
 	if err != nil {
 		return nil, err
 	}
-	ar.pool.Put(iarena.Runtime{Mem: mem, Wrap: wrap})
+	ar.pool.Put(iarena.Runtime{Mem: mem, Wrap: wrap, Comb: ar.newCombiner(alg)})
 	return ar, nil
+}
+
+// newCombiner builds one object's scan-combining slot from the arena's
+// mold, or nil when WithScanCombining(false) was configured.
+func (ar *Arena[T]) newCombiner(alg core.Algorithm) *shmem.ScanCombiner {
+	if ar.opts.noCombining {
+		return nil
+	}
+	return shmem.NewScanCombiner(len(alg.Spec().Snaps))
 }
 
 // newAlgorithm builds one object's algorithm from the arena's mold.
@@ -321,11 +332,11 @@ func (ar *Arena[T]) create(sh *arenaShard[T], key string) *ArenaObject[T] {
 			ao.err = err
 			return ao
 		}
-		rt = iarena.Runtime{Mem: m, Wrap: wrap}
+		rt = iarena.Runtime{Mem: m, Wrap: wrap, Comb: ar.newCombiner(alg)}
 	}
 	ao.obj = object[T]{
 		alg:   alg,
-		rt:    &runtime{mem: rt.Mem, wrap: rt.Wrap, opts: ar.opts, eng: ar.eng},
+		rt:    &runtime{mem: rt.Mem, wrap: rt.Wrap, opts: ar.opts, eng: ar.eng, comb: rt.Comb},
 		codec: codec,
 	}
 	ao.handles = make([]*Handle[T], ar.n)
@@ -433,6 +444,10 @@ type ArenaStats struct {
 	Proposes, Steps, Scans   int64
 	WaitTime                 time.Duration
 	Wakeups, SpuriousWakeups int64
+	// ScansCombined and ScansAdopted sum the scan-combining counters over
+	// every handle ever claimed: scans performed for a wake batch and
+	// published, and scans satisfied by adopting a published view.
+	ScansCombined, ScansAdopted int64
 	// MemSteps and CASRetries sum the backend memory counters over all
 	// objects and generations.
 	MemSteps, CASRetries int64
@@ -477,6 +492,7 @@ func (ar *Arena[T]) Stats() ArenaStats {
 	s.Proposes, s.Steps, s.Scans = r.proposes, r.steps, r.scans
 	s.WaitTime = time.Duration(r.waitNS)
 	s.Wakeups, s.SpuriousWakeups = r.wakeups, r.spurious
+	s.ScansCombined, s.ScansAdopted = r.combined, r.adopted
 	s.MemSteps, s.CASRetries = r.memSteps, r.casRetries
 	for i := range ar.shards {
 		sh := &ar.shards[i]
@@ -508,6 +524,8 @@ func (ar *Arena[T]) Stats() ArenaStats {
 			s.WaitTime += os.WaitTime
 			s.Wakeups += os.Wakeups
 			s.SpuriousWakeups += os.SpuriousWakeups
+			s.ScansCombined += os.ScansCombined
+			s.ScansAdopted += os.ScansAdopted
 			s.MemSteps += os.MemSteps
 			s.CASRetries += os.CASRetries
 		}
@@ -648,6 +666,8 @@ func (ao *ArenaObject[T]) Stats() Stats {
 		s.WaitTime += time.Duration(h.stats.waitNS.Load())
 		s.Wakeups += h.stats.wakeups.Load()
 		s.SpuriousWakeups += h.stats.spurious.Load()
+		s.ScansCombined += h.stats.combined.Load()
+		s.ScansAdopted += h.stats.adopted.Load()
 	}
 	if dead {
 		s.MemSteps, s.CASRetries = frozenMS, frozenCR
@@ -708,9 +728,11 @@ func (ar *Arena[T]) fold(ao *ArenaObject[T]) {
 	ar.retired.waitNS += int64(s.WaitTime)
 	ar.retired.wakeups += s.Wakeups
 	ar.retired.spurious += s.SpuriousWakeups
+	ar.retired.combined += s.ScansCombined
+	ar.retired.adopted += s.ScansAdopted
 	ar.retired.memSteps += s.MemSteps
 	ar.retired.casRetries += s.CASRetries
 	ao.folded = true
 	ar.retiredMu.Unlock()
-	ar.pool.Put(iarena.Runtime{Mem: ao.obj.rt.mem, Wrap: ao.obj.rt.wrap})
+	ar.pool.Put(iarena.Runtime{Mem: ao.obj.rt.mem, Wrap: ao.obj.rt.wrap, Comb: ao.obj.rt.comb})
 }

@@ -122,6 +122,10 @@ func (ap *asyncProposal[T]) Advance(w engine.Wake) (engine.Park, bool) {
 		h.stats.waitNS.Add(int64(w.Waited))
 		if w.Reason == engine.WakeNotify {
 			h.stats.wakeups.Add(1)
+			// A publish woke this proposal: route its next scan through the
+			// combining slot, as leader when the engine elected it to
+			// produce the batch's shared view.
+			g.armCombine(w.Leader)
 		}
 		g.rebase()
 		// The resumed Step runs yield-free (see guardMem.skipYield): the

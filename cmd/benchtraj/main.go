@@ -1,22 +1,26 @@
 // Command benchtraj is the perf-trajectory gate seeded by the ROADMAP: it
 // compares a current sabench -json document against a committed baseline
-// and fails (exit 1) when any cell's p50 latency regressed beyond the
-// allowed factor. CI's bench-smoke job runs it on every push against
-// bench/baseline-async.json, so a change that triples contended propose
-// latency fails the build instead of silently rotting the trajectory.
+// and fails (exit 1) when any cell regressed beyond the allowed factor —
+// a p50 latency that grew past -factor times its baseline, or a
+// throughput rate (proposes/sec, lookups/sec, ops/sec) that fell below
+// baseline divided by -rate-factor. CI's bench-smoke job runs it on every
+// push against bench/baseline-async.json, bench/baseline-waits.json and
+// bench/baseline-arena.json, so a change that triples contended propose
+// latency or craters arena serving throughput fails the build instead of
+// silently rotting the trajectory.
 //
 // The check is deliberately trivial: tables are matched by title, rows by
 // their identifying columns (everything that is not a measured quantity),
-// and only the p50 column is gated. Latencies below the noise floor are
-// ignored — microsecond-scale cells vary more across machines than any
-// regression they could hide — and rows present in only one document are
-// reported but never fail the gate, so reshaping a table does not require
-// lockstep baseline edits.
+// and only the p50 and rate columns are gated. Cells below the noise
+// floors are ignored — microsecond-scale latencies and near-idle rates
+// vary more across machines than any regression they could hide — and
+// rows present in only one document are reported but never fail the gate,
+// so reshaping a table does not require lockstep baseline edits.
 //
 // Usage:
 //
 //	benchtraj -baseline bench/baseline-async.json -current bench-async.json
-//	benchtraj -baseline old.json -current new.json -factor 2 -floor 500µs
+//	benchtraj -baseline old.json -current new.json -factor 2 -floor 500µs -rate-factor 2
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -46,6 +51,13 @@ var measuredColumns = map[string]bool{
 	"parked-peak": true, "lookups/sec": true, "ops/sec": true,
 	"proposes": true, "steps": true, "scans": true, "wait": true,
 	"mem-steps": true, "cas-retries": true,
+	"combined": true, "adopted": true, "hit%": true,
+}
+
+// rateColumns are the gated throughput columns: higher is better, so the
+// regression direction is inverted relative to p50.
+var rateColumns = map[string]bool{
+	"proposes/sec": true, "lookups/sec": true, "ops/sec": true,
 }
 
 func main() {
@@ -54,14 +66,19 @@ func main() {
 		currentPath  = flag.String("current", "", "current-run JSON to gate (sabench -json format)")
 		factor       = flag.Float64("factor", 3, "fail when current p50 > factor × baseline p50")
 		floor        = flag.Duration("floor", time.Millisecond, "ignore cells whose current p50 is below this (machine noise)")
+		rateFactor   = flag.Float64("rate-factor", 3, "fail when current rate < baseline rate ÷ rate-factor")
+		rateFloor    = flag.Float64("rate-floor", 1000, "ignore rate cells whose baseline is below this (ops per second)")
 	)
 	flag.Usage = func() {
-		fmt.Fprint(flag.CommandLine.Output(), `usage: benchtraj -baseline FILE -current FILE [-factor N] [-floor D]
+		fmt.Fprint(flag.CommandLine.Output(), `usage: benchtraj -baseline FILE -current FILE [-factor N] [-floor D] [-rate-factor N] [-rate-floor R]
 
 benchtraj gates the repository's perf trajectory: it fails (exit 1) when a
-current sabench -json run shows a p50 latency more than -factor times its
-committed baseline, for any row the two documents share. Cells below the
--floor are ignored as machine noise; unmatched rows are reported only.
+current sabench -json run shows, for any row the two documents share, a p50
+latency more than -factor times its committed baseline or a throughput rate
+(proposes/sec, lookups/sec, ops/sec) below the baseline divided by
+-rate-factor. Latency cells below the -floor and rate cells whose baseline
+is below -rate-floor are ignored as machine noise; unmatched rows are
+reported only.
 
 Flags:
 `)
@@ -83,16 +100,25 @@ Flags:
 		fmt.Fprintf(os.Stderr, "benchtraj: %v\n", err)
 		os.Exit(2)
 	}
-	regressions, compared := compare(baseline, current, *factor, *floor)
-	fmt.Printf("benchtraj: compared %d cells against %s (factor %g, floor %v)\n",
-		compared, *baselinePath, *factor, *floor)
+	lim := limits{factor: *factor, floor: *floor, rateFactor: *rateFactor, rateFloor: *rateFloor}
+	regressions, compared := compare(baseline, current, lim)
+	fmt.Printf("benchtraj: compared %d cells against %s (factor %g, floor %v, rate-factor %g, rate-floor %g)\n",
+		compared, *baselinePath, *factor, *floor, *rateFactor, *rateFloor)
 	if len(regressions) > 0 {
 		for _, r := range regressions {
 			fmt.Println("REGRESSION: " + r)
 		}
 		os.Exit(1)
 	}
-	fmt.Println("benchtraj: p50 trajectory OK")
+	fmt.Println("benchtraj: trajectory OK")
+}
+
+// limits bundles the gate thresholds.
+type limits struct {
+	factor     float64
+	floor      time.Duration
+	rateFactor float64
+	rateFloor  float64
 }
 
 func load(path string) (doc, error) {
@@ -107,25 +133,21 @@ func load(path string) (doc, error) {
 	return d, nil
 }
 
-// compare gates every shared row's p50 and returns the offending cells.
-func compare(baseline, current doc, factor float64, floor time.Duration) (regressions []string, compared int) {
+// compare gates every shared row's p50 and throughput rates and returns the
+// offending cells.
+func compare(baseline, current doc, lim limits) (regressions []string, compared int) {
 	curTables := make(map[string]table, len(current.Tables))
 	for _, t := range current.Tables {
 		curTables[t.Title] = t
 	}
 	for _, base := range baseline.Tables {
-		baseP50 := columnIndex(base.Columns, "p50")
-		if baseP50 < 0 {
+		gated := gatedColumns(base.Columns)
+		if len(gated) == 0 {
 			continue
 		}
 		cur, ok := curTables[base.Title]
 		if !ok {
 			fmt.Printf("note: table %q missing from current run\n", base.Title)
-			continue
-		}
-		curP50 := columnIndex(cur.Columns, "p50")
-		if curP50 < 0 {
-			fmt.Printf("note: table %q lost its p50 column\n", base.Title)
 			continue
 		}
 		curRows := make(map[string][]string, len(cur.Rows))
@@ -139,22 +161,67 @@ func compare(baseline, current doc, factor float64, floor time.Duration) (regres
 				fmt.Printf("note: row [%s] of %q missing from current run\n", key, base.Title)
 				continue
 			}
-			baseD, err1 := time.ParseDuration(row[baseP50])
-			curD, err2 := time.ParseDuration(curRow[curP50])
-			if err1 != nil || err2 != nil {
-				continue // non-duration p50 cells are outside the gate
-			}
-			compared++
-			if curD < floor || baseD <= 0 {
-				continue
-			}
-			if float64(curD) > factor*float64(baseD) {
-				regressions = append(regressions,
-					fmt.Sprintf("%s [%s]: p50 %v → %v (>%gx)", base.Title, key, baseD, curD, factor))
+			for _, col := range gated {
+				curIdx := columnIndex(cur.Columns, col)
+				if curIdx < 0 || curIdx >= len(curRow) {
+					continue // column dropped from the current table shape
+				}
+				baseCell, curCell := row[columnIndex(base.Columns, col)], curRow[curIdx]
+				if msg, counted := gateCell(col, baseCell, curCell, lim); counted {
+					compared++
+					if msg != "" {
+						regressions = append(regressions,
+							fmt.Sprintf("%s [%s]: %s", base.Title, key, msg))
+					}
+				}
 			}
 		}
 	}
 	return regressions, compared
+}
+
+// gatedColumns returns the gate-relevant columns present in the table:
+// "p50" plus every known rate column.
+func gatedColumns(columns []string) []string {
+	var out []string
+	for _, c := range columns {
+		if c == "p50" || rateColumns[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// gateCell applies the gate for one column kind to a baseline/current cell
+// pair. It returns a non-empty message on regression, and counted=false
+// when the cells are unparsable or below the noise floor.
+func gateCell(col, baseCell, curCell string, lim limits) (msg string, counted bool) {
+	if col == "p50" {
+		baseD, err1 := time.ParseDuration(baseCell)
+		curD, err2 := time.ParseDuration(curCell)
+		if err1 != nil || err2 != nil {
+			return "", false // non-duration p50 cells are outside the gate
+		}
+		if curD < lim.floor || baseD <= 0 {
+			return "", true
+		}
+		if float64(curD) > lim.factor*float64(baseD) {
+			return fmt.Sprintf("p50 %v → %v (>%gx)", baseD, curD, lim.factor), true
+		}
+		return "", true
+	}
+	baseR, err1 := strconv.ParseFloat(baseCell, 64)
+	curR, err2 := strconv.ParseFloat(curCell, 64)
+	if err1 != nil || err2 != nil {
+		return "", false
+	}
+	if baseR < lim.rateFloor {
+		return "", true
+	}
+	if curR < baseR/lim.rateFactor {
+		return fmt.Sprintf("%s %.0f → %.0f (<1/%gx)", col, baseR, curR, lim.rateFactor), true
+	}
+	return "", true
 }
 
 func columnIndex(columns []string, name string) int {

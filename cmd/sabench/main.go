@@ -40,7 +40,7 @@ import (
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, arena, waits, async, all")
+		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, arena, waits, scans, async, all")
 		n         = flag.Int("n", 6, "number of processes")
 		m         = flag.Int("m", 1, "obstruction degree")
 		k         = flag.Int("k", 2, "agreement degree")
@@ -71,6 +71,7 @@ benchmarks of this implementation. Pick one table with -table or run all:
   handles     per-handle instrumentation through the public API
   arena       arena serving throughput: shards x objects x goroutines
   waits       wait-strategy latency: strategy x backend x contention
+  scans       scan combining: private vs adopted views x proposers x backend
   async       sync vs async serving: in-flight proposals x backend,
               with goroutine cost (the point of ProposeAsync)
 
@@ -224,6 +225,16 @@ func run(table string, n, m, k, maxR, instances, seeds int, backend string, dur 
 			return err
 		}
 	}
+	if wantAll || table == "scans" {
+		ran = true
+		backends, err := selectPublicBackends(backend)
+		if err != nil {
+			return err
+		}
+		if err := add(scansTable(backends, dur)); err != nil {
+			return err
+		}
+	}
 	if wantAll || table == "async" {
 		ran = true
 		backends, err := selectPublicBackends(backend)
@@ -346,7 +357,7 @@ func handleStatsTable(backends []setagreement.MemoryBackend, n, k int) (*report.
 // (notify, hybrid).
 func waitStrategyTable(backends []setagreement.MemoryBackend, dur time.Duration) (*report.Table, error) {
 	t := report.New("Wait-strategy Propose latency (repeated agreement, k=1)",
-		"backend", "strategy", "proposers", "p50", "p95", "proposes/sec", "wakeups", "spurious", "wait-total")
+		"backend", "strategy", "proposers", "p50", "p95", "proposes/sec", "wakeups", "spurious", "wait-total", "combined", "adopted")
 	strategies := []setagreement.WaitStrategy{
 		setagreement.WaitBackoff, setagreement.WaitNotify, setagreement.WaitHybrid,
 	}
@@ -362,7 +373,47 @@ func waitStrategyTable(backends []setagreement.MemoryBackend, dur time.Duration)
 					cell.p95.Round(time.Microsecond).String(),
 					fmt.Sprintf("%.0f", cell.rate),
 					cell.wakeups, cell.spurious,
-					cell.waitTotal.Round(time.Microsecond).String())
+					cell.waitTotal.Round(time.Microsecond).String(),
+					cell.combined, cell.adopted)
+			}
+		}
+	}
+	return t, nil
+}
+
+// scansTable measures what scan combining is for: the shared-memory scans a
+// wake batch saves, private versus combined, per backend × proposer count.
+// Both variants run the notify strategy under identical contention; the
+// combining columns report how many scans were served on behalf of a wake
+// batch (published) and how many were satisfied without touching shared
+// memory at all (adopted). hit% is adopted scans as a share of all scans —
+// honest about the fact that combining only engages when waiters genuinely
+// block and wake together, which takes sustained contention, not just
+// concurrent callers.
+func scansTable(backends []setagreement.MemoryBackend, dur time.Duration) (*report.Table, error) {
+	t := report.New("Scan combining (repeated agreement, notify strategy, k=1)",
+		"backend", "combining", "proposers", "p50", "proposes/sec", "scans", "combined", "adopted", "hit%")
+	for _, be := range backends {
+		for _, combining := range []bool{false, true} {
+			for _, proposers := range []int{1, 4, 8} {
+				cell, err := measureWaitStrategy(be, setagreement.WaitNotify, proposers, dur,
+					setagreement.WithScanCombining(combining))
+				if err != nil {
+					return nil, err
+				}
+				mode := "private"
+				if combining {
+					mode = "combined"
+				}
+				hit := 0.0
+				if cell.scans > 0 {
+					hit = 100 * float64(cell.adopted) / float64(cell.scans)
+				}
+				t.Add(be.String(), mode, proposers,
+					cell.p50.Round(time.Microsecond).String(),
+					fmt.Sprintf("%.0f", cell.rate),
+					cell.scans, cell.combined, cell.adopted,
+					fmt.Sprintf("%.2f", hit))
 			}
 		}
 	}
@@ -375,12 +426,16 @@ type waitCell struct {
 	wakeups   int64
 	spurious  int64
 	waitTotal time.Duration
+	scans     int64
+	combined  int64
+	adopted   int64
 }
 
 // measureWaitStrategy drives one contended repeated-agreement object: g of
 // n processes propose in a closed loop for the duration; per-Propose
-// latencies are recorded and summarized.
-func measureWaitStrategy(be setagreement.MemoryBackend, strat setagreement.WaitStrategy, g int, dur time.Duration) (waitCell, error) {
+// latencies are recorded and summarized. Extra options are appended to the
+// object's configuration (the scans table toggles combining this way).
+func measureWaitStrategy(be setagreement.MemoryBackend, strat setagreement.WaitStrategy, g int, dur time.Duration, extra ...setagreement.Option) (waitCell, error) {
 	n := g
 	if n < 2 {
 		n = 2 // the core's minimum process count
@@ -390,11 +445,12 @@ func measureWaitStrategy(be setagreement.MemoryBackend, strat setagreement.WaitS
 	// isolates how a yield is spent. Blind backoff sleeps at every yield it
 	// reaches; the event-driven strategies skip solo yields and end
 	// contended ones at the next foreign write.
-	r, err := setagreement.NewRepeated[int](n, 1,
+	opts := append([]setagreement.Option{
 		setagreement.WithMemoryBackend(be),
 		setagreement.WithWaitStrategy(strat),
 		setagreement.WithBackoff(100*time.Microsecond, 5*time.Millisecond, 16),
-	)
+	}, extra...)
+	r, err := setagreement.NewRepeated[int](n, 1, opts...)
 	if err != nil {
 		return waitCell{}, err
 	}
@@ -454,6 +510,9 @@ func measureWaitStrategy(be setagreement.MemoryBackend, strat setagreement.WaitS
 		cell.wakeups += s.Wakeups
 		cell.spurious += s.SpuriousWakeups
 		cell.waitTotal += s.WaitTime
+		cell.scans += s.Scans
+		cell.combined += s.ScansCombined
+		cell.adopted += s.ScansAdopted
 	}
 	return cell, nil
 }
@@ -634,7 +693,7 @@ func measureAsync(be setagreement.MemoryBackend, mode string, inflight int, dur 
 // is available as a Go benchmark (BenchmarkArenaShards).
 func arenaThroughput(backends []setagreement.MemoryBackend, dur time.Duration) (*report.Table, error) {
 	t := report.New("Arena serving throughput (Object lookups/sec, higher is better)",
-		"backend", "shards", "objects", "goroutines", "lookups/sec")
+		"backend", "shards", "objects", "clients", "lookups/sec")
 	// Shard counts are normalized to what NewArena actually uses (powers of
 	// two) and deduplicated, so the table never attributes one
 	// configuration's throughput to another.
@@ -711,7 +770,7 @@ func measureArenaOps(be setagreement.MemoryBackend, shards, objects, g int, dur 
 // where the lock-free one scales.
 func backendThroughput(backends []shmem.Backend, dur time.Duration) (*report.Table, error) {
 	t := report.New("Native backend throughput (shared-memory ops/sec, higher is better)",
-		"backend", "snapshot", "goroutines", "ops/sec")
+		"backend", "snapshot", "clients", "ops/sec")
 	impls := []snapshot.Impl{
 		snapshot.ImplAtomic, snapshot.ImplMW, snapshot.ImplSWEmulation, snapshot.ImplDoubleCollect,
 	}

@@ -199,6 +199,13 @@ type Stats struct {
 	// SpuriousWakeups counts wakeups the notifier absorbed where the
 	// memory's version had not actually advanced; the waiter re-armed.
 	SpuriousWakeups int64
+	// ScansCombined counts scans this handle performed on behalf of a wake
+	// batch and published in the object's combining slot (WithScanCombining).
+	ScansCombined int64
+	// ScansAdopted counts scans this handle satisfied by adopting a view
+	// another process published for the exact change version this handle
+	// observed — scans of shared memory that never happened.
+	ScansAdopted int64
 	// MemSteps counts operations executed by the object's shared memory,
 	// across all handles.
 	MemSteps int64
@@ -227,6 +234,8 @@ func (h *Handle[T]) Stats() Stats {
 		WaitTime:        time.Duration(h.stats.waitNS.Load()),
 		Wakeups:         h.stats.wakeups.Load(),
 		SpuriousWakeups: h.stats.spurious.Load(),
+		ScansCombined:   h.stats.combined.Load(),
+		ScansAdopted:    h.stats.adopted.Load(),
 	}
 	if st, ok := h.rt.mem.(shmem.Stepper); ok {
 		s.MemSteps = st.Steps()
@@ -246,6 +255,8 @@ type handleStats struct {
 	waitNS   atomic.Int64
 	wakeups  atomic.Int64
 	spurious atomic.Int64
+	combined atomic.Int64
+	adopted  atomic.Int64
 }
 
 // cancelPanic unwinds a Propose blocked inside the algorithm loop when its
@@ -316,6 +327,17 @@ type guardMem struct {
 	// can own writes be subtracted out for solo detection.
 	notifier    shmem.Notifier
 	notifyExact bool
+	// comb is the object's scan-combining slot (nil when combining is
+	// disabled or the memory lacks the Notifier capability). combineArmed
+	// marks the guard as freshly woken by a publish — the one moment several
+	// processes are known to be looking at the same change — and routes the
+	// next scan through the combiner exactly once; combineLead marks the
+	// engine-elected leader of the wake batch, which scans and publishes
+	// instead of adopting. Solo proposers never wake, never arm, and never
+	// touch the slot. Only the owning goroutine touches these fields.
+	comb         shmem.ViewCombiner
+	combineArmed bool
+	combineLead  bool
 	// ownMuts counts mutating operations (Write, Update) issued through
 	// this guard. Only the owning goroutine touches it.
 	ownMuts uint64
@@ -331,6 +353,7 @@ var (
 // seen.
 func (g *guardMem) resetWait() {
 	g.skipYield = false
+	g.combineArmed, g.combineLead = false, false
 	if g.cur == nil {
 		return
 	}
@@ -436,6 +459,11 @@ func (g *guardMem) notifyPause(d time.Duration) {
 		g.stats.waitNS.Add(int64(time.Since(start)))
 		if woke {
 			g.stats.wakeups.Add(1)
+			// A publish ended the wait: every process it woke is looking at
+			// the same change, so the next scan goes through the combining
+			// slot. Sync waiters have no elected leader — whoever scans
+			// first publishes, the rest adopt.
+			g.armCombine(false)
 		}
 		// Changes that landed while we waited are visible to our next
 		// reads; re-base the solo detector so they are not mistaken for
@@ -506,9 +534,52 @@ func (g *guardMem) Update(snap, comp int, v shmem.Value) {
 	g.inner.Update(snap, comp, v)
 }
 
+// armCombine routes the next scan through the combining slot (no-op when
+// the object has none); lead marks the engine-elected leader of the wake
+// batch.
+func (g *guardMem) armCombine(lead bool) {
+	if g.comb == nil {
+		return
+	}
+	g.combineArmed, g.combineLead = true, lead
+}
+
+// takeCombineArm consumes the arm: combining applies to the first scan
+// after the wakeup only, after which the woken process is an ordinary
+// contender again.
+func (g *guardMem) takeCombineArm() (armed, lead bool) {
+	armed, lead = g.combineArmed, g.combineLead
+	g.combineArmed, g.combineLead = false, false
+	return armed, lead
+}
+
+// combinedScan serves one scan through the combining slot. The version is
+// read before the private scan, so the published pair honors the
+// ViewCombiner contract; a view is adopted only when its slot version
+// equals the version this process currently observes, which makes it
+// indistinguishable from a scan this process performed itself (see the
+// contract on shmem.ViewCombiner). The wake leader skips adoption: it is
+// elected to produce the view the rest of its batch adopts.
+func (g *guardMem) combinedScan(snap int, lead bool) []shmem.Value {
+	v := g.notifier.Version()
+	if !lead {
+		if view, ok := g.comb.Adopt(snap, v); ok {
+			g.stats.adopted.Add(1)
+			return view
+		}
+	}
+	view := g.inner.Scan(snap)
+	g.comb.Publish(snap, v, view)
+	g.stats.combined.Add(1)
+	return view
+}
+
 func (g *guardMem) Scan(snap int) []shmem.Value {
 	g.pre()
 	g.stats.scans.Add(1)
+	if armed, lead := g.takeCombineArm(); armed {
+		return g.combinedScan(snap, lead)
+	}
 	return g.inner.Scan(snap)
 }
 
@@ -520,8 +591,29 @@ func (g *guardMem) Scan(snap int) []shmem.Value {
 func (g *guardMem) TryScan(snap, attempts int) ([]shmem.Value, bool) {
 	g.pre()
 	g.stats.scans.Add(1)
-	if ts, ok := g.inner.(shmem.TryScanner); ok {
-		return ts.TryScan(snap, attempts)
+	armed, lead := g.takeCombineArm()
+	var v uint64
+	if armed {
+		v = g.notifier.Version()
+		if !lead {
+			if view, ok := g.comb.Adopt(snap, v); ok {
+				g.stats.adopted.Add(1)
+				return view, true
+			}
+		}
 	}
-	return g.inner.Scan(snap), true
+	var view []shmem.Value
+	ok := true
+	if ts, isTry := g.inner.(shmem.TryScanner); isTry {
+		view, ok = ts.TryScan(snap, attempts)
+	} else {
+		view = g.inner.Scan(snap)
+	}
+	if ok && armed {
+		// A bounded scan that succeeded is a linearizable scan like any
+		// other, and v was read before it — publishable as usual.
+		g.comb.Publish(snap, v, view)
+		g.stats.combined.Add(1)
+	}
+	return view, ok
 }

@@ -95,15 +95,20 @@ func (p *oneShotProc) Begin(v int) Attempt {
 		panic("core: one-shot Propose invoked twice on the same process")
 	}
 	p.proposed = true
-	p.att = oneShotAttempt{p: p, pref: v}
+	p.att = oneShotAttempt{p: p, pref: v, mine: Pair{Val: v, ID: p.id}}
 	return &p.att
 }
 
 // oneShotAttempt carries the loop-local state of Figure 3 across Steps.
+// mine is (pref, id) pre-boxed as a shmem.Value: the pair is written every
+// iteration and compared against every scan entry, and boxing it once per
+// preference (Begin and each adoption) instead of per Step keeps the
+// iteration allocation-free.
 type oneShotAttempt struct {
 	p    *oneShotProc
 	pref int
 	i    int
+	mine shmem.Value
 }
 
 // Step runs one iteration of the Figure 3 loop.
@@ -112,7 +117,7 @@ func (a *oneShotAttempt) Step(mem shmem.Mem) (int, bool) {
 	r, m := p.alg.r, p.alg.params.M
 
 	// line 7: update ith component of A with (pref, id)
-	mem.Update(0, a.i, Pair{Val: a.pref, ID: p.id})
+	mem.Update(0, a.i, a.mine)
 	// line 8: s ← scan of A
 	s := mem.Scan(0)
 
@@ -139,10 +144,10 @@ func (a *oneShotAttempt) Step(mem shmem.Mem) (int, bool) {
 	// iteration must advance i instead — otherwise a solo process
 	// facing stale duplicated pairs of its own value would spin
 	// forever, contradicting Lemma 5.
-	mine := Pair{Val: a.pref, ID: p.id}
-	if allOthersForeign(s, a.i, mine) {
+	if allOthersForeign(s, a.i, a.mine) {
 		if j1, ok := minDupIndex(s); ok && s[j1].(Pair).Val != a.pref {
 			a.pref = s[j1].(Pair).Val
+			a.mine = Pair{Val: a.pref, ID: p.id}
 			return 0, false
 		}
 	}

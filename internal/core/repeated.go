@@ -73,16 +73,25 @@ func (a *Repeated) Anonymous() bool { return false }
 // NewProcess implements Algorithm. The returned process owns the persistent
 // local variables i, t and history of the pseudocode.
 func (a *Repeated) NewProcess(id int) Process {
-	return &repeatedProc{alg: a, id: id}
+	p := &repeatedProc{alg: a, id: id}
+	// The is-a-t-tuple predicate reads the live attempt's instance through p,
+	// so one closure serves every Propose of the process instead of costing
+	// an allocation per call.
+	p.isT = func(v shmem.Value) bool {
+		tu, ok := v.(RTuple)
+		return ok && tu.T == p.att.t
+	}
+	return p
 }
 
 type repeatedProc struct {
 	alg *Repeated
 	id  int
-	i   int             // persistent component index
-	t   int             // persistent instance counter
-	his History         // persistent output history
-	att repeatedAttempt // reused per Propose; no allocation per call
+	i   int                    // persistent component index
+	t   int                    // persistent instance counter
+	his History                // persistent output history
+	att repeatedAttempt        // reused per Propose; no allocation per call
+	isT func(shmem.Value) bool // is-a-t-tuple for the current attempt
 }
 
 var _ Resumable = (*repeatedProc)(nil)
@@ -97,7 +106,10 @@ func (p *repeatedProc) Propose(mem shmem.Mem, v int) int {
 // shortcut (an Attempt that is done before its first Step), pref ← v.
 func (p *repeatedProc) Begin(v int) Attempt {
 	p.t++
-	p.att = repeatedAttempt{p: p, t: p.t, pref: v}
+	t := p.t
+	p.att = repeatedAttempt{p: p, t: t, pref: v,
+		mine: RTuple{Val: v, ID: p.id, T: t, His: p.his},
+		isT:  p.isT}
 	if p.his.Len() >= p.t {
 		p.att.out, p.att.done = p.his.At(p.t), true
 	}
@@ -105,12 +117,20 @@ func (p *repeatedProc) Begin(v int) Attempt {
 }
 
 // repeatedAttempt carries the loop-local state of Figure 4 across Steps.
+// mine is (pref, id, t, his) pre-boxed as a shmem.Value, built once per
+// Propose (re-boxed on each adoption); isT is the process's shared
+// is-a-t-tuple predicate. Both are consulted every iteration and neither
+// costs the iteration an allocation. The history mine embeds is stable for
+// the attempt: p.his only changes on the paths that decide and end the
+// attempt.
 type repeatedAttempt struct {
 	p    *repeatedProc
 	t    int
 	pref int
 	out  int
 	done bool
+	mine shmem.Value
+	isT  func(shmem.Value) bool
 }
 
 // Step runs one iteration of the Figure 4 loop (or replays the decision
@@ -123,7 +143,7 @@ func (a *repeatedAttempt) Step(mem shmem.Mem) (int, bool) {
 	r, m := p.alg.r, p.alg.params.M
 
 	// line 13: update ith component with (pref, id, t, history).
-	mem.Update(0, p.i, RTuple{Val: a.pref, ID: p.id, T: t, His: p.his})
+	mem.Update(0, p.i, a.mine)
 	// line 14: s ← scan of A.
 	s := mem.Scan(0)
 
@@ -156,14 +176,11 @@ func (a *repeatedAttempt) Step(mem shmem.Mem) (int, bool) {
 	// in the one-shot algorithm, an iteration adopts only if it actually
 	// changes pref (the dichotomy of Lemma 5, reused by Lemma 14);
 	// otherwise it advances i.
-	mine := RTuple{Val: a.pref, ID: p.id, T: t, His: p.his}
 	adopted := false
-	if allOthersForeign(s, p.i, mine) {
-		if j1, ok := minDupIndexWhere(s, func(v shmem.Value) bool {
-			tu, ok := v.(RTuple)
-			return ok && tu.T == t
-		}); ok && s[j1].(RTuple).Val != a.pref {
+	if allOthersForeign(s, p.i, a.mine) {
+		if j1, ok := minDupIndexWhere(s, a.isT); ok && s[j1].(RTuple).Val != a.pref {
 			a.pref = s[j1].(RTuple).Val
+			a.mine = RTuple{Val: a.pref, ID: p.id, T: t, His: p.his}
 			adopted = true
 		}
 	}

@@ -4,11 +4,43 @@ import "setagreement/internal/shmem"
 
 // Helpers for analyzing scan results, shared by the three algorithms. All of
 // them treat nil as the paper's ⊥.
+//
+// The scans these helpers see are r = n+2m−k components — a handful in any
+// realistic configuration — so up to smallScanMax entries they run pairwise
+// comparison loops: no map, no hashing of interface values, no allocation
+// on the Propose hot path. Beyond that (only reachable through the
+// experimental NewOneShotComponents/NewRepeatedComponents constructors) they
+// fall back to the original map-based forms, which the equivalence tests in
+// scanutil_test.go hold them to.
+
+// smallScanMax bounds the pairwise paths: r² stays at most 4096 cheap
+// interface comparisons, well below the constant cost of building a map.
+const smallScanMax = 64
 
 // distinctCount returns |{s[j] : 0 ≤ j < r}|, the number of distinct entries
 // in the scan, counting ⊥ as one entry if present (the pseudocode's set
 // includes whatever the components hold).
 func distinctCount(s []shmem.Value) int {
+	if len(s) > smallScanMax {
+		return distinctCountMap(s)
+	}
+	n := 0
+	for j, v := range s {
+		seen := false
+		for i := 0; i < j; i++ {
+			if s[i] == v {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			n++
+		}
+	}
+	return n
+}
+
+func distinctCountMap(s []shmem.Value) int {
 	seen := make(map[shmem.Value]bool, len(s))
 	for _, v := range s {
 		seen[v] = true
@@ -16,7 +48,8 @@ func distinctCount(s []shmem.Value) int {
 	return len(seen)
 }
 
-// hasNil reports whether any component is ⊥.
+// hasNil reports whether any component is ⊥. (Already allocation-free for
+// every r; listed here for completeness of the scan-analysis surface.)
 func hasNil(s []shmem.Value) bool {
 	for _, v := range s {
 		if v == nil {
@@ -29,6 +62,23 @@ func hasNil(s []shmem.Value) bool {
 // minDupIndex returns the smallest j1 such that some j2 > j1 has
 // s[j1] == s[j2] with s[j1] ≠ ⊥, and whether one exists.
 func minDupIndex(s []shmem.Value) (int, bool) {
+	if len(s) > smallScanMax {
+		return minDupIndexMap(s)
+	}
+	for j1, v := range s {
+		if v == nil {
+			continue
+		}
+		for j2 := j1 + 1; j2 < len(s); j2++ {
+			if s[j2] == v {
+				return j1, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func minDupIndexMap(s []shmem.Value) (int, bool) {
 	first := make(map[shmem.Value]int, len(s))
 	best, found := 0, false
 	for j, v := range s {
@@ -47,7 +97,25 @@ func minDupIndex(s []shmem.Value) (int, bool) {
 }
 
 // minDupIndexWhere is minDupIndex restricted to entries satisfying pred.
+// (Equal entries agree on pred, so testing the first occurrence suffices.)
 func minDupIndexWhere(s []shmem.Value, pred func(shmem.Value) bool) (int, bool) {
+	if len(s) > smallScanMax {
+		return minDupIndexWhereMap(s, pred)
+	}
+	for j1, v := range s {
+		if v == nil || !pred(v) {
+			continue
+		}
+		for j2 := j1 + 1; j2 < len(s); j2++ {
+			if s[j2] == v {
+				return j1, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func minDupIndexWhereMap(s []shmem.Value, pred func(shmem.Value) bool) (int, bool) {
 	first := make(map[shmem.Value]int, len(s))
 	best, found := 0, false
 	for j, v := range s {

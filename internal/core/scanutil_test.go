@@ -98,6 +98,78 @@ func TestHasNil(t *testing.T) {
 	}
 }
 
+// scanCases generates scans exercising the pairwise fast paths against the
+// map fallbacks: all-⊥, all-equal, all-distinct, and pseudo-random mixes
+// with duplicates at assorted positions, at sizes on both sides of
+// smallScanMax.
+func scanCases() [][]shmem.Value {
+	sizes := []int{0, 1, 2, 7, smallScanMax, smallScanMax + 1, 100}
+	var cases [][]shmem.Value
+	for _, n := range sizes {
+		allNil := make([]shmem.Value, n)
+		cases = append(cases, allNil)
+		same := make([]shmem.Value, n)
+		distinct := make([]shmem.Value, n)
+		mixed := make([]shmem.Value, n)
+		for i := range same {
+			same[i] = Pair{Val: 1, ID: 1}
+			distinct[i] = Pair{Val: i, ID: i}
+			// Deterministic mix: duplicates every third slot, ⊥ every
+			// seventh, ids folded to force collisions.
+			switch {
+			case i%7 == 3:
+				mixed[i] = nil
+			case i%3 == 0:
+				mixed[i] = RTuple{Val: i % 5, ID: i % 4, T: i % 2}
+			default:
+				mixed[i] = Pair{Val: i % 6, ID: i % 3}
+			}
+		}
+		cases = append(cases, same, distinct, mixed)
+	}
+	return cases
+}
+
+// TestScanHelpersMatchMapVersions holds the allocation-free pairwise paths
+// to the original map-based implementations over generated scans.
+func TestScanHelpersMatchMapVersions(t *testing.T) {
+	pred := func(v shmem.Value) bool {
+		p, ok := v.(Pair)
+		return ok && p.Val%2 == 0
+	}
+	for ci, s := range scanCases() {
+		if got, want := distinctCount(s), distinctCountMap(s); got != want {
+			t.Errorf("case %d (len %d): distinctCount = %d, map version = %d", ci, len(s), got, want)
+		}
+		gi, gok := minDupIndex(s)
+		wi, wok := minDupIndexMap(s)
+		if gok != wok || (gok && gi != wi) {
+			t.Errorf("case %d (len %d): minDupIndex = %d,%v, map version = %d,%v", ci, len(s), gi, gok, wi, wok)
+		}
+		gi, gok = minDupIndexWhere(s, pred)
+		wi, wok = minDupIndexWhereMap(s, pred)
+		if gok != wok || (gok && gi != wi) {
+			t.Errorf("case %d (len %d): minDupIndexWhere = %d,%v, map version = %d,%v", ci, len(s), gi, gok, wi, wok)
+		}
+	}
+}
+
+// TestScanHelpersSmallNoAlloc pins the satellite's goal: at realistic r the
+// helpers allocate nothing.
+func TestScanHelpersSmallNoAlloc(t *testing.T) {
+	s := []shmem.Value{Pair{1, 1}, Pair{2, 2}, Pair{1, 1}, nil, Pair{3, 1}}
+	pred := func(v shmem.Value) bool { _, ok := v.(Pair); return ok }
+	if n := testing.AllocsPerRun(100, func() {
+		distinctCount(s)
+		hasNil(s)
+		minDupIndex(s)
+		minDupIndexWhere(s, pred)
+		allOthersForeign(s, 1, Pair{1, 1})
+	}); n != 0 {
+		t.Fatalf("scan helpers allocate %v per run at r=5, want 0", n)
+	}
+}
+
 func TestParamsValidate(t *testing.T) {
 	tests := []struct {
 		name    string

@@ -77,6 +77,15 @@ func (r WakeReason) String() string {
 type Wake struct {
 	Reason WakeReason
 	Waited time.Duration
+	// Leader marks at most one WakeNotify resumption among those the
+	// engine is advancing at any moment. When a publish wakes a batch of
+	// parked proposals, the leader is the natural candidate to perform
+	// the shared scan and publish it in the combining slot while the rest
+	// adopt first (see shmem.ViewCombiner); the engine elects it so the
+	// batch does not all race to scan. Purely advisory — a non-leader
+	// that finds no view to adopt scans privately, and correctness never
+	// depends on who is leader.
+	Leader bool
 }
 
 // Park describes how a proposal that would block wants to wait.
@@ -171,6 +180,12 @@ type Engine struct {
 	inFlight atomic.Int64
 	wg       sync.WaitGroup
 
+	// leadFree elects the combining leader among notify-woken proposals:
+	// the worker that claims it (CAS true→false) advances its proposal
+	// with Wake.Leader set and releases it when the Advance returns, so
+	// exactly one notify wake is mid-advance as leader at any moment.
+	leadFree atomic.Bool
+
 	caps capWheel
 }
 
@@ -181,6 +196,7 @@ func New(workers int) *Engine {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Engine{workers: workers, parked: make(map[*task]struct{})}
+	e.leadFree.Store(true)
 	e.caps.e = e
 	return e
 }
@@ -290,6 +306,10 @@ func (e *Engine) run(t *task) {
 		w.Waited = time.Since(t.parkStart)
 	}
 	e.stopSources(t)
+	if w.Reason == WakeNotify && e.leadFree.CompareAndSwap(true, false) {
+		w.Leader = true
+		defer e.leadFree.Store(true)
+	}
 	park, parked := t.p.Advance(w)
 	if !parked {
 		e.inFlight.Add(-1)

@@ -3,6 +3,7 @@ package register
 import (
 	"context"
 	"sync/atomic"
+	"unsafe"
 
 	"setagreement/internal/shmem"
 )
@@ -48,11 +49,28 @@ import (
 // wait machinery is never touched.
 type LockFree struct {
 	regs    []atomic.Pointer[shmem.Value]
-	snaps   []atomic.Pointer[[]shmem.Value]
+	snaps   []lfSnap
 	steps   atomic.Int64
 	retries atomic.Int64
 	notify  shmem.Broadcast
 }
+
+// lfSnap is one snapshot object: an atomic pointer to the first element of
+// the current immutable r-element version. Pointing at the element rather
+// than at a slice header halves Update's allocation cost — the header would
+// have to be heap-allocated to be CASed, while unsafe.Slice rebuilds it for
+// free (r is fixed for the object's lifetime). The element pointer is a
+// sound CAS identity: every version comes from its own make, and an address
+// can only be reused after its array is unreachable — impossible while any
+// loaded pointer to it (including a CAS argument) exists, so ABA cannot
+// occur.
+type lfSnap struct {
+	r   int
+	cur atomic.Pointer[shmem.Value]
+}
+
+// view returns the version the pointer identifies as a slice.
+func (s *lfSnap) view(p *shmem.Value) []shmem.Value { return unsafe.Slice(p, s.r) }
 
 var (
 	_ shmem.Mem        = (*LockFree)(nil)
@@ -95,11 +113,12 @@ func NewLockFree(spec shmem.Spec) (*LockFree, error) {
 	}
 	m := &LockFree{
 		regs:  make([]atomic.Pointer[shmem.Value], spec.Regs),
-		snaps: make([]atomic.Pointer[[]shmem.Value], len(spec.Snaps)),
+		snaps: make([]lfSnap, len(spec.Snaps)),
 	}
 	for i, r := range spec.Snaps {
 		initial := make([]shmem.Value, r)
-		m.snaps[i].Store(&initial)
+		m.snaps[i].r = r
+		m.snaps[i].cur.Store(&initial[0])
 	}
 	return m, nil
 }
@@ -123,13 +142,13 @@ func (m *LockFree) Write(reg int, v shmem.Value) {
 
 // Update implements shmem.Mem.
 func (m *LockFree) Update(snap, comp int, v shmem.Value) {
-	cell := &m.snaps[snap]
+	s := &m.snaps[snap]
 	for {
-		cur := cell.Load()
-		next := make([]shmem.Value, len(*cur))
-		copy(next, *cur)
+		curp := s.cur.Load()
+		next := make([]shmem.Value, s.r)
+		copy(next, s.view(curp))
 		next[comp] = v
-		if cell.CompareAndSwap(cur, &next) {
+		if s.cur.CompareAndSwap(curp, &next[0]) {
 			m.notify.Publish()
 			m.steps.Add(1)
 			return
@@ -140,9 +159,10 @@ func (m *LockFree) Update(snap, comp int, v shmem.Value) {
 
 // Scan implements shmem.Mem.
 func (m *LockFree) Scan(snap int) []shmem.Value {
-	cur := m.snaps[snap].Load()
+	s := &m.snaps[snap]
+	cur := s.cur.Load()
 	m.steps.Add(1)
-	return *cur
+	return s.view(cur)
 }
 
 // Steps implements shmem.Stepper.
@@ -177,8 +197,8 @@ func (m *LockFree) Reset() {
 		m.regs[i].Store(nil)
 	}
 	for i := range m.snaps {
-		initial := make([]shmem.Value, len(*m.snaps[i].Load()))
-		m.snaps[i].Store(&initial)
+		initial := make([]shmem.Value, m.snaps[i].r)
+		m.snaps[i].cur.Store(&initial[0])
 	}
 	m.steps.Store(0)
 	m.retries.Store(0)

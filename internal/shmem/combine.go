@@ -1,0 +1,91 @@
+package shmem
+
+import "sync/atomic"
+
+// ViewCombiner is the capability the wait layer uses to share one scan
+// result among processes woken by the same publish: a version-keyed
+// combining slot. A woken process that performs a private scan publishes
+// {version, view}; processes woken by the same version adopt the published
+// view instead of re-scanning. The capability only makes sense over a
+// memory with the Notifier capability — the version that keys the slot is
+// the notifier's exact change version.
+//
+// The correctness contract mirrors the Notifier's: a publisher must read
+// the version BEFORE performing its scan, and an adopter must only use a
+// view whose slot version equals the version it read at adoption time.
+// Under the Notifier rule "an operation's effect is visible no later than
+// its version advance", version equality across the publish/adopt window
+// proves no operation completed in between, so the adopted view differs
+// from a private scan only in effects of still-concurrent operations —
+// which a private scan could legally include or miss anyway. An adopted
+// view is therefore indistinguishable from a scan the adopter performed
+// itself; linearizability and m-obstruction-freedom are untouched.
+type ViewCombiner interface {
+	// Adopt returns the published view for snapshot object snap if its slot
+	// version equals version (the adopter's current notifier version).
+	Adopt(snap int, version uint64) ([]Value, bool)
+	// Publish offers {version, view} for snapshot object snap, where
+	// version was read from the notifier before the scan that produced
+	// view. Slots only move forward: an older version never displaces a
+	// newer one.
+	Publish(snap int, version uint64, view []Value)
+}
+
+// ScanCombiner is the standard ViewCombiner: one atomic combining slot per
+// snapshot object, holding an immutable {version, view} pair installed by
+// compare-and-swap. Adopt is one atomic load; Publish is one allocation
+// plus a forward-only CAS. The zero slot (nil) matches no version.
+//
+// Reset clears every slot for memories recycled through the Resetter
+// capability: the notifier's version rewinds to zero on Reset, so a stale
+// slot could otherwise match a re-reached version of the next generation
+// and leak a previous tenant's view. Like every Reset in this package it
+// requires quiescence — no scan in flight.
+type ScanCombiner struct {
+	slots []atomic.Pointer[combinedView]
+}
+
+// combinedView is one published scan: the version read before the scan and
+// the view it produced. Immutable after installation.
+type combinedView struct {
+	version uint64
+	view    []Value
+}
+
+var _ ViewCombiner = (*ScanCombiner)(nil)
+
+// NewScanCombiner builds a combiner with one slot per snapshot object.
+func NewScanCombiner(snaps int) *ScanCombiner {
+	return &ScanCombiner{slots: make([]atomic.Pointer[combinedView], snaps)}
+}
+
+// Adopt implements ViewCombiner.
+func (c *ScanCombiner) Adopt(snap int, version uint64) ([]Value, bool) {
+	cur := c.slots[snap].Load()
+	if cur == nil || cur.version != version {
+		return nil, false
+	}
+	return cur.view, true
+}
+
+// Publish implements ViewCombiner.
+func (c *ScanCombiner) Publish(snap int, version uint64, view []Value) {
+	slot := &c.slots[snap]
+	next := &combinedView{version: version, view: view}
+	for {
+		cur := slot.Load()
+		if cur != nil && cur.version >= version {
+			return
+		}
+		if slot.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Reset clears every slot; see the type comment for when it must be called.
+func (c *ScanCombiner) Reset() {
+	for i := range c.slots {
+		c.slots[i].Store(nil)
+	}
+}

@@ -35,6 +35,10 @@ type DoubleCollect struct {
 	r    int
 	id   int
 	seq  int
+	// Collect scratch, lazily sized to r. A handle is owned by one process
+	// (see Object), so reuse across Scans is race-free; only the returned
+	// view must be freshly allocated (callers keep it).
+	bufA, bufB []dcCell
 }
 
 var _ Object = (*DoubleCollect)(nil)
@@ -57,14 +61,18 @@ func (s *DoubleCollect) Update(comp int, v shmem.Value) {
 	s.mem.Write(s.base+comp, dcCell{Val: v, Wid: s.id, Seq: s.seq})
 }
 
-func (s *DoubleCollect) collect() []dcCell {
-	out := make([]dcCell, s.r)
-	for j := 0; j < s.r; j++ {
-		if c, ok := s.mem.Read(s.base + j).(dcCell); ok {
-			out[j] = c
-		}
+// collectInto fills buf (allocating it on first use) with one collect. The
+// assignment is unconditional so a reused buffer never keeps a stale cell
+// where the register still holds its zero value.
+func (s *DoubleCollect) collectInto(buf []dcCell) []dcCell {
+	if buf == nil {
+		buf = make([]dcCell, s.r)
 	}
-	return out
+	for j := 0; j < s.r; j++ {
+		c, _ := s.mem.Read(s.base + j).(dcCell)
+		buf[j] = c
+	}
+	return buf
 }
 
 // Scan implements Object.
@@ -80,9 +88,11 @@ func (s *DoubleCollect) Scan() []shmem.Value {
 // no two consecutive collects agree — the bounded form through which
 // callers interleave other work (shmem.TryScanner).
 func (s *DoubleCollect) TryScan(attempts int) ([]shmem.Value, bool) {
-	prev := s.collect()
+	s.bufA = s.collectInto(s.bufA)
+	prev := s.bufA
+	s.bufB = s.collectInto(s.bufB)
+	cur := s.bufB
 	for round := 0; round < attempts; round++ {
-		cur := s.collect()
 		same := true
 		for j := range cur {
 			if cur[j] != prev[j] {
@@ -99,7 +109,7 @@ func (s *DoubleCollect) TryScan(attempts int) ([]shmem.Value, bool) {
 			}
 			return out, true
 		}
-		prev = cur
+		prev, cur = cur, s.collectInto(prev)
 	}
 	return nil, false
 }

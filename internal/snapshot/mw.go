@@ -30,6 +30,15 @@ type MW struct {
 	base int // registers [base, base+r)
 	r    int
 	id   int // writer identifier; must be non-negative
+	// Scan scratch, lazily sized. A handle is owned by one process (see
+	// Object) so reuse across Scans is race-free; returned views are always
+	// freshly allocated (callers keep them, and Update embeds them in
+	// written cells). movedWid/movedN replace the per-Scan writer→count map:
+	// at most r distinct writers appear per round, so a linear scratch scan
+	// is cheaper than hashing and allocates nothing after the first Scan.
+	bufA, bufB []mwCell
+	movedWid   []int
+	movedN     []int
 }
 
 var _ Object = (*MW)(nil)
@@ -46,14 +55,32 @@ func (s *MW) Components() int { return s.r }
 // RegistersNeeded returns the register cost of an r-component MW snapshot.
 func (s *MW) RegistersNeeded() int { return s.r }
 
-func (s *MW) collect() []mwCell {
-	out := make([]mwCell, s.r)
+// collectInto fills buf (allocating it on first use) with one collect. The
+// assignment is unconditional so a reused buffer never keeps a stale cell
+// where the register still holds its zero value.
+func (s *MW) collectInto(buf []mwCell) []mwCell {
+	if buf == nil {
+		buf = make([]mwCell, s.r)
+	}
 	for j := 0; j < s.r; j++ {
-		if c, ok := s.mem.Read(s.base + j).(mwCell); ok {
-			out[j] = c
+		c, _ := s.mem.Read(s.base + j).(mwCell)
+		buf[j] = c
+	}
+	return buf
+}
+
+// sawMoved records one observed write by wid and reports whether wid has now
+// been observed twice.
+func (s *MW) sawMoved(wid int) bool {
+	for i, w := range s.movedWid {
+		if w == wid {
+			s.movedN[i]++
+			return s.movedN[i] >= 2
 		}
 	}
-	return out
+	s.movedWid = append(s.movedWid, wid)
+	s.movedN = append(s.movedN, 1)
+	return false
 }
 
 func values(cells []mwCell) []shmem.Value {
@@ -75,16 +102,18 @@ func (s *MW) Update(comp int, v shmem.Value) {
 
 // Scan implements Object.
 func (s *MW) Scan() []shmem.Value {
-	moved := make(map[int]int) // writer id -> observed writes
-	prev := s.collect()
+	s.movedWid = s.movedWid[:0] // writer id -> observed writes
+	s.movedN = s.movedN[:0]
+	s.bufA = s.collectInto(s.bufA)
+	prev := s.bufA
+	s.bufB = s.collectInto(s.bufB)
+	cur := s.bufB
 	for {
-		cur := s.collect()
 		same := true
 		for j := range cur {
 			if cur[j].Seq != prev[j].Seq || cur[j].Wid != prev[j].Wid {
 				same = false
-				moved[cur[j].Wid]++
-				if moved[cur[j].Wid] >= 2 {
+				if s.sawMoved(cur[j].Wid) {
 					// Borrow the embedded view of the
 					// twice-observed writer's latest write.
 					out := make([]shmem.Value, s.r)
@@ -96,6 +125,6 @@ func (s *MW) Scan() []shmem.Value {
 		if same {
 			return values(cur)
 		}
-		prev = cur
+		prev, cur = cur, s.collectInto(prev)
 	}
 }

@@ -73,6 +73,11 @@ func (o *object[T]) handle(id int, oneShot bool) *Handle[T] {
 	h.guard.stats = &h.stats
 	if nt, ok := h.guard.inner.(shmem.Notifier); ok {
 		h.guard.notifier = nt
+		if o.rt.comb != nil {
+			// Scan combining rides on the notifier: the combiner's slots are
+			// keyed by its change version (see shmem.ViewCombiner).
+			h.guard.comb = o.rt.comb
+		}
 		// Solo detection needs the notifier's version to tick exactly once
 		// per logical mutation this guard issues; that holds only on the
 		// atomic snapshot runtime, where guard operations are backend
@@ -247,6 +252,11 @@ type runtime struct {
 	wrap func(id int) shmem.Mem
 	opts options
 	eng  *engineRef
+	// comb is the object's scan-combining slot, one per snapshot object
+	// (nil when WithScanCombining(false)); handles wire it into their
+	// guards only when the memory has the Notifier capability. On an arena
+	// it recycles with the memory through the pool.
+	comb *shmem.ScanCombiner
 }
 
 func newRuntime(alg core.Algorithm, o options, anonymous bool) (*runtime, error) {
@@ -258,5 +268,9 @@ func newRuntime(alg core.Algorithm, o options, anonymous bool) (*runtime, error)
 	if err != nil {
 		return nil, err
 	}
-	return &runtime{mem: mem, wrap: wrap, opts: o, eng: &engineRef{workers: o.engineWorkers}}, nil
+	rt := &runtime{mem: mem, wrap: wrap, opts: o, eng: &engineRef{workers: o.engineWorkers}}
+	if !o.noCombining {
+		rt.comb = shmem.NewScanCombiner(len(alg.Spec().Snaps))
+	}
+	return rt, nil
 }
