@@ -65,7 +65,10 @@ func TestAsyncCancelWhileParked(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	r, h, fut := newParkedAsync(t, ctx)
-	nt := r.rt.mem.(shmem.Notifier)
+	nt, ok := r.rt.mem.(shmem.Notifier)
+	if !ok {
+		t.Fatalf("runtime memory %T does not expose shmem.Notifier", r.rt.mem)
+	}
 	if got := nt.Waiters(); got != 1 {
 		t.Fatalf("Waiters() = %d with one parked proposal, want 1", got)
 	}
@@ -100,7 +103,10 @@ func TestAsyncCancelWhileParked(t *testing.T) {
 func TestAsyncEngineShutdownWithParked(t *testing.T) {
 	ctx := context.Background()
 	r, h, fut := newParkedAsync(t, ctx)
-	nt := r.rt.mem.(shmem.Notifier)
+	nt, ok := r.rt.mem.(shmem.Notifier)
+	if !ok {
+		t.Fatalf("runtime memory %T does not expose shmem.Notifier", r.rt.mem)
+	}
 	r.rt.eng.get().Close()
 	select {
 	case <-fut.Done():
@@ -135,7 +141,10 @@ func TestAsyncEngineShutdownWithParked(t *testing.T) {
 func TestAsyncWakeOnForeignWrite(t *testing.T) {
 	ctx := context.Background()
 	r, h, fut := newParkedAsync(t, ctx)
-	nt := r.rt.mem.(shmem.Notifier)
+	nt, ok := r.rt.mem.(shmem.Notifier)
+	if !ok {
+		t.Fatalf("runtime memory %T does not expose shmem.Notifier", r.rt.mem)
+	}
 	deadline := time.Now().Add(30 * time.Second)
 	pokes := 0
 	for !fut.Resolved() {

@@ -1,0 +1,198 @@
+// salint is the multichecker for the repo's concurrency-contract analyzers
+// (internal/analysis/salint): viewmut, stepsafety, atomicword, capassert
+// and ctxwait — the mechanical form of the read-only view rule, the
+// resumable-Step restart-safety rule, the one-atomic-state-word discipline,
+// capability-probing and cancellable waits.
+//
+// Two modes:
+//
+//	salint [-tests=false] [-github] [patterns...]
+//	    Standalone: load the packages (default ./..., test files included)
+//	    with the go tool and report findings as file:line:col lines,
+//	    optionally followed by GitHub Actions ::error annotations. Exit
+//	    status 2 when findings exist, 1 on errors.
+//
+//	go vet -vettool=$(command -v salint) ./...
+//	    Driver mode: cmd/go invokes salint once per package with a JSON
+//	    config file (the vet unitchecker protocol: -V=full for the cache
+//	    fingerprint, then <unit>.cfg arguments). Dependency-only units
+//	    write their (empty) facts file and exit; analysis units type-check
+//	    from the export data go vet supplies — no go list subprocess.
+//
+// Suppression: a finding is silenced by `//lint:ignore <analyzer> reason`
+// on its line or the line above; the reason is mandatory.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"setagreement/internal/analysis"
+	"setagreement/internal/analysis/salint"
+)
+
+func main() {
+	vFlag := flag.String("V", "", "print version and exit (vet driver protocol)")
+	printFlags := flag.Bool("flags", false, "print flags as JSON and exit (vet driver protocol)")
+	tests := flag.Bool("tests", true, "standalone mode: include _test.go files (test package variants)")
+	github := flag.Bool("github", false, "standalone mode: also emit GitHub Actions ::error annotations")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: salint [-tests=false] [-github] [packages]\n"+
+				"       go vet -vettool=$(command -v salint) [packages]\n\n"+
+				"Static enforcement of the repo's concurrency contracts; see\n"+
+				"internal/analysis/salint and DESIGN.md \"Statically enforced invariants\".\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *vFlag != "" {
+		printVersion(*vFlag)
+		return
+	}
+	if *printFlags {
+		printFlagsJSON()
+		return
+	}
+	args := flag.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetUnit(args[0]))
+	}
+	os.Exit(standalone(args, *tests, *github))
+}
+
+// printVersion implements the -V=full handshake: cmd/go fingerprints the
+// tool binary to key vet's result cache, expecting the same shape the
+// x/tools unitchecker prints.
+func printVersion(mode string) {
+	if mode != "full" {
+		fmt.Fprintf(os.Stderr, "salint: unsupported flag value: -V=%s\n", mode)
+		os.Exit(1)
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fatal(err)
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		fatal(err)
+	}
+	h := sha256.Sum256(data)
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n",
+		filepath.Base(exe), string(h[:12]))
+}
+
+// printFlagsJSON implements the -flags handshake: cmd/go asks the vettool
+// which flags it accepts so it can pass analyzer options through. The
+// expected shape is the x/tools analysisflags JSON list.
+func printFlagsJSON() {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	flag.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(data)
+}
+
+// standalone loads patterns with the go tool and checks them.
+func standalone(patterns []string, tests, github bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := salint.CheckPatterns(".", tests, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	salint.Print(os.Stderr, findings, github)
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}
+
+// vetConfig is the subset of cmd/go's vet unit config salint consumes
+// (the unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package unit on go vet's behalf.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fatal(fmt.Errorf("salint: parsing %s: %v", cfgPath, err))
+	}
+	// The suite has no cross-package facts, so the facts ("vetx") output is
+	// always empty — but cmd/go expects the file to exist.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fatal(err)
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, and ours are empty
+	}
+
+	fset := token.NewFileSet()
+	files, err := analysis.ParseFiles(fset, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatal(err)
+	}
+	imp := analysis.ExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := analysis.TypeCheck(fset, cfg.ImportPath, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fatal(fmt.Errorf("salint: typechecking %s: %v", cfg.ImportPath, err))
+	}
+	diags, err := analysis.Check(pkg, salint.Analyzers())
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

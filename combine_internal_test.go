@@ -133,7 +133,10 @@ func TestCombiningNoCrossGenerationView(t *testing.T) {
 	if _, err := h.Propose(context.Background(), 7); err != nil {
 		t.Fatalf("Propose: %v", err)
 	}
-	nt := ao.obj.rt.mem.(shmem.Notifier)
+	nt, ok := ao.obj.rt.mem.(shmem.Notifier)
+	if !ok {
+		t.Fatalf("arena runtime memory %T does not expose shmem.Notifier", ao.obj.rt.mem)
+	}
 	v := nt.Version()
 	stale := []shmem.Value{core.Pair{Val: 7, ID: 0}}
 	comb.Publish(0, v, stale)
@@ -148,7 +151,11 @@ func TestCombiningNoCrossGenerationView(t *testing.T) {
 	if ao2.obj.rt.comb != comb {
 		t.Skip("pool did not recycle the runtime; nothing to check")
 	}
-	if nt2 := ao2.obj.rt.mem.(shmem.Notifier); nt2.Version() != 0 {
+	nt2, ok := ao2.obj.rt.mem.(shmem.Notifier)
+	if !ok {
+		t.Fatalf("recycled runtime memory %T does not expose shmem.Notifier", ao2.obj.rt.mem)
+	}
+	if nt2.Version() != 0 {
 		t.Fatalf("recycled notifier version = %d, want 0 after Reset", nt2.Version())
 	}
 	// Re-reach the old version number in the new generation: the previous
@@ -234,7 +241,10 @@ func TestCombiningWokenWaitersShareScan(t *testing.T) {
 	}
 	g1, g2 := &h1.guard, &h2.guard
 	raw := r.rt.wrap(2)
-	nt := r.rt.mem.(shmem.Notifier)
+	nt, ok := r.rt.mem.(shmem.Notifier)
+	if !ok {
+		t.Fatalf("runtime memory %T does not expose shmem.Notifier", r.rt.mem)
+	}
 
 	// Stage a foreign write after each guard's baseline so the solo detector
 	// sees contention and the notify wait actually blocks.

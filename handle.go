@@ -505,6 +505,10 @@ func (g *guardMem) sleep(d time.Duration) {
 	start := time.Now()
 	defer func() { g.stats.waitNS.Add(int64(time.Since(start))) }()
 	if g.ctx == nil {
+		// A nil context means the caller opted out of cancellation
+		// entirely (plain Propose with no deadline); there is no Done
+		// channel to select against, so a plain sleep is the contract.
+		//lint:ignore ctxwait nil-context path has no cancellation edge by design
 		time.Sleep(d)
 		return
 	}

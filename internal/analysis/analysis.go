@@ -1,0 +1,97 @@
+// Package analysis is a self-contained skeleton of the
+// golang.org/x/tools/go/analysis API, carrying the repo's custom analyzers
+// (cmd/salint) without an external dependency: an Analyzer inspects one
+// type-checked package through a Pass and reports Diagnostics.
+//
+// Only the slice of the x/tools surface the salint suite needs is
+// reproduced — per-package runs, type information, diagnostics — so an
+// analyzer written here ports to the real framework by swapping the import
+// path. Facts (cross-package analyzer state) are deliberately absent: every
+// invariant the suite enforces is checkable package-locally, which is also
+// what keeps the `go vet -vettool` driver protocol trivial (dependency
+// passes are no-ops).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one static check: a name (the key used by //lint:ignore
+// directives and command-line filters), one-paragraph documentation, and
+// the per-package run function.
+type Analyzer struct {
+	// Name identifies the analyzer; it must be a valid Go identifier.
+	Name string
+	// Doc documents the invariant the analyzer enforces.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass is one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed sources, comments included.
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's expression, definition, use and
+	// selection maps for Files.
+	TypesInfo *types.Info
+	// Report delivers one finding.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position inside the pass's file set and a
+// message. The analyzer name is attached by the runner.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Check runs the analyzers over one loaded package and returns the surviving
+// diagnostics — findings not silenced by a //lint:ignore directive — sorted
+// by position. Analyzer errors (not findings) are returned as err.
+func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	ignores := collectIgnores(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			d.Analyzer = name
+			if !ignores.silenced(pkg.Fset, d) {
+				out = append(out, d)
+			}
+		}
+		if err := a.Run(pass); err != nil {
+			return out, fmt.Errorf("%s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos != out[j].Pos {
+			return out[i].Pos < out[j].Pos
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}

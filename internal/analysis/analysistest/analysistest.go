@@ -1,0 +1,253 @@
+// Package analysistest runs a salint analyzer over a fixture package under
+// internal/analysis/testdata/src and compares the diagnostics it produces —
+// after //lint:ignore filtering, so suppressions are testable — against
+// `// want "regexp"` comments in the fixture source, following the x/tools
+// analysistest convention.
+//
+// Fixture packages import stub dependencies by bare name ("shmem"), resolved
+// to sibling directories under testdata/src; standard-library imports are
+// resolved from build-cache export data via `go list -export`, so the
+// harness needs no network and no GOPATH layout.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"setagreement/internal/analysis"
+)
+
+// Run loads testdata/src/<fixture>, runs a over it, and reports any mismatch
+// between the analyzer's diagnostics and the fixture's want comments.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	src, err := srcRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := &fixtureImporter{fset: token.NewFileSet(), src: src, pkgs: map[string]*types.Package{}}
+	pkg, err := imp.load(fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Check(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !wants.match(pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s:%d: unexpected diagnostic: %s: %s", pos.Filename, pos.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants.unmatched() {
+		t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+	}
+}
+
+// srcRoot locates internal/analysis/testdata/src from the test's working
+// directory (an analyzer package directory, one level below internal/analysis).
+func srcRoot() (string, error) {
+	for _, rel := range []string{"../testdata/src", "testdata/src", "../../testdata/src"} {
+		abs, err := filepath.Abs(rel)
+		if err != nil {
+			continue
+		}
+		if st, err := os.Stat(abs); err == nil && st.IsDir() {
+			return abs, nil
+		}
+	}
+	return "", fmt.Errorf("analysistest: cannot locate testdata/src from %q", mustGetwd())
+}
+
+func mustGetwd() string {
+	wd, _ := os.Getwd()
+	return wd
+}
+
+// --- fixture loading ------------------------------------------------------
+
+// fixtureImporter type-checks fixture packages from testdata/src and std
+// dependencies from `go list -export` build-cache export data.
+type fixtureImporter struct {
+	fset    *token.FileSet
+	src     string
+	pkgs    map[string]*types.Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+// load parses and type-checks one fixture package directory.
+func (imp *fixtureImporter) load(path string) (*analysis.Package, error) {
+	dir := filepath.Join(imp.src, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: fixture %q: %v", path, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("analysistest: fixture %q has no .go files", path)
+	}
+	files, err := analysis.ParseFiles(imp.fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	pkg, err := analysis.TypeCheck(imp.fset, path, files, imp)
+	if err != nil {
+		return nil, fmt.Errorf("analysistest: typechecking fixture %q: %v", path, err)
+	}
+	pkg.Dir = dir
+	return pkg, nil
+}
+
+// Import resolves fixture-local stub packages first, std packages second.
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := imp.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(imp.src, path)); err == nil && st.IsDir() {
+		pkg, err := imp.load(path)
+		if err != nil {
+			return nil, err
+		}
+		imp.pkgs[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return imp.stdImport(path)
+}
+
+// stdImport reads a standard-library package from export data, running
+// `go list -export` on demand to locate (and if needed compile) it.
+func (imp *fixtureImporter) stdImport(path string) (*types.Package, error) {
+	if imp.exports == nil {
+		imp.exports = map[string]string{}
+	}
+	if _, ok := imp.exports[path]; !ok {
+		cmd := exec.Command("go", "list", "-e", "-export", "-deps", "-json", path)
+		cmd.Dir = imp.src
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("analysistest: go list %s: %v\n%s", path, err, stderr.String())
+		}
+		dec := json.NewDecoder(bytes.NewReader(out))
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				imp.exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	if imp.gc == nil {
+		// The lookup closes over the exports map, which later stdImport
+		// calls keep extending; the gc importer reads it per lookup.
+		imp.gc = importer.ForCompiler(imp.fset, "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := imp.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q", path)
+			}
+			return os.Open(file)
+		})
+	}
+	return imp.gc.Import(path)
+}
+
+// --- want-comment expectations --------------------------------------------
+
+// want is one expectation: a diagnostic on file:line matching rx.
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+type wantSet struct{ list []*want }
+
+const wantPrefix = "// want "
+
+// collectWants parses `// want "rx" ["rx" ...]` comments from the fixture.
+func collectWants(pkg *analysis.Package) (*wantSet, error) {
+	set := &wantSet{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, wantPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(text)
+				for rest != "" {
+					quoted, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+					}
+					pat, err := strconv.Unquote(quoted)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: %v", pos.Filename, pos.Line, err)
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+					}
+					set.list = append(set.list, &want{file: pos.Filename, line: pos.Line, rx: rx})
+					rest = strings.TrimSpace(rest[len(quoted):])
+				}
+			}
+		}
+	}
+	return set, nil
+}
+
+// match consumes the first unhit want on file:line whose regexp matches msg.
+func (s *wantSet) match(file string, line int, msg string) bool {
+	for _, w := range s.list {
+		if !w.hit && w.file == file && w.line == line && w.rx.MatchString(msg) {
+			w.hit = true
+			return true
+		}
+	}
+	return false
+}
+
+// unmatched returns the wants no diagnostic consumed.
+func (s *wantSet) unmatched() []*want {
+	var out []*want
+	for _, w := range s.list {
+		if !w.hit {
+			out = append(out, w)
+		}
+	}
+	return out
+}

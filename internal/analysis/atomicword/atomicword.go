@@ -1,0 +1,283 @@
+// Package atomicword implements the salint analyzer for the
+// one-atomic-state-word discipline (Handle.st, engine task.st).
+//
+// Two rules, both package-local:
+//
+//  1. Mixed access: a struct field that is ever operated on atomically —
+//     declared with a sync/atomic type (atomic.Uint32, atomic.Pointer[T],
+//     …) or passed by address to a sync/atomic function
+//     (atomic.LoadUint32(&s.f)) — must never be read or written plainly.
+//     One plain load next to CAS transitions is a data race the race
+//     detector only catches if the schedule cooperates; the discipline in
+//     handle.go and internal/engine is that the state word is *only*
+//     touched through its atomic API. For atomic.* typed fields the
+//     compiler already blocks plain arithmetic, so the plain accesses left
+//     to catch are copies (x := s.st) and overwrites (s.st = other) — both
+//     smuggle a state word past its atomicity.
+//
+//  2. Bit-testing enum states: constants declared in a plain-iota const
+//     group are enumeration points, not flag bits — stateFree is 0,
+//     stateBusy is 1, stateDone is 2 — so `st & stateBusy != 0` is a type
+//     system hole, not a membership test (it is true for stateDone too).
+//     State words must be compared (st == stateBusy), never bit-tested,
+//     unless the group is genuinely a flag set: declared with shifts
+//     (1 << iota) or marked with a `//salint:flags` comment. Constants
+//     whose names end in Mask or Shift are exempt operands — they exist to
+//     slice packed words (internal/engine's state|reason|generation word)
+//     and masking with them is the intended use.
+package atomicword
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"setagreement/internal/analysis"
+)
+
+// Analyzer flags plain accesses to atomic fields and bit-tests of enum
+// state constants.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicword",
+	Doc:  "atomic state words must be accessed atomically and compared, not bit-tested",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	checkMixedAccess(pass)
+	checkBitTests(pass)
+	return nil
+}
+
+// --- rule 1: mixed plain/atomic access -----------------------------------
+
+func checkMixedAccess(pass *analysis.Pass) {
+	atomicFields := map[types.Object]bool{}
+
+	// Fields declared with sync/atomic types.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					obj := pass.TypesInfo.Defs[name]
+					if obj != nil && isAtomicType(obj.Type()) {
+						atomicFields[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Fields passed by address to sync/atomic functions.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicFuncCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := fieldObj(pass, un.X); obj != nil {
+					atomicFields[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Plain accesses: selector uses of those fields outside the allowed
+	// forms — method-call receiver (s.st.Load()), address-taken (&s.st),
+	// and field declaration sites.
+	allowed := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				// x.f.M(...): the inner selector x.f is a receiver.
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+						allowed[inner] = true
+					}
+				}
+			case *ast.UnaryExpr:
+				if n.Op != token.AND {
+					return true
+				}
+				if sel, ok := ast.Unparen(n.X).(*ast.SelectorExpr); ok {
+					allowed[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || allowed[sel] {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || !atomicFields[obj] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to atomic field %s — use its sync/atomic API (one-atomic-state-word rule)", sel.Sel.Name)
+			return true
+		})
+	}
+}
+
+// isAtomicType reports whether t is a named type from sync/atomic.
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync/atomic"
+}
+
+// isAtomicFuncCall reports whether the call invokes a sync/atomic
+// package-level function (atomic.LoadUint32 etc.).
+func isAtomicFuncCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic"
+}
+
+// fieldObj resolves e to a struct-field object when e is a selector chain
+// ending in a field.
+func fieldObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return nil
+}
+
+// --- rule 2: bit-testing enum state constants ----------------------------
+
+func checkBitTests(pass *analysis.Pass) {
+	enums := enumConstants(pass)
+	if len(enums) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch bin.Op {
+			case token.AND, token.OR, token.XOR, token.AND_NOT:
+			default:
+				return true
+			}
+			for _, operand := range [2]ast.Expr{bin.X, bin.Y} {
+				id, ok := ast.Unparen(operand).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && enums[obj] {
+					pass.Reportf(bin.Pos(), "bit-test of enum state constant %s — state words are compared, not masked (declare the group with shifts or //salint:flags if it really is a flag set)", id.Name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// enumConstants collects constants from plain-iota const groups: groups
+// that use iota without shifts and carry no //salint:flags marker.
+// Mask/Shift-named members are exempt — they slice packed words.
+func enumConstants(pass *analysis.Pass) map[types.Object]bool {
+	enums := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			usesIota, usesShift := false, false
+			for _, spec := range gd.Specs {
+				vs := spec.(*ast.ValueSpec)
+				for _, v := range vs.Values {
+					ast.Inspect(v, func(n ast.Node) bool {
+						switch n := n.(type) {
+						case *ast.Ident:
+							if n.Name == "iota" {
+								usesIota = true
+							}
+						case *ast.BinaryExpr:
+							if n.Op == token.SHL || n.Op == token.SHR {
+								usesShift = true
+							}
+						}
+						return true
+					})
+				}
+			}
+			if !usesIota || usesShift || flagsMarked(gd) {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				for _, name := range spec.(*ast.ValueSpec).Names {
+					if strings.HasSuffix(name.Name, "Mask") || strings.HasSuffix(name.Name, "Shift") {
+						continue
+					}
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						enums[obj] = true
+					}
+				}
+			}
+		}
+	}
+	return enums
+}
+
+// flagsMarked reports whether the const group carries a //salint:flags
+// marker in its doc comment or on any member's line. The raw comment list
+// is scanned, not CommentGroup.Text(), because Text() strips directive
+// comments — which is exactly what //salint:flags is.
+func flagsMarked(gd *ast.GenDecl) bool {
+	if markedGroup(gd.Doc) {
+		return true
+	}
+	for _, spec := range gd.Specs {
+		vs := spec.(*ast.ValueSpec)
+		if markedGroup(vs.Doc) || markedGroup(vs.Comment) {
+			return true
+		}
+	}
+	return false
+}
+
+func markedGroup(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, "salint:flags") {
+			return true
+		}
+	}
+	return false
+}

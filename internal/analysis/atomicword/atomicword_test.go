@@ -1,0 +1,12 @@
+package atomicword_test
+
+import (
+	"testing"
+
+	"setagreement/internal/analysis/analysistest"
+	"setagreement/internal/analysis/atomicword"
+)
+
+func TestAtomicword(t *testing.T) {
+	analysistest.Run(t, atomicword.Analyzer, "atomicword")
+}

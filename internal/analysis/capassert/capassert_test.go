@@ -1,0 +1,12 @@
+package capassert_test
+
+import (
+	"testing"
+
+	"setagreement/internal/analysis/analysistest"
+	"setagreement/internal/analysis/capassert"
+)
+
+func TestCapassert(t *testing.T) {
+	analysistest.Run(t, capassert.Analyzer, "capassert")
+}

@@ -1,0 +1,189 @@
+// Package ctxwait implements the salint analyzer for the PR-4 waiting
+// rule: no blind sleeps in propose/wait paths — every wait must be
+// context-cancellable.
+//
+// A Propose whose context is cancelled must return promptly, including
+// mid-wait; the wait layer therefore sleeps in a select against ctx.Done()
+// (guardMem.sleep) or blocks in AwaitChange, which takes the context
+// itself. A bare time.Sleep, or a naked <-time.After(d) receive, holds the
+// goroutine for the full duration with no cancellation edge — the exact
+// blind-wait shape PR 4 removed.
+//
+// Flagged in non-test files:
+//
+//   - any call to time.Sleep,
+//   - <-time.After(d) outside a select,
+//   - a select case receiving from time.After with no sibling case
+//     receiving from a Done() channel (context cancellation or an
+//     equivalent shutdown signal).
+//
+// time.NewTimer/NewTicker are not flagged: their channels only usefully
+// appear inside selects, where the Done-sibling rule above applies to the
+// time.After form and the reviewer's eye handles the rest. Test files and
+// main packages are exempt — tests and the benchmark/demo drivers
+// (cmd/sabench, examples/*) legitimately pace load with bare sleeps; the
+// rule targets the library layers a Propose can block in. An intentional
+// blind sleep in library code (the nil-context fallback in guardMem.sleep)
+// carries a //lint:ignore ctxwait directive with its justification.
+package ctxwait
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"setagreement/internal/analysis"
+)
+
+// Analyzer flags non-cancellable waits.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxwait",
+	Doc:  "waits must be context-cancellable: no bare time.Sleep or naked <-time.After in propose/wait paths",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		// Selects get their own treatment; mark the After-receives they
+		// contain so the generic walk below skips them.
+		inSelect := map[ast.Node]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			checkSelect(pass, sel, inSelect)
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isTimeFunc(pass, n, "Sleep") {
+					pass.Reportf(n.Pos(), "time.Sleep in a propose/wait path is not cancellable — select on the context or use the wait layer")
+				}
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW && !inSelect[n] && isTimeAfterCall(pass, n.X) {
+					pass.Reportf(n.Pos(), "naked <-time.After is not cancellable — select it against the context's Done channel")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkSelect applies the Done-sibling rule: a case receiving from
+// time.After needs another case receiving a cancellation edge.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt, inSelect map[ast.Node]bool) {
+	var afterRecvs []ast.Node
+	hasDone := false
+	for _, clause := range sel.Body.List {
+		comm, ok := clause.(*ast.CommClause)
+		if !ok || comm.Comm == nil {
+			continue
+		}
+		recv := recvExpr(comm.Comm)
+		if recv == nil {
+			continue
+		}
+		inSelect[recv] = true
+		if isTimeAfterCall(pass, recv.X) {
+			afterRecvs = append(afterRecvs, recv)
+		}
+		if isDoneChannel(recv.X) {
+			hasDone = true
+		}
+	}
+	if hasDone {
+		return
+	}
+	for _, r := range afterRecvs {
+		pass.Reportf(r.Pos(), "select waits on time.After with no cancellation case — add a ctx.Done() (or equivalent) sibling case")
+	}
+}
+
+// recvExpr extracts the receive operation of a select case statement.
+func recvExpr(stmt ast.Stmt) *ast.UnaryExpr {
+	var e ast.Expr
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if un, ok := ast.Unparen(e).(*ast.UnaryExpr); ok && un.Op == token.ARROW {
+		return un
+	}
+	return nil
+}
+
+// isTimeFunc reports whether the call invokes time.<name>.
+func isTimeFunc(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "time"
+}
+
+// isTimeAfterCall reports whether e is a time.After(...) call.
+func isTimeAfterCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && isTimeFunc(pass, call, "After")
+}
+
+// isDoneChannel reports whether the received expression is a cancellation
+// edge: a call to a method named Done (context.Context.Done and the
+// shutdown-channel idiom share the name), or a channel-typed selector or
+// identifier whose name contains "done", "stop", "quit" or "closed".
+func isDoneChannel(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		return analysis.CalleeName(x) == "Done"
+	case *ast.SelectorExpr:
+		return doneName(x.Sel.Name)
+	case *ast.Ident:
+		return doneName(x.Name)
+	}
+	return false
+}
+
+func doneName(name string) bool {
+	for _, w := range [4]string{"done", "stop", "quit", "closed"} {
+		if containsFold(name, w) {
+			return true
+		}
+	}
+	return false
+}
+
+// containsFold is a case-insensitive strings.Contains for short ASCII
+// needles.
+func containsFold(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		j := 0
+		for ; j < len(sub); j++ {
+			c := s[i+j]
+			if c >= 'A' && c <= 'Z' {
+				c += 'a' - 'A'
+			}
+			if c != sub[j] {
+				break
+			}
+		}
+		if j == len(sub) {
+			return true
+		}
+	}
+	return false
+}

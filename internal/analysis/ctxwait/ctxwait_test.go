@@ -1,0 +1,12 @@
+package ctxwait_test
+
+import (
+	"testing"
+
+	"setagreement/internal/analysis/analysistest"
+	"setagreement/internal/analysis/ctxwait"
+)
+
+func TestCtxwait(t *testing.T) {
+	analysistest.Run(t, ctxwait.Analyzer, "ctxwait")
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Helpers shared by the salint analyzers. Matching is duck-typed by package
+// *name* ("shmem") rather than import path, so the analyzers apply equally
+// to the real module and to analysistest fixtures, which import small stub
+// packages with the same names and shapes.
+
+// NamedFrom reports whether t (after unwrapping pointers and aliases) is a
+// named type called typeName declared in a package named pkgName.
+func NamedFrom(t types.Type, pkgName, typeName string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == typeName &&
+		obj.Pkg() != nil && obj.Pkg().Name() == pkgName
+}
+
+// IsShmemValueSlice reports whether t is []shmem.Value — the type of a
+// snapshot view.
+func IsShmemValueSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	return NamedFrom(sl.Elem(), "shmem", "Value")
+}
+
+// IsMemLike reports whether t looks like a shared memory: its method set
+// includes Scan and Update (shmem.Mem and every wrapper of it).
+func IsMemLike(t types.Type) bool {
+	return hasMethod(t, "Scan") && hasMethod(t, "Update")
+}
+
+func hasMethod(t types.Type, name string) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		if ms.At(i).Obj().Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// BaseIdent unwraps parens, selectors, index, slice and star expressions to
+// the root identifier of an lvalue chain, or nil.
+func BaseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// CalleeName returns the bare name of a call's function — the method name
+// for x.M(...), the function name for F(...) — or "".
+func CalleeName(call *ast.CallExpr) string {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	}
+	return ""
+}
+
+// IsTestFile reports whether the file's name (resolved through fset) ends
+// in _test.go.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go")
+}

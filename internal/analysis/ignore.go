@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Suppression: a finding is silenced by a directive comment
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed on the finding's line or on the line directly above it (staticcheck's
+// convention, so one marker style serves both tools). The reason is
+// mandatory — a suppression without a recorded justification is itself a
+// smell — and <analyzer> may be "all". cmd/salint and the analysistest
+// harness both run findings through this filter, so fixtures can exercise
+// suppressions too.
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	analyzers []string // lower-case names, or ["all"]
+	hasReason bool
+}
+
+// ignoreSet maps file name → line → directive.
+type ignoreSet map[string]map[int]ignoreDirective
+
+const ignorePrefix = "//lint:ignore "
+
+// collectIgnores parses every //lint:ignore directive in the files.
+func collectIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := ignoreSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]ignoreDirective{}
+					set[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = ignoreDirective{
+					analyzers: strings.Split(strings.ToLower(fields[0]), ","),
+					hasReason: len(fields) > 1,
+				}
+			}
+		}
+	}
+	return set
+}
+
+// silenced reports whether d is covered by a directive on its line or the
+// line above.
+func (s ignoreSet) silenced(fset *token.FileSet, d Diagnostic) bool {
+	if len(s) == 0 {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	byLine := s[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		dir, ok := byLine[line]
+		if !ok || !dir.hasReason {
+			continue
+		}
+		for _, a := range dir.analyzers {
+			if a == "all" || a == strings.ToLower(d.Analyzer) {
+				return true
+			}
+		}
+	}
+	return false
+}

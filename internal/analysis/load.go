@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// The loader: type-checked packages without golang.org/x/tools.
+//
+// `go list -e -export -deps -json` enumerates the requested packages plus
+// their full dependency closure, with each dependency's compiled export
+// data in the build cache; the stdlib gc importer (go/importer with a
+// lookup function) reads that export data directly. Only the requested
+// packages themselves are parsed and type-checked from source — exactly
+// what an analyzer needs — so a whole-module load costs one `go list`
+// plus one type-check per target package, no network and no dependency
+// on x/tools/go/packages.
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// PkgPath is the go list import path; test variants keep the
+	// bracketed form ("p [p.test]").
+	PkgPath string
+	// Dir is the package directory.
+	Dir string
+	// ForTest is the path of the package under test for test variants,
+	// empty otherwise.
+	ForTest string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	// TypesInfo holds the full type-checker output for Files.
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+	Error      *struct{ Err string }
+}
+
+// LoadConfig shapes a Load.
+type LoadConfig struct {
+	// Dir is the working directory for go list (the module root or below).
+	Dir string
+	// Tests includes each package's test variants (in-package and external
+	// test packages), so _test.go files are analyzed too.
+	Tests bool
+}
+
+// Load lists patterns with the go tool and returns the matched packages,
+// parsed and type-checked. Dependencies are imported from export data, so
+// the module must build; a target package that fails to parse or
+// type-check fails the Load.
+func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
+	args := []string{"list", "-e", "-export", "-deps", "-json"}
+	if cfg.Tests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = cfg.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPkg)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		// Targets are the non-dependency matches; the synthesized test main
+		// ("p.test") is driver scaffolding, not code to lint.
+		if !p.Standard && !p.DepOnly && !strings.HasSuffix(p.ImportPath, ".test") {
+			if p.Error != nil {
+				return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+			}
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	gc := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	var pkgs []*Package
+	for _, p := range targets {
+		if len(p.GoFiles) == 0 {
+			continue
+		}
+		files, err := ParseFiles(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		imp := &mappedImporter{inner: gc, importMap: p.ImportMap}
+		pkg, err := TypeCheck(fset, p.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+		}
+		pkg.Dir = p.Dir
+		pkg.ForTest = p.ForTest
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// ParseFiles parses the named files (relative names joined to dir) with
+// comments, as analysis requires.
+func ParseFiles(fset *token.FileSet, dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// TypeCheck type-checks one package's parsed files, resolving imports
+// through imp, and returns it as an analysis-ready Package.
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{
+		PkgPath:   path,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// NewInfo allocates the full set of type-checker maps analyzers consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// ExportImporter builds a types.Importer over explicit export-data files
+// (import path → file), with an optional per-package import remap applied
+// first. The vettool driver feeds it straight from go vet's cfg.
+func ExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	return &mappedImporter{
+		inner:     importer.ForCompiler(fset, "gc", exportLookup(exports)),
+		importMap: importMap,
+	}
+}
+
+// exportLookup adapts an import-path→file map to the gc importer's lookup.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// mappedImporter applies a package's ImportMap (vendoring and test-variant
+// remapping) before delegating.
+type mappedImporter struct {
+	inner     types.Importer
+	importMap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := m.importMap[path]; ok {
+		path = mapped
+	}
+	return m.inner.Import(path)
+}

@@ -1,0 +1,97 @@
+// Package salint assembles the repo's analyzer suite: the five custom
+// checks that mechanize the concurrency contracts prose alone used to
+// carry. cmd/salint drives it from the command line and from
+// `go vet -vettool`; the meta-test in this package runs it over the whole
+// module so a violation can never merge.
+package salint
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"setagreement/internal/analysis"
+	"setagreement/internal/analysis/atomicword"
+	"setagreement/internal/analysis/capassert"
+	"setagreement/internal/analysis/ctxwait"
+	"setagreement/internal/analysis/stepsafety"
+	"setagreement/internal/analysis/viewmut"
+)
+
+// Analyzers is the salint suite, in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		atomicword.Analyzer,
+		capassert.Analyzer,
+		ctxwait.Analyzer,
+		stepsafety.Analyzer,
+		viewmut.Analyzer,
+	}
+}
+
+// Finding is one diagnostic resolved to a printable position.
+type Finding struct {
+	File     string
+	Line     int
+	Col      int
+	Analyzer string
+	Message  string
+}
+
+// CheckPatterns loads the given go list patterns (optionally with test
+// variants) and runs the suite, returning every surviving finding.
+func CheckPatterns(dir string, tests bool, patterns ...string) ([]Finding, error) {
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: dir, Tests: tests}, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Finding
+	seen := map[Finding]bool{}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Check(pkg, Analyzers())
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			f := Finding{
+				File:     pos.Filename,
+				Line:     pos.Line,
+				Col:      pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}
+			// A package and its in-package test variant overlap on the
+			// non-test files; report each finding once.
+			if !seen[f] {
+				seen[f] = true
+				out = append(out, f)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Print writes findings in the canonical file:line:col form, optionally
+// followed by GitHub Actions ::error annotations so CI failures land as
+// inline file/line annotations in the job summary.
+func Print(w io.Writer, findings []Finding, github bool) {
+	for _, f := range findings {
+		fmt.Fprintf(w, "%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+	if github {
+		for _, f := range findings {
+			fmt.Fprintf(w, "::error file=%s,line=%d,col=%d,title=salint/%s::%s\n", rel(f.File), f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+}
+
+// rel trims the working directory prefix so annotations use repo-relative
+// paths, as the GitHub annotation format expects.
+func rel(path string) string {
+	wd, err := os.Getwd()
+	if err != nil || len(path) <= len(wd)+1 || path[:len(wd)] != wd {
+		return path
+	}
+	return path[len(wd)+1:]
+}

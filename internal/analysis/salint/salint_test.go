@@ -1,0 +1,23 @@
+package salint_test
+
+import (
+	"testing"
+
+	"setagreement/internal/analysis/salint"
+)
+
+// TestModuleClean is the meta-test: the full suite over every package of
+// the module, test variants included, must report zero findings — so a new
+// violation of any mechanized contract can never merge.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module; skipped in -short")
+	}
+	findings, err := salint.CheckPatterns("../../..", true, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+	}
+}

@@ -1,0 +1,191 @@
+// Package stepsafety implements the salint analyzer for the restart-safety
+// contract of resumable attempts (internal/core/resume.go).
+//
+// The async engine may abandon a Step at any shared-memory operation (the
+// guard unwinds with a park signal) and later re-run the Step from the top.
+// That is only sound under the rule the Attempt contract states: within one
+// Step, every shared-memory operation precedes every mutation of state that
+// survives the Step. A Step that first bumps a surviving counter and then
+// updates shared memory would, when parked at the update and re-run, bump
+// the counter twice for one loop iteration — the restart would be
+// observable, which is exactly what the PR-5 correctness argument rules
+// out.
+//
+// Mechanically: in any method named Step whose parameter is a shared memory
+// (its method set has Scan and Update — shmem.Mem and every wrapper), the
+// analyzer flags assignments to receiver-reachable state (fields of the
+// receiver, or of pointers loaded from it, e.g. p := a.p; p.i = ...) that
+// appear before the Step's first shared-memory operation — the first call
+// on, or passing, the mem parameter. Plain locals are fine anywhere: they
+// die with the Step. A Step with no shared-memory operation imposes no
+// order, and mutations after the first operation are the algorithms'
+// normal decide/adopt bookkeeping.
+package stepsafety
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"setagreement/internal/analysis"
+)
+
+// Analyzer flags surviving-state mutations before a Step's first
+// shared-memory operation.
+var Analyzer = &analysis.Analyzer{
+	Name: "stepsafety",
+	Doc:  "in Attempt.Step, shared-memory operations must precede surviving local-state mutations (restart safety)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Name.Name != "Step" || fd.Recv == nil {
+				continue
+			}
+			if mem := memParam(pass, fd); mem != nil {
+				checkStep(pass, fd, mem)
+			}
+		}
+	}
+	return nil
+}
+
+// memParam returns the object of the Step's shared-memory parameter, or nil
+// when the method is not an Attempt-shaped Step.
+func memParam(pass *analysis.Pass, fd *ast.FuncDecl) types.Object {
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && analysis.IsMemLike(obj.Type()) {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+func checkStep(pass *analysis.Pass, fd *ast.FuncDecl, mem types.Object) {
+	// Receiver-reachable roots: the receiver itself plus locals assigned
+	// from receiver-rooted chains (aliases like p := a.p). Collected over
+	// the whole body first, so an alias introduced on line 1 is known when
+	// line 2 writes through it.
+	roots := map[types.Object]bool{}
+	if len(fd.Recv.List) > 0 && len(fd.Recv.List[0].Names) > 0 {
+		if obj := pass.TypesInfo.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			roots[obj] = true
+		}
+	}
+	for changed := true; changed; { // aliases of aliases, to a fixed point
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.DEFINE && as.Tok != token.ASSIGN) || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Defs[id]
+				if obj == nil {
+					obj = pass.TypesInfo.Uses[id]
+				}
+				if obj == nil || roots[obj] || !isReference(obj.Type()) {
+					continue
+				}
+				if base := analysis.BaseIdent(as.Rhs[i]); base != nil {
+					if src := pass.TypesInfo.Uses[base]; src != nil && roots[src] {
+						roots[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// The first shared-memory operation: the earliest call on mem
+	// (mem.Update(...)) or passing mem onward (helper(mem, ...) issues
+	// operations on the Step's behalf).
+	firstOp := token.NoPos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !usesObj(pass, call, mem) {
+			return true
+		}
+		if !firstOp.IsValid() || call.Pos() < firstOp {
+			firstOp = call.Pos()
+		}
+		return true
+	})
+	if !firstOp.IsValid() {
+		return // no shared-memory operation: nothing to order against
+	}
+
+	report := func(pos token.Pos, what string) {
+		if pos < firstOp {
+			pass.Reportf(pos, "%s before the Step's first shared-memory operation — restart-unsafe (resumable Attempt contract)", what)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if survives(pass, lhs, roots) {
+					report(lhs.Pos(), "mutation of surviving state")
+				}
+			}
+		case *ast.IncDecStmt:
+			if survives(pass, n.X, roots) {
+				report(n.X.Pos(), "mutation of surviving state")
+			}
+		}
+		return true
+	})
+}
+
+// survives reports whether the lvalue writes receiver-reachable state: a
+// selector / index chain rooted at the receiver or one of its aliases.
+// Writing the root identifier itself (p = nil) rebinds a local, not
+// surviving state.
+func survives(pass *analysis.Pass, lhs ast.Expr, roots map[types.Object]bool) bool {
+	if _, isIdent := ast.Unparen(lhs).(*ast.Ident); isIdent {
+		return false
+	}
+	base := analysis.BaseIdent(lhs)
+	if base == nil {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[base]
+	return obj != nil && roots[obj]
+}
+
+// usesObj reports whether the call is a method call on obj or passes obj as
+// an argument.
+func usesObj(pass *analysis.Pass, call *ast.CallExpr, obj types.Object) bool {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			return true
+		}
+	}
+	for _, arg := range call.Args {
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// isReference reports whether an alias of this type aliases the referent's
+// state (pointers, and only pointers, matter for p := a.p aliasing).
+func isReference(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Pointer)
+	return ok
+}

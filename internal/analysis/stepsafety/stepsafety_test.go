@@ -1,0 +1,12 @@
+package stepsafety_test
+
+import (
+	"testing"
+
+	"setagreement/internal/analysis/analysistest"
+	"setagreement/internal/analysis/stepsafety"
+)
+
+func TestStepsafety(t *testing.T) {
+	analysistest.Run(t, stepsafety.Analyzer, "stepsafety")
+}

@@ -1,0 +1,94 @@
+// Package atomicword exercises the one-atomic-state-word discipline: fields
+// touched atomically must never be accessed plainly, and plain-iota enum
+// state constants must be compared, not bit-tested.
+package atomicword
+
+import "sync/atomic"
+
+type task struct {
+	st atomic.Uint32
+}
+
+func taskLoad(t *task) uint32 {
+	return t.st.Load()
+}
+
+func taskAddr(t *task) *atomic.Uint32 {
+	return &t.st
+}
+
+func taskCopy(t *task) {
+	x := t.st // want "plain access to atomic field st"
+	_ = x
+}
+
+type word struct {
+	st uint32
+	n  int
+}
+
+func wordLoad(w *word) uint32 {
+	return atomic.LoadUint32(&w.st)
+}
+
+func wordPlainRead(w *word) uint32 {
+	return w.st // want "plain access to atomic field st"
+}
+
+func wordPlainWrite(w *word) {
+	w.st = 0 // want "plain access to atomic field st"
+}
+
+func wordPlainField(w *word) int {
+	w.n = 1
+	return w.n
+}
+
+const (
+	stFree uint32 = iota
+	stBusy
+	stDone
+)
+
+func bitTest(st uint32) bool {
+	return st&stBusy != 0 // want "bit-test of enum state constant stBusy"
+}
+
+func compare(st uint32) bool {
+	return st == stBusy
+}
+
+const (
+	flagA uint32 = 1 << iota
+	flagB
+)
+
+func flagTest(fl uint32) bool {
+	return fl&flagA != 0
+}
+
+// Marked as a flag set despite the plain iota, so masking is allowed.
+//
+//salint:flags
+const (
+	optRetry uint64 = iota
+	optNotify
+)
+
+func optTest(o uint64) bool {
+	return o&optNotify != 0
+}
+
+const (
+	gQueued uint32 = iota
+	gRunning
+	gMask uint32 = 7
+)
+
+func packedSlice(w uint32) uint32 {
+	return w & gMask
+}
+
+func packedBitTest(w uint32) bool {
+	return w&gRunning != 0 // want "bit-test of enum state constant gRunning"
+}

@@ -1,0 +1,60 @@
+// Package ctxwait exercises the cancellable-wait rule: no blind
+// time.Sleep or naked <-time.After in propose/wait paths, and timed select
+// waits need a cancellation sibling case.
+package ctxwait
+
+import (
+	"context"
+	"time"
+)
+
+func blindSleep(d time.Duration) {
+	time.Sleep(d) // want "time.Sleep in a propose/wait path is not cancellable"
+}
+
+func nakedAfter(d time.Duration) {
+	<-time.After(d) // want "naked <-time.After is not cancellable"
+}
+
+func selectNoCancel(c chan int, d time.Duration) int {
+	select {
+	case v := <-c:
+		return v
+	case <-time.After(d): // want "select waits on time.After with no cancellation case"
+		return 0
+	}
+}
+
+func selectWithDone(ctx context.Context, d time.Duration) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+func selectWithStopChan(stop chan struct{}, d time.Duration) bool {
+	select {
+	case <-stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+func timerSelect(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// suppressedSleep mirrors the nil-context fallback in guardMem.sleep: the
+// documented suppression silences the finding.
+func suppressedSleep(d time.Duration) {
+	//lint:ignore ctxwait no cancellation edge exists on this path by design
+	time.Sleep(d)
+}

@@ -1,0 +1,63 @@
+// Package stepsafety exercises the restart-safety rule for resumable
+// Steps: surviving (receiver-reachable) state must not be mutated before
+// the step's first shared-memory operation.
+package stepsafety
+
+import "shmem"
+
+type attempt struct {
+	round int
+	last  []shmem.Value
+}
+
+// Step mutates surviving state before scanning: restart-unsafe.
+func (a *attempt) Step(m shmem.Mem) (int, bool) {
+	a.round++ // want "mutation of surviving state before the Step's first shared-memory operation"
+	view := m.Scan(0)
+	a.last = view
+	return a.round, false
+}
+
+type ordered struct {
+	round int
+	last  []shmem.Value
+}
+
+// Step performs the memory operation first; the surviving mutations after
+// it are restart-safe (a restarted step re-executes them from the scan).
+func (o *ordered) Step(m shmem.Mem) (int, bool) {
+	view := m.Scan(0)
+	o.round++
+	o.last = view
+	return o.round, true
+}
+
+type aliased struct {
+	n int
+}
+
+// Step mutates surviving state through a pointer alias of the receiver;
+// the analyzer tracks aliases to a fixed point.
+func (c *aliased) Step(m shmem.Mem) (int, bool) {
+	self := c
+	self.n++ // want "mutation of surviving state before the Step's first shared-memory operation"
+	m.Write(0, self.n)
+	return self.n, true
+}
+
+type localOnly struct {
+	n int
+}
+
+// Step issues no shared-memory operation, so there is nothing to order
+// against: no constraint.
+func (c *localOnly) Step(m shmem.Mem) (int, bool) {
+	c.n++
+	return c.n, false
+}
+
+// Prepare is not a Step: the rule does not apply to other methods.
+func (c *aliased) Prepare(m shmem.Mem) {
+	c.n++
+	m.Write(0, nil)
+}

@@ -1,0 +1,12 @@
+package viewmut_test
+
+import (
+	"testing"
+
+	"setagreement/internal/analysis/analysistest"
+	"setagreement/internal/analysis/viewmut"
+)
+
+func TestViewmut(t *testing.T) {
+	analysistest.Run(t, viewmut.Analyzer, "viewmut")
+}

@@ -23,7 +23,10 @@ func TestBackendSnapshotLinearizability(t *testing.T) {
 			if err != nil {
 				t.Fatalf("New: %v", err)
 			}
-			clock := mem.(shmem.Stepper)
+			clock, ok := mem.(shmem.Stepper)
+			if !ok {
+				t.Fatalf("backend memory %T does not expose shmem.Stepper", mem)
+			}
 			var (
 				mu  sync.Mutex
 				ops []linearize.Op
@@ -77,7 +80,10 @@ func TestBackendRegisterLinearizability(t *testing.T) {
 			if err != nil {
 				t.Fatalf("New: %v", err)
 			}
-			clock := mem.(shmem.Stepper)
+			clock, ok := mem.(shmem.Stepper)
+			if !ok {
+				t.Fatalf("backend memory %T does not expose shmem.Stepper", mem)
+			}
 			var (
 				mu  sync.Mutex
 				ops []linearize.Op

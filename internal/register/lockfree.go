@@ -70,7 +70,33 @@ type lfSnap struct {
 }
 
 // view returns the version the pointer identifies as a slice.
+//
+// unsafeptr audit: this is the only unsafe in the package, and it never
+// round-trips a pointer through uintptr — unsafe.Slice takes the typed
+// element pointer directly, so the GC always sees a live pointer and go
+// vet's unsafeptr rules have nothing to flag. What unsafe.Slice cannot
+// check is the length: p must point to element 0 of an array of exactly
+// s.r elements or the rebuilt header reads out of bounds. checkLen guards
+// that invariant at every store into cur.
 func (s *lfSnap) view(p *shmem.Value) []shmem.Value { return unsafe.Slice(p, s.r) }
+
+// checkLen admits next as a version of this snapshot object: every pointer
+// stored into cur must identify an array of exactly s.r elements (the
+// unsafe.Slice length invariant above — r is fixed for the object's
+// lifetime, so a shorter array would surface as an out-of-bounds view on a
+// later Scan, far from the store that broke the rule). All stores to cur
+// go through this check. The read-only side of the same contract — a
+// scanned view is never written, only copied into a fresh next buffer of
+// the same length — is what the viewmut analyzer enforces (see the
+// privateBuffer fixture in internal/analysis/testdata/src/viewmut, which
+// mirrors exactly this Update shape).
+func (s *lfSnap) checkLen(next []shmem.Value) *shmem.Value {
+	if len(next) != s.r {
+		panic("register: lock-free version length diverged from snapshot arity (unsafe.Slice invariant)")
+	}
+	//lint:ignore viewmut next is this snapshot's freshly built version, not a shared view; the element pointer is how a version is installed
+	return &next[0]
+}
 
 var (
 	_ shmem.Mem        = (*LockFree)(nil)
@@ -118,7 +144,7 @@ func NewLockFree(spec shmem.Spec) (*LockFree, error) {
 	for i, r := range spec.Snaps {
 		initial := make([]shmem.Value, r)
 		m.snaps[i].r = r
-		m.snaps[i].cur.Store(&initial[0])
+		m.snaps[i].cur.Store(m.snaps[i].checkLen(initial))
 	}
 	return m, nil
 }
@@ -148,7 +174,7 @@ func (m *LockFree) Update(snap, comp int, v shmem.Value) {
 		next := make([]shmem.Value, s.r)
 		copy(next, s.view(curp))
 		next[comp] = v
-		if s.cur.CompareAndSwap(curp, &next[0]) {
+		if s.cur.CompareAndSwap(curp, s.checkLen(next)) {
 			m.notify.Publish()
 			m.steps.Add(1)
 			return
@@ -198,7 +224,7 @@ func (m *LockFree) Reset() {
 	}
 	for i := range m.snaps {
 		initial := make([]shmem.Value, m.snaps[i].r)
-		m.snaps[i].cur.Store(&initial[0])
+		m.snaps[i].cur.Store(m.snaps[i].checkLen(initial))
 	}
 	m.steps.Store(0)
 	m.retries.Store(0)

@@ -173,7 +173,10 @@ func runNativeHistory(t *testing.T, backend shmem.Backend, impl snapshot.Impl, c
 	if err != nil {
 		t.Fatalf("Materialize: %v", err)
 	}
-	clock := mem.(shmem.Stepper)
+	clock, ok := mem.(shmem.Stepper)
+	if !ok {
+		t.Fatalf("materialized memory %T does not expose shmem.Stepper", mem)
+	}
 	var (
 		mu  sync.Mutex
 		log []linearize.Op

@@ -177,7 +177,10 @@ func TestProposeCancelledInNotifyWait(t *testing.T) {
 	if err != nil {
 		t.Fatalf("NewRepeated: %v", err)
 	}
-	nt := r.rt.mem.(shmem.Notifier)
+	nt, ok := r.rt.mem.(shmem.Notifier)
+	if !ok {
+		t.Fatalf("runtime memory %T does not expose shmem.Notifier", r.rt.mem)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	errs := make([]error, 2)
