@@ -187,7 +187,57 @@ type Engine struct {
 	leadFree atomic.Bool
 
 	caps capWheel
+
+	// parkHook, when non-nil, is called at each boundary of the park
+	// protocol (see ParkStage). Test seam only; set before any Submit.
+	parkHook func(ParkStage)
 }
+
+// ParkStage identifies a boundary inside the park protocol at which a
+// concurrent publish could race the parking task. The stages let a
+// deterministic test drive a wakeup into each window of park() in turn —
+// including the window between the decision to park and the wake-source
+// registration, which the notifier's version re-check is what keeps from
+// losing wakeups.
+type ParkStage int
+
+const (
+	// ParkRegistered: the task has entered the parked set but no wake
+	// source is armed yet. A publish here is only caught by the version
+	// re-check inside Notifier.RegisterWake.
+	ParkRegistered ParkStage = iota
+	// ParkArmed: all wake sources are armed, final stParking→stParked CAS
+	// not yet attempted. A publish here fires the registered callback,
+	// which CASes the still-parking task to queued.
+	ParkArmed
+	// ParkCommitted: the final CAS succeeded; the task is parked and any
+	// publish from now on is an ordinary wake.
+	ParkCommitted
+	// ParkAbandoned: the final CAS failed because a wake source (or Close)
+	// moved the task first; the parker is about to re-enqueue or abort it.
+	ParkAbandoned
+)
+
+// String names the stage.
+func (s ParkStage) String() string {
+	switch s {
+	case ParkRegistered:
+		return "registered"
+	case ParkArmed:
+		return "armed"
+	case ParkCommitted:
+		return "committed"
+	case ParkAbandoned:
+		return "abandoned"
+	default:
+		return "stage(?)"
+	}
+}
+
+// SetParkHook installs a test seam invoked at each ParkStage boundary of
+// every park. It must be installed before proposals are submitted and the
+// hook must be safe to call from drain goroutines. Passing nil removes it.
+func (e *Engine) SetParkHook(fn func(ParkStage)) { e.parkHook = fn }
 
 // New builds an engine with the given worker count; workers < 1 selects
 // GOMAXPROCS.
@@ -331,6 +381,9 @@ func (e *Engine) park(t *task, park Park) {
 	}
 	e.parked[t] = struct{}{}
 	e.mu.Unlock()
+	if e.parkHook != nil {
+		e.parkHook(ParkRegistered)
+	}
 
 	t.parkStart = time.Now()
 	gen := t.st.Load()>>genShift + 1
@@ -342,8 +395,17 @@ func (e *Engine) park(t *task, park Park) {
 	if park.Ctx != nil {
 		t.stopCtx = context.AfterFunc(park.Ctx, func() { e.wake(t, WakeCancel, gen) })
 	}
+	if e.parkHook != nil {
+		e.parkHook(ParkArmed)
+	}
 	if t.st.CompareAndSwap(word(stParking, 0, gen), word(stParked, 0, gen)) {
+		if e.parkHook != nil {
+			e.parkHook(ParkCommitted)
+		}
 		return
+	}
+	if e.parkHook != nil {
+		e.parkHook(ParkAbandoned)
 	}
 	// A wake source fired while sources were still arming (or Close marked
 	// the task dead). This goroutine still owns the task: finish the job

@@ -54,6 +54,12 @@ type State struct {
 	Suffix []int
 	// Depth is len(Suffix).
 	Depth int
+	// Enabled lists the processes the exploration may step from here:
+	// live, in the chosen subset, and permitted by Allow. A configuration
+	// with live processes but an empty Enabled set is stuck under the
+	// model's transition rule — for wait-style models where Allow encodes
+	// "blocked until woken", that is a deadlock (e.g. a lost wakeup).
+	Enabled []int
 }
 
 // Outcome summarizes an exploration.
@@ -112,7 +118,25 @@ func Run(spec shmem.Spec, procs func() []sim.ProcSpec, opts Options, visit Visit
 		seen[sig] = true
 		out.States++
 
-		stop, err := visit(&State{Runner: r, Suffix: cur.suffix, Depth: cur.depth})
+		candidates := branch
+		if len(candidates) == 0 {
+			candidates = make([]int, r.NumProcs())
+			for i := range candidates {
+				candidates[i] = i
+			}
+		}
+		var enabled []int
+		for _, pid := range candidates {
+			if r.IsDone(pid) {
+				continue
+			}
+			if opts.Allow != nil && !opts.Allow(r, pid) {
+				continue
+			}
+			enabled = append(enabled, pid)
+		}
+
+		stop, err := visit(&State{Runner: r, Suffix: cur.suffix, Depth: cur.depth, Enabled: enabled})
 		if err != nil {
 			r.Abort()
 			return nil, err
@@ -129,20 +153,7 @@ func Run(spec shmem.Spec, procs func() []sim.ProcSpec, opts Options, visit Visit
 			continue
 		}
 
-		candidates := branch
-		if len(candidates) == 0 {
-			candidates = make([]int, r.NumProcs())
-			for i := range candidates {
-				candidates[i] = i
-			}
-		}
-		for _, pid := range candidates {
-			if r.IsDone(pid) {
-				continue
-			}
-			if opts.Allow != nil && !opts.Allow(r, pid) {
-				continue
-			}
+		for _, pid := range enabled {
 			next := make([]int, len(cur.suffix)+1)
 			copy(next, cur.suffix)
 			next[len(cur.suffix)] = pid

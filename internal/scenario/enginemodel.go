@@ -1,0 +1,170 @@
+package scenario
+
+import (
+	"fmt"
+
+	"setagreement/internal/explore"
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+)
+
+// This file models the engine's park→wake→resume protocol as simulator
+// programs so the explorer can check it exhaustively. The protocol under
+// test is the Dekker-style handshake shared by engine.Engine.park and
+// shmem.Broadcast:
+//
+//	waiter:    register as parked; RE-CHECK the published version;
+//	           if it moved, deregister and proceed; else block until woken
+//	publisher: publish; then wake every registered waiter
+//
+// The model checks two invariants over every interleaving:
+//
+//	no lost wakeup        — no reachable state has a live, blocked waiter
+//	                        that no transition can ever free (the waiter
+//	                        missed the only publish);
+//	no decided-but-parked — no reachable state shows a waiter that has
+//	                        delivered its outcome while still registered
+//	                        in the parked set.
+//
+// The re-check is load-bearing: CheckParkWake(recheck=false) exhibits the
+// lost wakeup, which is exactly the window TestParkPublishAtEveryBoundary
+// drives through the real engine. (The real engine also arms a timeout cap
+// per park, so even a protocol bug would cost latency, not liveness; the
+// model omits the cap to give the checker teeth.)
+
+// parkModelSpec returns the memory layout for `waiters` waiters: register 0
+// is the published flag, then a (parked, wake) register pair per waiter.
+func parkModelSpec(waiters int) shmem.Spec {
+	return shmem.Spec{Regs: 1 + 2*waiters}
+}
+
+func parkedReg(pid int) int { return 1 + 2*pid }
+func wakeReg(pid int) int   { return 2 + 2*pid }
+
+// parkModelProcs builds the model's process specs: pids 0..waiters-1 are
+// waiters, pid `waiters` is the publisher. recheck selects the correct
+// protocol or the broken variant that skips the post-registration check.
+func parkModelProcs(waiters int, recheck bool) []sim.ProcSpec {
+	procs := make([]sim.ProcSpec, 0, waiters+1)
+	for i := 0; i < waiters; i++ {
+		pid := i
+		procs = append(procs, sim.ProcSpec{ID: pid, Run: func(p *sim.Proc) {
+			if p.Read(0) == 1 { // fast path: published before parking
+				p.Output(1, 1)
+				return
+			}
+			p.Write(parkedReg(pid), 1) // register in the parked set
+			if recheck && p.Read(0) == 1 {
+				// The publish raced the registration; the version
+				// re-check catches it. Deregister and proceed.
+				p.Write(parkedReg(pid), 0)
+				p.Output(1, 1)
+				return
+			}
+			for p.Read(wakeReg(pid)) != 1 {
+				// Blocked park: the explorer only steps this read once a
+				// wake is present (see the Allow filter), so the branch
+				// models "parked" rather than a spin.
+			}
+			p.Write(parkedReg(pid), 0)
+			p.Output(1, 1)
+		}})
+	}
+	procs = append(procs, sim.ProcSpec{ID: waiters, Run: func(p *sim.Proc) {
+		p.Write(0, 1) // publish
+		for i := 0; i < waiters; i++ {
+			if p.Read(parkedReg(i)) == 1 {
+				p.Write(wakeReg(i), 1)
+			}
+		}
+	}})
+	return procs
+}
+
+// ParkWakeViolation is one invariant breach found by CheckParkWake.
+type ParkWakeViolation struct {
+	// Kind is "lost-wakeup" or "decided-but-parked".
+	Kind string
+	// Schedule reaches the violating state from the initial one.
+	Schedule []int
+	Detail   string
+}
+
+// ParkWakeReport summarizes a model check.
+type ParkWakeReport struct {
+	// States is the number of distinct configurations visited.
+	States int
+	// Exhaustive reports that every reachable configuration was checked.
+	Exhaustive bool
+	// Violation is nil when both invariants held everywhere.
+	Violation *ParkWakeViolation
+}
+
+// CheckParkWake explores every interleaving of `waiters` parking waiters
+// against one publisher and checks the no-lost-wakeup and
+// no-decided-but-parked invariants. recheck=true is the engine's protocol;
+// recheck=false is the broken variant the check must catch.
+func CheckParkWake(waiters int, recheck bool, maxStates int) (*ParkWakeReport, error) {
+	if waiters < 1 {
+		return nil, fmt.Errorf("scenario: need at least one waiter, got %d", waiters)
+	}
+	if maxStates <= 0 {
+		maxStates = 50_000
+	}
+	opts := explore.DefaultOptions()
+	opts.MaxStates = maxStates
+	opts.MaxDepth = 16 * (waiters + 1)
+	opts.Allow = func(r *sim.Runner, pid int) bool {
+		if pid >= waiters {
+			return true
+		}
+		op, ok := r.Poised(pid)
+		if !ok || op.Kind != sim.OpRead || op.Reg != wakeReg(pid) {
+			return true
+		}
+		// A waiter blocked on its wake register only runs once the wake
+		// is present: parked proposals consume no schedule.
+		return r.Memory().Read(op.Reg) == 1
+	}
+
+	report := &ParkWakeReport{}
+	visit := func(st *explore.State) (bool, error) {
+		r := st.Runner
+		for i := 0; i < waiters; i++ {
+			if len(r.Outputs(i)) > 0 && r.Memory().Read(parkedReg(i)) == 1 {
+				report.Violation = &ParkWakeViolation{
+					Kind:     "decided-but-parked",
+					Schedule: append([]int(nil), st.Suffix...),
+					Detail:   fmt.Sprintf("waiter %d delivered its outcome while still in the parked set", i),
+				}
+				return true, nil
+			}
+		}
+		if len(st.Enabled) == 0 && !r.AllDone() {
+			stuck := -1
+			for i := 0; i < waiters; i++ {
+				if !r.IsDone(i) {
+					stuck = i
+					break
+				}
+			}
+			report.Violation = &ParkWakeViolation{
+				Kind:     "lost-wakeup",
+				Schedule: append([]int(nil), st.Suffix...),
+				Detail:   fmt.Sprintf("waiter %d is parked with no transition left to wake it", stuck),
+			}
+			return true, nil
+		}
+		return false, nil
+	}
+
+	out, err := explore.Run(parkModelSpec(waiters), func() []sim.ProcSpec {
+		return parkModelProcs(waiters, recheck)
+	}, opts, visit)
+	if err != nil {
+		return nil, err
+	}
+	report.States = out.States
+	report.Exhaustive = !out.Truncated && !out.Stopped
+	return report, nil
+}

@@ -1,0 +1,46 @@
+package scenario
+
+import "testing"
+
+// TestParkWakeModelExhaustive checks the engine's park/wake protocol model
+// for every interleaving at n ≤ 3 simulated processes (1–2 waiters plus the
+// publisher): no lost wakeup, no decided-but-parked waiter.
+func TestParkWakeModelExhaustive(t *testing.T) {
+	for _, waiters := range []int{1, 2} {
+		rep, err := CheckParkWake(waiters, true, 200_000)
+		if err != nil {
+			t.Fatalf("waiters=%d: %v", waiters, err)
+		}
+		if rep.Violation != nil {
+			t.Fatalf("waiters=%d: %s after schedule %v: %s",
+				waiters, rep.Violation.Kind, rep.Violation.Schedule, rep.Violation.Detail)
+		}
+		if !rep.Exhaustive {
+			t.Fatalf("waiters=%d: exploration truncated at %d states; raise the bound", waiters, rep.States)
+		}
+		t.Logf("waiters=%d: %d states, exhaustive, no violation", waiters, rep.States)
+	}
+}
+
+// TestParkWakeModelCatchesMissingRecheck gives the checker teeth: without
+// the post-registration version re-check, the publish can land between the
+// decision to park and the registration, and the model check must exhibit
+// the resulting lost wakeup.
+func TestParkWakeModelCatchesMissingRecheck(t *testing.T) {
+	for _, waiters := range []int{1, 2} {
+		rep, err := CheckParkWake(waiters, false, 200_000)
+		if err != nil {
+			t.Fatalf("waiters=%d: %v", waiters, err)
+		}
+		if rep.Violation == nil {
+			t.Fatalf("waiters=%d: broken protocol passed the model check (%d states)", waiters, rep.States)
+		}
+		if rep.Violation.Kind != "lost-wakeup" {
+			t.Fatalf("waiters=%d: violation kind = %s, want lost-wakeup", waiters, rep.Violation.Kind)
+		}
+		if len(rep.Violation.Schedule) == 0 {
+			t.Fatalf("waiters=%d: violation carries no repro schedule", waiters)
+		}
+		t.Logf("waiters=%d: lost wakeup after %v", waiters, rep.Violation.Schedule)
+	}
+}

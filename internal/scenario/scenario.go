@@ -1,0 +1,621 @@
+// Package scenario is a deterministic world harness over the simulator:
+// multi-process worlds hosting process groups, pluggable schedulers
+// (round-robin, seeded-random, latency-skewed weights, and an adversarial
+// scheduler that stalls the processes closest to deciding), fault injection
+// (crash at a chosen step, recovery as a fresh restart of the resumable step
+// machine), and delayed-visibility memory where writes propagate to reader
+// subsets after a scheduler-controlled delay.
+//
+// Every run is a pure function of (WorldSpec, seed, schedule): the harness
+// serializes each run as an event list, and WorldSpec.Replay re-executes a
+// recorded event list byte-identically — a failing seed is a repro, not a
+// flake. Property suites in this package sweep validity/k-agreement under
+// crash faults at 50–500 processes, and an explore-backed model of the
+// engine's park→wake→resume protocol checks for lost wakeups exhaustively
+// in small configurations.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"setagreement/internal/core"
+	"setagreement/internal/sim"
+	"setagreement/internal/spec"
+)
+
+// DefaultMaxEvents bounds a run when Options.MaxEvents is zero.
+const DefaultMaxEvents = 1 << 20
+
+// Options tune one world.
+type Options struct {
+	// Seed derives every random choice the harness itself makes (delay
+	// draws). Schedulers are seeded separately by their constructors so a
+	// scheduler change does not perturb the world's own randomness.
+	Seed int64
+	// MaxEvents caps the run length; 0 means DefaultMaxEvents.
+	MaxEvents int
+	// NoTrace disables []sim.StepRecord collection. The event list — the
+	// replayable part — is always recorded; the step trace exists for
+	// byte-identical trace comparison and costs memory on huge runs.
+	NoTrace bool
+	// Visibility, when non-nil, interposes delayed-visibility memory. When
+	// nil, per-group write delays (Group.SetDelay) build an equivalent
+	// policy; with neither, processes share the flat atomic memory.
+	//
+	// Delayed visibility models worlds weaker than atomic registers:
+	// agreement safety is only claimed over atomic memory, so property
+	// sweeps leave this off and liveness/wakeup tests turn it on.
+	Visibility *VisibilityPolicy
+}
+
+// WorldSpec describes a reproducible world: everything a run depends on
+// except the schedule, which the scheduler (seeded separately) provides.
+type WorldSpec struct {
+	// Name labels traces and artifacts.
+	Name string
+	// Algorithm builds a fresh algorithm instance. It is called once per
+	// World so replays never share mutable algorithm state.
+	Algorithm func() (core.Algorithm, error)
+	// Configure creates groups and registers faults on the fresh world.
+	// Optional; a nil Configure yields one group of n processes proposing
+	// their own indices.
+	Configure func(w *World) error
+	// Options tune the world.
+	Options Options
+}
+
+// EventKind discriminates Event.
+type EventKind int
+
+const (
+	// EvStep steps process Pid's poised operation.
+	EvStep EventKind = iota
+	// EvCrash crashes process Pid (sim.Runner.Crash).
+	EvCrash
+	// EvRecover restarts crashed process Pid (sim.Runner.Recover).
+	EvRecover
+	// EvDeliver applies buffered write number Pid (a visibility sequence
+	// number, not a process) to shared memory.
+	EvDeliver
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvStep:
+		return "step"
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	case EvDeliver:
+		return "deliver"
+	default:
+		return "event(?)"
+	}
+}
+
+// Event is one transition of a world run. A run's event list plus its
+// WorldSpec reproduce the run exactly.
+type Event struct {
+	Kind EventKind `json:"k"`
+	// Pid is the process stepped/crashed/recovered, or the buffered-write
+	// sequence number for EvDeliver.
+	Pid int `json:"p"`
+}
+
+// Fault is one planned crash or recovery, firing when the world clock (the
+// count of executed process steps) reaches Step.
+type Fault struct {
+	Step int
+	Kind EventKind // EvCrash or EvRecover
+	Pid  int
+}
+
+// Group is a contiguous block of processes sharing scheduling weight, write
+// delay and input assignment. Configure-time only.
+type Group struct {
+	w     *World
+	First int // first pid of the group
+	N     int
+
+	weight float64
+	delay  func(rng *rand.Rand) int
+	inputs func(local int) []int
+}
+
+// Pids returns the group's process indices.
+func (g *Group) Pids() []int {
+	pids := make([]int, g.N)
+	for i := range pids {
+		pids[i] = g.First + i
+	}
+	return pids
+}
+
+// SetWeight sets the group's scheduling weight (default 1), consumed by
+// weighted schedulers: a weight-0.1 group is stepped ~10× more rarely than a
+// weight-1 group — skewed latency.
+func (g *Group) SetWeight(wt float64) { g.weight = wt }
+
+// SetDelay gives every write by the group a fixed visibility delay of d
+// world steps.
+func (g *Group) SetDelay(d int) {
+	g.delay = func(*rand.Rand) int { return d }
+}
+
+// SetDelayFn gives every write by the group a visibility delay drawn from f
+// (called with the world's deterministic rng).
+func (g *Group) SetDelayFn(f func(rng *rand.Rand) int) { g.delay = f }
+
+// SetInputs assigns input sequences: local is the index within the group,
+// and the returned slice is proposed instance by instance. The default is
+// one instance with the process's pid as input.
+func (g *Group) SetInputs(f func(local int) []int) { g.inputs = f }
+
+// CrashAt plans a crash of the group's local-th process at the given world
+// step.
+func (g *Group) CrashAt(local, step int) { g.w.CrashAt(g.First+local, step) }
+
+// RecoverAt plans a recovery of the group's local-th process at the given
+// world step.
+func (g *Group) RecoverAt(local, step int) { g.w.RecoverAt(g.First+local, step) }
+
+// procState is the harness-held half of one process: the resumable machine
+// and instance cursor live here, outside the program goroutine, so a crash
+// kills only the goroutine and a recovery re-enters the same machine — the
+// restart-safety contract of core.Attempt.Step makes re-running the
+// abandoned step from the top harmless.
+type procState struct {
+	pid    int
+	res    core.Resumable
+	att    core.Attempt
+	inputs []int
+	next   int // instances decided so far
+	out    int // decided value awaiting output
+	hasOut bool
+}
+
+// World is one constructed scenario: a runner, its groups, the fault plan
+// and the event record. Build one with WorldSpec.New, drive it with Run or
+// Replay, and read the Result; a World is single-use and not safe for
+// concurrent use.
+type World struct {
+	spec   WorldSpec
+	opts   Options
+	alg    core.Algorithm
+	groups []*Group
+	faults []Fault
+
+	r       *sim.Runner
+	vis     *delayedVis
+	procs   []*procState
+	inputs  [][]int
+	weights []float64
+
+	clock     int // executed process steps
+	stepsBy   []int
+	events    []Event
+	nextFault int
+	started   bool
+	closed    bool
+}
+
+// New builds the world: runs Configure, validates the group layout against
+// the algorithm's n, launches the runner and parks every process at its
+// first operation.
+func (s WorldSpec) New() (*World, error) {
+	if s.Algorithm == nil {
+		return nil, errors.New("scenario: WorldSpec.Algorithm is nil")
+	}
+	alg, err := s.Algorithm()
+	if err != nil {
+		return nil, err
+	}
+	w := &World{spec: s, opts: s.Options, alg: alg}
+	if s.Configure != nil {
+		if err := s.Configure(w); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.start(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// CreateGroup appends a group of n processes. Groups partition 0..n-1 in
+// creation order and must cover the algorithm's n exactly by start time.
+func (w *World) CreateGroup(n int) *Group {
+	if w.started {
+		panic("scenario: CreateGroup after the world started")
+	}
+	first := 0
+	for _, g := range w.groups {
+		first += g.N
+	}
+	g := &Group{w: w, First: first, N: n, weight: 1}
+	w.groups = append(w.groups, g)
+	return g
+}
+
+// CrashAt plans a crash of process pid once the world clock reaches step. A
+// crash of an already-terminated process is skipped (and so is its paired
+// recovery), keeping plans valid across schedules.
+func (w *World) CrashAt(pid, step int) {
+	w.faults = append(w.faults, Fault{Step: step, Kind: EvCrash, Pid: pid})
+}
+
+// RecoverAt plans a recovery of process pid once the world clock reaches
+// step. Recovery restarts the process's program against its surviving
+// harness state; a recovery of a process that never crashed is skipped.
+func (w *World) RecoverAt(pid, step int) {
+	w.faults = append(w.faults, Fault{Step: step, Kind: EvRecover, Pid: pid})
+}
+
+func (w *World) start() error {
+	n := w.alg.Params().N
+	covered := 0
+	for _, g := range w.groups {
+		covered += g.N
+	}
+	if len(w.groups) == 0 {
+		w.CreateGroup(n)
+		covered = n
+	}
+	if covered != n {
+		return fmt.Errorf("scenario: groups cover %d processes, algorithm has n=%d", covered, n)
+	}
+	w.started = true
+
+	w.inputs = make([][]int, n)
+	w.procs = make([]*procState, n)
+	w.weights = make([]float64, n)
+	w.stepsBy = make([]int, n)
+	specs := make([]sim.ProcSpec, n)
+	for _, g := range w.groups {
+		for local := 0; local < g.N; local++ {
+			pid := g.First + local
+			in := []int{pid}
+			if g.inputs != nil {
+				in = g.inputs(local)
+			}
+			id := pid
+			if w.alg.Anonymous() {
+				id = sim.Anonymous
+			}
+			res, ok := w.alg.NewProcess(id).(core.Resumable)
+			if !ok {
+				return fmt.Errorf("scenario: algorithm %s is not resumable; crash recovery needs core.Resumable", w.alg.Name())
+			}
+			st := &procState{pid: pid, res: res, inputs: in}
+			w.inputs[pid] = in
+			w.procs[pid] = st
+			w.weights[pid] = g.weight
+			specs[pid] = sim.ProcSpec{ID: id, Run: w.program(st)}
+		}
+	}
+	sort.SliceStable(w.faults, func(i, j int) bool {
+		a, b := w.faults[i], w.faults[j]
+		if a.Step != b.Step {
+			return a.Step < b.Step
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Pid < b.Pid
+	})
+
+	r, err := sim.NewRunner(w.alg.Spec(), specs)
+	if err != nil {
+		return err
+	}
+	w.r = r
+	r.Record(!w.opts.NoTrace)
+
+	policy := w.opts.Visibility
+	if policy == nil {
+		policy = w.groupPolicy()
+	}
+	if policy != nil {
+		w.vis = newDelayedVis(r.Memory(), *policy, w.opts.Seed, func() int { return w.clock })
+		r.SetMemHook(w.vis)
+	}
+	return nil
+}
+
+// groupPolicy folds per-group write delays into a VisibilityPolicy, or nil
+// when no group has one.
+func (w *World) groupPolicy() *VisibilityPolicy {
+	any := false
+	delays := make([]func(*rand.Rand) int, len(w.procs))
+	for _, g := range w.groups {
+		if g.delay == nil {
+			continue
+		}
+		any = true
+		for local := 0; local < g.N; local++ {
+			delays[g.First+local] = g.delay
+		}
+	}
+	if !any {
+		return nil
+	}
+	return &VisibilityPolicy{
+		Delay: func(pid int, _ sim.Loc, rng *rand.Rand) int {
+			if delays[pid] == nil {
+				return 0
+			}
+			return delays[pid](rng)
+		},
+		DropOnCrash: true,
+	}
+}
+
+// program wraps st into the process's sim program. The loop is written so
+// that every harness-state mutation sits between two simulator steps: a
+// crash can only land on a poised operation, so recovery either re-runs an
+// attempt step (restart-safe) or re-issues the pending Output with the same
+// already-decided value — each instance decides exactly once with exactly
+// one value, across any number of crash/recovery cycles.
+func (w *World) program(st *procState) sim.Program {
+	return func(p *sim.Proc) {
+		for st.next < len(st.inputs) {
+			if !st.hasOut {
+				if st.att == nil {
+					st.att = st.res.Begin(st.inputs[st.next])
+				}
+				for {
+					out, done := st.att.Step(p)
+					if done {
+						st.out, st.hasOut = out, true
+						st.att = nil
+						break
+					}
+				}
+			}
+			p.Output(st.next+1, st.out)
+			st.hasOut = false
+			st.next++
+		}
+	}
+}
+
+// Runner exposes the underlying runner for inspection (memory contents,
+// poised ops). Callers must not step or abort it directly; drive the world
+// through Run or Replay.
+func (w *World) Runner() *sim.Runner { return w.r }
+
+// NumProcs returns the number of processes.
+func (w *World) NumProcs() int { return len(w.procs) }
+
+// Clock returns the number of process steps executed.
+func (w *World) Clock() int { return w.clock }
+
+// StepsOf returns how many steps process pid has executed.
+func (w *World) StepsOf(pid int) int { return w.stepsBy[pid] }
+
+// Live reports whether pid can be stepped (not terminated, not crashed).
+func (w *World) Live(pid int) bool { return !w.r.IsDone(pid) }
+
+// WeightOf returns pid's scheduling weight.
+func (w *World) WeightOf(pid int) float64 { return w.weights[pid] }
+
+// Poised returns pid's next operation, false if it cannot step.
+func (w *World) Poised(pid int) (sim.Op, bool) { return w.r.Poised(pid) }
+
+// AppendLive appends the live pids to buf (in pid order) and returns it.
+func (w *World) AppendLive(buf []int) []int {
+	for pid := range w.procs {
+		if !w.r.IsDone(pid) {
+			buf = append(buf, pid)
+		}
+	}
+	return buf
+}
+
+// exec applies one event and records it.
+func (w *World) exec(ev Event) error {
+	switch ev.Kind {
+	case EvStep:
+		if _, err := w.r.Step(ev.Pid); err != nil {
+			return fmt.Errorf("scenario: step p%d: %w", ev.Pid, err)
+		}
+		w.clock++
+		w.stepsBy[ev.Pid]++
+	case EvCrash:
+		if err := w.r.Crash(ev.Pid); err != nil {
+			return fmt.Errorf("scenario: crash p%d: %w", ev.Pid, err)
+		}
+		if w.vis != nil && w.vis.policy.DropOnCrash {
+			w.vis.dropFor(ev.Pid)
+		}
+	case EvRecover:
+		st := w.procs[ev.Pid]
+		if err := w.r.Recover(ev.Pid, w.program(st)); err != nil {
+			return fmt.Errorf("scenario: recover p%d: %w", ev.Pid, err)
+		}
+	case EvDeliver:
+		if w.vis == nil {
+			return fmt.Errorf("scenario: deliver event %d without visibility policy", ev.Pid)
+		}
+		if err := w.vis.deliver(ev.Pid); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("scenario: unknown event kind %d", ev.Kind)
+	}
+	w.events = append(w.events, ev)
+	if err := w.r.Err(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// applyDueFaults fires every planned fault whose step has been reached.
+// Crashes of terminated processes and recoveries of never-crashed processes
+// are skipped without recording an event.
+func (w *World) applyDueFaults(force bool) error {
+	for w.nextFault < len(w.faults) {
+		f := w.faults[w.nextFault]
+		if !force && f.Step > w.clock {
+			return nil
+		}
+		w.nextFault++
+		switch f.Kind {
+		case EvCrash:
+			if w.r.IsDone(f.Pid) {
+				continue
+			}
+		case EvRecover:
+			if !w.r.Crashed(f.Pid) {
+				continue
+			}
+		default:
+			return fmt.Errorf("scenario: fault kind %v is not a fault", f.Kind)
+		}
+		if err := w.exec(Event{Kind: f.Kind, Pid: f.Pid}); err != nil {
+			return err
+		}
+		if force {
+			return nil
+		}
+	}
+	return nil
+}
+
+// deliverDue applies every buffered write whose delay has elapsed, oldest
+// first, never overtaking an older write to the same location.
+func (w *World) deliverDue() error {
+	for w.vis != nil {
+		seq, ok := w.vis.nextDue(w.clock)
+		if !ok {
+			return nil
+		}
+		if err := w.exec(Event{Kind: EvDeliver, Pid: seq}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run drives the world with the scheduler until every process terminated,
+// the scheduler stops, or the event budget runs out. The returned Result is
+// complete even when err is non-nil (it then holds the partial run). The
+// world is closed afterwards.
+func (w *World) Run(s Scheduler) (*Result, error) {
+	if w.closed {
+		return nil, errors.New("scenario: world already ran")
+	}
+	max := w.opts.MaxEvents
+	if max <= 0 {
+		max = DefaultMaxEvents
+	}
+	for len(w.events) < max {
+		if err := w.applyDueFaults(false); err != nil {
+			return w.finish(err)
+		}
+		if err := w.deliverDue(); err != nil {
+			return w.finish(err)
+		}
+		if w.r.AllDone() {
+			if w.nextFault < len(w.faults) {
+				// Only faults remain (e.g. a recovery scheduled past
+				// the last live step): fast-forward to the next one.
+				if err := w.applyDueFaults(true); err != nil {
+					return w.finish(err)
+				}
+				continue
+			}
+			break
+		}
+		pid, ok := s.Next(w)
+		if !ok {
+			break
+		}
+		if err := w.exec(Event{Kind: EvStep, Pid: pid}); err != nil {
+			return w.finish(err)
+		}
+	}
+	return w.finish(nil)
+}
+
+// replay re-executes a recorded event list verbatim.
+func (w *World) replay(events []Event) (*Result, error) {
+	if w.closed {
+		return nil, errors.New("scenario: world already ran")
+	}
+	for i, ev := range events {
+		if err := w.exec(ev); err != nil {
+			return w.finish(fmt.Errorf("scenario: replay diverged at event %d (%v p%d): %w", i, ev.Kind, ev.Pid, err))
+		}
+	}
+	return w.finish(nil)
+}
+
+// Replay rebuilds the world from the spec and re-executes a recorded event
+// list. With the same spec the run is reproduced exactly — same trace, same
+// outputs.
+func (s WorldSpec) Replay(events []Event) (*Result, error) {
+	w, err := s.New()
+	if err != nil {
+		return nil, err
+	}
+	return w.replay(events)
+}
+
+// finish collects the result and closes the world.
+func (w *World) finish(runErr error) (*Result, error) {
+	res := &Result{
+		Name:      w.spec.Name,
+		Seed:      w.opts.Seed,
+		Params:    w.alg.Params(),
+		Events:    w.events,
+		Trace:     w.r.Log(),
+		Steps:     w.clock,
+		Completed: w.r.AllDone(),
+		Inputs:    w.inputs,
+		Outputs:   spec.Collect(w.r),
+	}
+	if w.vis != nil {
+		res.Undelivered = w.vis.pendingCount()
+	}
+	w.Close()
+	return res, runErr
+}
+
+// Close aborts the runner, releasing every program goroutine. Idempotent;
+// Run and Replay close the world themselves.
+func (w *World) Close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.r.Abort()
+}
+
+// Result is everything a finished run produced. Events (with the spec) make
+// it replayable; Trace makes two runs byte-comparable.
+type Result struct {
+	Name      string
+	Seed      int64
+	Params    core.Params
+	Events    []Event
+	Trace     []sim.StepRecord
+	Steps     int
+	Completed bool
+	Inputs    [][]int
+	Outputs   spec.Outputs
+	// Undelivered counts writes still buffered by the visibility policy at
+	// the end of the run (never made globally visible).
+	Undelivered int
+}
+
+// Check verifies well-formedness, validity and k-agreement of the run's
+// outputs — crash faults may suppress decisions but never corrupt them.
+func (res *Result) Check() error {
+	return spec.CheckAll(res.Inputs, res.Outputs, res.Params.K)
+}

@@ -1,0 +1,360 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"setagreement/internal/core"
+	"setagreement/internal/sim"
+)
+
+func oneShotAlg(n, m, k int) func() (core.Algorithm, error) {
+	return func() (core.Algorithm, error) {
+		alg, err := core.NewOneShot(core.Params{N: n, M: m, K: k})
+		if err != nil {
+			return nil, err
+		}
+		return alg, nil
+	}
+}
+
+func repeatedAlg(n, m, k int) func() (core.Algorithm, error) {
+	return func() (core.Algorithm, error) {
+		alg, err := core.NewRepeated(core.Params{N: n, M: m, K: k})
+		if err != nil {
+			return nil, err
+		}
+		return alg, nil
+	}
+}
+
+// crashPlan configures one group of n processes with seeded crashes of all
+// but `survivors` of them within the first `window` steps.
+func crashPlan(n, survivors, window int, seed int64) func(w *World) error {
+	return func(w *World) error {
+		w.CreateGroup(n)
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(n)
+		for _, pid := range perm[:n-survivors] {
+			w.CrashAt(pid, 1+rng.Intn(window))
+		}
+		return nil
+	}
+}
+
+func TestWorldRunDeterminism(t *testing.T) {
+	const seed = 42
+	spec := WorldSpec{
+		Name:      "determinism",
+		Algorithm: oneShotAlg(8, 2, 3),
+		Configure: crashPlan(8, 2, 60, seed),
+		Options:   Options{Seed: seed},
+	}
+	run := func() *Result {
+		w, err := spec.New()
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res, err := w.Run(NewRandom(seed))
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Completed || !b.Completed {
+		t.Fatalf("runs incomplete: %v/%v", a.Completed, b.Completed)
+	}
+	if ta, tb := TraceText(a.Trace), TraceText(b.Trace); ta != tb {
+		t.Fatalf("same (spec, seed) produced different traces:\n--- a ---\n%s--- b ---\n%s", ta, tb)
+	}
+	if ea, eb := EventsText(a.Events), EventsText(b.Events); ea != eb {
+		t.Fatalf("same (spec, seed) produced different events:\n%s\nvs\n%s", ea, eb)
+	}
+	if err := a.Check(); err != nil {
+		t.Fatalf("safety: %v", err)
+	}
+
+	// Replaying the recorded event list reproduces the run byte-identically.
+	rep, err := spec.Replay(a.Events)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if TraceText(rep.Trace) != TraceText(a.Trace) {
+		t.Fatal("replay trace differs from the recorded run")
+	}
+	if EventsText(rep.Events) != EventsText(a.Events) {
+		t.Fatal("replay events differ from the recorded run")
+	}
+}
+
+func TestWorldCrashRecoveryRestartSafety(t *testing.T) {
+	// Crash p0 at every early step in turn; p0's resumable attempt is
+	// restarted from the top on recovery (the stepsafety contract), and
+	// each instance still decides exactly once with one value. Recovery is
+	// scheduled after the survivors finish, so the recovered process runs
+	// solo and m-obstruction-freedom guarantees it decides.
+	for s := 1; s <= 40; s++ {
+		spec := WorldSpec{
+			Name:      "crash-recovery",
+			Algorithm: oneShotAlg(3, 2, 2),
+			Configure: func(w *World) error {
+				w.CreateGroup(3)
+				w.CrashAt(0, s)
+				w.RecoverAt(0, 100_000)
+				return nil
+			},
+			Options: Options{Seed: int64(s)},
+		}
+		w, err := spec.New()
+		if err != nil {
+			t.Fatalf("s=%d New: %v", s, err)
+		}
+		res, err := w.Run(NewRoundRobin())
+		if err != nil {
+			t.Fatalf("s=%d Run: %v", s, err)
+		}
+		if !res.Completed {
+			t.Fatalf("s=%d incomplete after %d events", s, len(res.Events))
+		}
+		if err := res.Check(); err != nil {
+			t.Fatalf("s=%d safety across crash/recovery: %v", s, err)
+		}
+		for pid, outs := range res.Outputs {
+			if len(outs) != 1 {
+				t.Fatalf("s=%d process %d decided %d times, want exactly 1 (%v)", s, pid, len(outs), outs)
+			}
+		}
+	}
+}
+
+func TestWorldRepeatedInstancesAcrossCrash(t *testing.T) {
+	// Repeated algorithm, several instances per process, crash/recovery in
+	// the middle: instance order and exactly-once decisions must survive.
+	spec := WorldSpec{
+		Name:      "repeated-crash",
+		Algorithm: repeatedAlg(3, 2, 2),
+		Configure: func(w *World) error {
+			g := w.CreateGroup(3)
+			g.SetInputs(func(local int) []int { return []int{local, 10 + local, 20 + local} })
+			w.CrashAt(1, 15)
+			w.RecoverAt(1, 200_000)
+			return nil
+		},
+		Options: Options{Seed: 7},
+	}
+	w, err := spec.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := w.Run(NewRoundRobin())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("incomplete after %d events", len(res.Events))
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("safety: %v", err)
+	}
+	for pid, outs := range res.Outputs {
+		if len(outs) != 3 {
+			t.Fatalf("process %d decided %d instances, want 3 (%v)", pid, len(outs), outs)
+		}
+	}
+}
+
+func TestAdversarialStallsNearDeciders(t *testing.T) {
+	spec := WorldSpec{
+		Name:      "adversarial-unit",
+		Algorithm: oneShotAlg(2, 1, 1),
+		Options:   Options{Seed: 3},
+	}
+	w, err := spec.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer w.Close()
+
+	// Drive round-robin until exactly one process is poised to decide.
+	near, far := -1, -1
+	for i := 0; i < 1000 && near < 0; i++ {
+		op0, ok0 := w.Poised(0)
+		op1, ok1 := w.Poised(1)
+		if ok0 && ok1 {
+			if op0.Kind == sim.OpOutput && op1.Kind != sim.OpOutput {
+				near, far = 0, 1
+				break
+			}
+			if op1.Kind == sim.OpOutput && op0.Kind != sim.OpOutput {
+				near, far = 1, 0
+				break
+			}
+		}
+		pid := i % 2
+		if !w.Live(pid) {
+			pid = 1 - pid
+		}
+		if !w.Live(pid) {
+			break
+		}
+		if err := w.exec(Event{Kind: EvStep, Pid: pid}); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if near < 0 {
+		t.Fatal("never reached a state with exactly one near-decider")
+	}
+
+	const patience = 3
+	adv := NewAdversarial(1, patience)
+	for i := 0; i < patience; i++ {
+		pid, ok := adv.Next(w)
+		if !ok || pid != far {
+			t.Fatalf("pick %d: adversary chose %d, want to starve %d by stepping %d", i, pid, near, far)
+		}
+	}
+	pid, ok := adv.Next(w)
+	if !ok || pid != near {
+		t.Fatalf("patience exhausted: adversary chose %d, want forced release of %d", pid, near)
+	}
+}
+
+func TestAdversarialWorldStillSafe(t *testing.T) {
+	spec := WorldSpec{
+		Name:      "adversarial-run",
+		Algorithm: oneShotAlg(6, 2, 3),
+		Configure: crashPlan(6, 2, 80, 11),
+		Options:   Options{Seed: 11},
+	}
+	w, err := spec.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := w.Run(NewAdversarial(11, 50))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !res.Completed {
+		t.Fatalf("incomplete after %d events", len(res.Events))
+	}
+	if err := res.Check(); err != nil {
+		t.Fatalf("safety under adversarial scheduling: %v", err)
+	}
+}
+
+func TestWeightedSchedulerSkews(t *testing.T) {
+	// Enough instances that the event cap cuts the run while every process
+	// is still live — the skew is then visible in the step counts rather
+	// than washed out by fast processes finishing early.
+	manyInstances := func(local int) []int {
+		in := make([]int, 200)
+		for i := range in {
+			in[i] = local
+		}
+		return in
+	}
+	spec := WorldSpec{
+		Name:      "weighted",
+		Algorithm: repeatedAlg(4, 2, 3),
+		Configure: func(w *World) error {
+			fast := w.CreateGroup(2)
+			fast.SetInputs(manyInstances)
+			slow := w.CreateGroup(2)
+			slow.SetInputs(manyInstances)
+			slow.SetWeight(0.02)
+			return nil
+		},
+		Options: Options{Seed: 5, MaxEvents: 4000},
+	}
+	w, err := spec.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	fastSteps := func() int { return w.StepsOf(0) + w.StepsOf(1) }
+	slowSteps := func() int { return w.StepsOf(2) + w.StepsOf(3) }
+	if _, err := w.Run(NewWeighted(5)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	f, sl := fastSteps(), slowSteps()
+	if f < 5*sl {
+		t.Fatalf("weight 1 group took %d steps vs weight-0.02 group's %d; want ≥ 5× skew", f, sl)
+	}
+}
+
+func TestWorldGroupValidation(t *testing.T) {
+	spec := WorldSpec{
+		Name:      "bad-groups",
+		Algorithm: oneShotAlg(4, 2, 3),
+		Configure: func(w *World) error {
+			w.CreateGroup(3) // n=4: one process short
+			return nil
+		},
+	}
+	if _, err := spec.New(); err == nil {
+		t.Fatal("New accepted groups covering 3 of 4 processes")
+	}
+}
+
+func TestWorldSingleUse(t *testing.T) {
+	spec := WorldSpec{Name: "single-use", Algorithm: oneShotAlg(3, 2, 2)}
+	w, err := spec.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := w.Run(NewRoundRobin()); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, err := w.Run(NewRoundRobin()); err == nil {
+		t.Fatal("second Run on a closed world succeeded")
+	}
+}
+
+func TestArtifactRoundtrip(t *testing.T) {
+	const seed = 23
+	spec := WorldSpec{
+		Name:      "artifact",
+		Algorithm: oneShotAlg(6, 2, 3),
+		Configure: crashPlan(6, 2, 60, seed),
+		Options:   Options{Seed: seed},
+	}
+	w, err := spec.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := w.Run(NewAdversarial(seed, 40))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	// Treat the run as a failure: package it, reload it, replay it.
+	art := NewArtifact(res, "synthetic failure for roundtrip")
+	path, err := art.Save(t.TempDir())
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatalf("LoadArtifact: %v", err)
+	}
+	if loaded.Seed != seed || len(loaded.Events) != len(res.Events) {
+		t.Fatalf("artifact roundtrip lost data: seed=%d events=%d", loaded.Seed, len(loaded.Events))
+	}
+	rep, err := spec.Replay(loaded.Events)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if TraceText(rep.Trace) != TraceText(res.Trace) {
+		t.Fatal("replayed failure trace differs from the original")
+	}
+	for pid := range res.Outputs {
+		if len(rep.Outputs[pid]) != len(res.Outputs[pid]) {
+			t.Fatalf("replay outputs differ for process %d", pid)
+		}
+		for j, d := range res.Outputs[pid] {
+			if rep.Outputs[pid][j] != d {
+				t.Fatalf("replay decision differs for process %d: %v vs %v", pid, rep.Outputs[pid][j], d)
+			}
+		}
+	}
+}

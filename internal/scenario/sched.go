@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"math/rand"
+
+	"setagreement/internal/sim"
+)
+
+// Scheduler picks which live process steps next. Schedulers own their
+// randomness (seeded at construction) so that a run is a pure function of
+// (spec, scheduler seed).
+type Scheduler interface {
+	// Next returns the pid to step; ok=false ends the run. Next must only
+	// return live processes.
+	Next(w *World) (pid int, ok bool)
+}
+
+// RoundRobin cycles over live processes in pid order.
+type RoundRobin struct {
+	cursor int
+}
+
+// NewRoundRobin returns a fair cyclic scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Next picks the next live pid at or after the cursor.
+func (s *RoundRobin) Next(w *World) (int, bool) {
+	n := w.NumProcs()
+	for i := 0; i < n; i++ {
+		pid := (s.cursor + i) % n
+		if w.Live(pid) {
+			s.cursor = pid + 1
+			return pid, true
+		}
+	}
+	return 0, false
+}
+
+// Random steps a uniformly random live process each time.
+type Random struct {
+	rng *rand.Rand
+	buf []int
+}
+
+// NewRandom returns a seeded uniform scheduler.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next picks a live pid uniformly.
+func (s *Random) Next(w *World) (int, bool) {
+	s.buf = w.AppendLive(s.buf[:0])
+	if len(s.buf) == 0 {
+		return 0, false
+	}
+	return s.buf[s.rng.Intn(len(s.buf))], true
+}
+
+// Weighted steps live processes with probability proportional to their
+// group weight — a skewed-latency world where low-weight groups run slow.
+type Weighted struct {
+	rng *rand.Rand
+	buf []int
+}
+
+// NewWeighted returns a seeded weighted scheduler.
+func NewWeighted(seed int64) *Weighted {
+	return &Weighted{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next draws a live pid with probability ∝ WeightOf(pid).
+func (s *Weighted) Next(w *World) (int, bool) {
+	s.buf = w.AppendLive(s.buf[:0])
+	if len(s.buf) == 0 {
+		return 0, false
+	}
+	total := 0.0
+	for _, pid := range s.buf {
+		total += w.WeightOf(pid)
+	}
+	if total <= 0 {
+		return s.buf[s.rng.Intn(len(s.buf))], true
+	}
+	x := s.rng.Float64() * total
+	for _, pid := range s.buf {
+		x -= w.WeightOf(pid)
+		if x < 0 {
+			return pid, true
+		}
+	}
+	return s.buf[len(s.buf)-1], true
+}
+
+// Adversarial preferentially stalls the processes closest to deciding: a
+// live process poised on an Output step is starved while any other live
+// process can run, for up to `patience` consecutive picks — the covering
+// adversary's move of holding a poised decision back while the rest of the
+// world advances. Patience keeps runs finite: after `patience` consecutive
+// stalls one near-decider is released (the paper's adversary never has to
+// release; a terminating test does).
+type Adversarial struct {
+	rng      *rand.Rand
+	patience int
+	starved  int
+	live     []int
+	near     []int
+	far      []int
+}
+
+// NewAdversarial returns a seeded adversarial scheduler with the given
+// patience (≤ 0 means 1000 stalls).
+func NewAdversarial(seed int64, patience int) *Adversarial {
+	if patience <= 0 {
+		patience = 1000
+	}
+	return &Adversarial{rng: rand.New(rand.NewSource(seed)), patience: patience}
+}
+
+// Next stalls near-deciders while patience lasts.
+func (s *Adversarial) Next(w *World) (int, bool) {
+	s.live = w.AppendLive(s.live[:0])
+	if len(s.live) == 0 {
+		return 0, false
+	}
+	s.near, s.far = s.near[:0], s.far[:0]
+	for _, pid := range s.live {
+		if op, ok := w.Poised(pid); ok && op.Kind == sim.OpOutput {
+			s.near = append(s.near, pid)
+		} else {
+			s.far = append(s.far, pid)
+		}
+	}
+	if len(s.near) == 0 {
+		s.starved = 0
+		return s.far[s.rng.Intn(len(s.far))], true
+	}
+	if len(s.far) == 0 || s.starved >= s.patience {
+		s.starved = 0
+		return s.near[s.rng.Intn(len(s.near))], true
+	}
+	s.starved++
+	return s.far[s.rng.Intn(len(s.far))], true
+}

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// sweepWorld builds one randomized crash-fault world: two groups (one
+// latency-skewed), inputs drawn from a small set so k-agreement has
+// something to disagree about, and all but m processes crashed at seeded
+// steps within an O(n) window.
+func sweepWorld(n, m, k int, seed int64) WorldSpec {
+	return WorldSpec{
+		Name:      fmt.Sprintf("sweep-n%d", n),
+		Algorithm: oneShotAlg(n, m, k),
+		Configure: func(w *World) error {
+			rng := rand.New(rand.NewSource(seed))
+			heavy := w.CreateGroup(n / 2)
+			heavy.SetInputs(func(local int) []int { return []int{100 + local%7} })
+			light := w.CreateGroup(n - n/2)
+			light.SetInputs(func(local int) []int { return []int{200 + local%7} })
+			light.SetWeight(0.25)
+			perm := rng.Perm(n)
+			for _, pid := range perm[:n-m] {
+				w.CrashAt(pid, 1+rng.Intn(40*n))
+			}
+			return nil
+		},
+		Options: Options{Seed: seed, MaxEvents: 400_000},
+	}
+}
+
+// sweepScheduler rotates scheduler families across seeds.
+func sweepScheduler(seed int64) Scheduler {
+	switch seed % 3 {
+	case 0:
+		return NewRandom(seed)
+	case 1:
+		return NewWeighted(seed)
+	default:
+		return NewAdversarial(seed, 200)
+	}
+}
+
+// artifactDir resolves where failing-seed replay artifacts go: the CI
+// upload directory when set, a test temp dir otherwise.
+func artifactDir(t *testing.T) string {
+	if dir := os.Getenv("SCENARIO_ARTIFACT_DIR"); dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err == nil {
+			return dir
+		}
+	}
+	return t.TempDir()
+}
+
+// failSeed logs the seed and writes the replay artifact before failing.
+func failSeed(t *testing.T, res *Result, seed int64, reason string) {
+	t.Helper()
+	art := NewArtifact(res, reason)
+	path, err := art.Save(artifactDir(t))
+	if err != nil {
+		path = fmt.Sprintf("(artifact save failed: %v)", err)
+	}
+	t.Fatalf("seed %d: %s\nreplay artifact: %s", seed, reason, path)
+}
+
+// TestScenarioSweep is the randomized property sweep: for each seed, a
+// 50-process crash-fault world under a rotated scheduler family must stay
+// valid, well-formed and within k distinct decisions, and the surviving m
+// processes must all decide. 64 seeds in short mode.
+func TestScenarioSweep(t *testing.T) {
+	const n, m, k = 50, 3, 5
+	seeds := 256
+	if testing.Short() {
+		seeds = 64
+	}
+	for s := 0; s < seeds; s++ {
+		seed := int64(s)
+		spec := sweepWorld(n, m, k, seed)
+		w, err := spec.New()
+		if err != nil {
+			t.Fatalf("seed %d: New: %v", seed, err)
+		}
+		res, err := w.Run(sweepScheduler(seed))
+		if err != nil {
+			failSeed(t, res, seed, fmt.Sprintf("run error: %v", err))
+		}
+		if err := res.Check(); err != nil {
+			failSeed(t, res, seed, fmt.Sprintf("safety violation: %v", err))
+		}
+		if !res.Completed {
+			failSeed(t, res, seed, fmt.Sprintf("survivors did not decide within %d events", len(res.Events)))
+		}
+	}
+}
+
+// TestScenarioCrashSweep500 is the 500-process crash-fault world — the
+// scale point of the acceptance criteria, also exercised under -race in CI.
+func TestScenarioCrashSweep500(t *testing.T) {
+	const n, m, k = 500, 2, 3
+	const seed = 1
+	spec := WorldSpec{
+		Name:      "sweep-500",
+		Algorithm: oneShotAlg(n, m, k),
+		Configure: func(w *World) error {
+			rng := rand.New(rand.NewSource(seed))
+			w.CreateGroup(n).SetInputs(func(local int) []int { return []int{local % 10} })
+			perm := rng.Perm(n)
+			for _, pid := range perm[:n-m] {
+				w.CrashAt(pid, 1+rng.Intn(5_000))
+			}
+			return nil
+		},
+		// The step trace of a run this size is all memory traffic and no
+		// information: events alone make the run replayable.
+		Options: Options{Seed: seed, MaxEvents: 400_000, NoTrace: true},
+	}
+	w, err := spec.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := w.Run(NewRandom(seed))
+	if err != nil {
+		failSeed(t, res, seed, fmt.Sprintf("run error: %v", err))
+	}
+	if err := res.Check(); err != nil {
+		failSeed(t, res, seed, fmt.Sprintf("safety violation: %v", err))
+	}
+	if !res.Completed {
+		failSeed(t, res, seed, fmt.Sprintf("survivors did not decide within %d events", len(res.Events)))
+	}
+	crashes := 0
+	for _, ev := range res.Events {
+		if ev.Kind == EvCrash {
+			crashes++
+		}
+	}
+	if crashes < n-m-50 {
+		t.Fatalf("only %d crashes fired (plan: %d); world too short to be meaningful", crashes, n-m)
+	}
+}

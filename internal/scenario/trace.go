@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"setagreement/internal/sim"
+)
+
+// TraceText renders a step trace one line per step, deterministically —
+// byte-identical traces mean identical executions at operation granularity.
+func TraceText(trace []sim.StepRecord) string {
+	var b strings.Builder
+	for _, rec := range trace {
+		fmt.Fprintf(&b, "#%d p%d %s", rec.Index, rec.Proc, rec.Op.String())
+		if rec.Op.Kind == sim.OpRead {
+			fmt.Fprintf(&b, " = %v", rec.Result)
+		}
+		if rec.Op.Kind == sim.OpScan {
+			fmt.Fprintf(&b, " = %v", rec.ScanResult)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// EventsText renders an event list one line per event.
+func EventsText(events []Event) string {
+	var b strings.Builder
+	for i, ev := range events {
+		fmt.Fprintf(&b, "#%d %s %d\n", i, ev.Kind, ev.Pid)
+	}
+	return b.String()
+}
+
+// Artifact is a failing run packaged for offline replay: the spec's name
+// and seed plus the exact event list. WorldSpec.Replay of Events under the
+// same spec reproduces the run; Reason says what failed.
+type Artifact struct {
+	Name   string  `json:"name"`
+	Seed   int64   `json:"seed"`
+	Reason string  `json:"reason"`
+	Events []Event `json:"events"`
+}
+
+// NewArtifact packages a failed result.
+func NewArtifact(res *Result, reason string) *Artifact {
+	return &Artifact{Name: res.Name, Seed: res.Seed, Reason: reason, Events: res.Events}
+}
+
+// Save writes the artifact as JSON into dir and returns the file path.
+func (a *Artifact) Save(dir string) (string, error) {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	name := fmt.Sprintf("%s-seed%d.json", a.Name, a.Seed)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadArtifact reads an artifact written by Save.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, err
+	}
+	return &a, nil
+}

@@ -1,0 +1,198 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+)
+
+// VisibilityPolicy describes how long writes stay private before becoming
+// globally visible — a model of worlds weaker than atomic shared memory
+// (store buffers, partitions healing after a delay). The writer always sees
+// its own buffered writes; EarlyReaders may see them before delivery; every
+// other process sees them only once the world delivers them to the shared
+// memory.
+//
+// Delivery goes through sim.Memory's ordinary mutators, so the
+// shmem.Notifier exact-version contract is preserved: one version advance
+// per write, charged at the moment the write becomes globally visible, and
+// its effect is readable no later than that advance. Writes to the same
+// location deliver in write order (per-location FIFO), so delayed delivery
+// reorders across locations but never inverts a location's final value.
+type VisibilityPolicy struct {
+	// Delay returns how many world steps a write by pid to loc stays
+	// buffered. Zero (or negative) applies the write immediately, with no
+	// deliver event. The rng is the world's own (seeded) source.
+	Delay func(pid int, loc sim.Loc, rng *rand.Rand) int
+	// EarlyReaders, when non-nil, lists processes (besides the writer)
+	// that see the write while it is still buffered.
+	EarlyReaders func(pid int, loc sim.Loc, rng *rand.Rand) []int
+	// DropOnCrash discards a crashed process's buffered writes: the crash
+	// happened before the writes propagated, so they never become visible.
+	DropOnCrash bool
+}
+
+// pendingWrite is one buffered write awaiting delivery.
+type pendingWrite struct {
+	seq   int
+	pid   int
+	loc   sim.Loc
+	val   shmem.Value
+	due   int // world clock at which the write may deliver
+	early []int
+}
+
+// delayedVis implements sim.MemHook over the runner's memory. It is driven
+// by the world: the hook buffers writes and overlays reads, and the world
+// turns due buffered writes into EvDeliver events.
+type delayedVis struct {
+	mem     *sim.Memory
+	policy  VisibilityPolicy
+	rng     *rand.Rand
+	now     func() int
+	pending []pendingWrite // in write (seq) order
+	nextSeq int
+}
+
+func newDelayedVis(mem *sim.Memory, policy VisibilityPolicy, seed int64, now func() int) *delayedVis {
+	return &delayedVis{
+		mem:    mem,
+		policy: policy,
+		// Salted so the visibility stream is independent of scheduler
+		// seeds derived from the same base seed.
+		rng: rand.New(rand.NewSource(seed ^ 0x64656c6179)),
+		now: now,
+	}
+}
+
+var _ sim.MemHook = (*delayedVis)(nil)
+
+// buffer enqueues a write, or applies it immediately for zero delay.
+func (d *delayedVis) buffer(pid int, loc sim.Loc, v shmem.Value) {
+	delay := 0
+	if d.policy.Delay != nil {
+		delay = d.policy.Delay(pid, loc, d.rng)
+	}
+	if delay <= 0 {
+		d.mem.Set(loc, v)
+		return
+	}
+	var early []int
+	if d.policy.EarlyReaders != nil {
+		early = d.policy.EarlyReaders(pid, loc, d.rng)
+	}
+	d.pending = append(d.pending, pendingWrite{
+		seq:   d.nextSeq,
+		pid:   pid,
+		loc:   loc,
+		val:   v,
+		due:   d.now() + delay,
+		early: early,
+	})
+	d.nextSeq++
+}
+
+// visibleTo reports whether a buffered write is readable by pid.
+func (p *pendingWrite) visibleTo(pid int) bool {
+	if p.pid == pid {
+		return true
+	}
+	for _, e := range p.early {
+		if e == pid {
+			return true
+		}
+	}
+	return false
+}
+
+func (d *delayedVis) Read(pid, reg int) shmem.Value {
+	loc := sim.Loc{Snap: sim.SnapNone, Reg: reg}
+	for i := len(d.pending) - 1; i >= 0; i-- {
+		if p := &d.pending[i]; p.loc == loc && p.visibleTo(pid) {
+			return p.val
+		}
+	}
+	return d.mem.Read(reg)
+}
+
+func (d *delayedVis) Write(pid, reg int, v shmem.Value) {
+	d.buffer(pid, sim.Loc{Snap: sim.SnapNone, Reg: reg}, v)
+}
+
+func (d *delayedVis) Update(pid, snap, comp int, v shmem.Value) {
+	d.buffer(pid, sim.Loc{Snap: snap, Reg: comp}, v)
+}
+
+func (d *delayedVis) Scan(pid, snap int) []shmem.Value {
+	base := d.mem.Scan(snap)
+	out := make([]shmem.Value, len(base))
+	copy(out, base)
+	for i := range d.pending {
+		p := &d.pending[i]
+		if p.loc.Snap == snap && p.visibleTo(pid) {
+			out[p.loc.Reg] = p.val // seq order: newest visible wins
+		}
+	}
+	return out
+}
+
+// nextDue returns the lowest-seq deliverable write: due by now, and not
+// behind an older buffered write to the same location.
+func (d *delayedVis) nextDue(clock int) (int, bool) {
+	blocked := make(map[sim.Loc]bool, len(d.pending))
+	for i := range d.pending {
+		p := &d.pending[i]
+		if !blocked[p.loc] && p.due <= clock {
+			return p.seq, true
+		}
+		blocked[p.loc] = true
+	}
+	return 0, false
+}
+
+// deliver applies buffered write seq to the shared memory — the write's one
+// notifier version advance is charged here.
+func (d *delayedVis) deliver(seq int) error {
+	for i := range d.pending {
+		p := d.pending[i]
+		if p.seq != seq {
+			continue
+		}
+		for j := 0; j < i; j++ {
+			if d.pending[j].loc == p.loc {
+				return fmt.Errorf("scenario: delivery of write %d would overtake write %d to %v", seq, d.pending[j].seq, p.loc)
+			}
+		}
+		d.pending = append(d.pending[:i], d.pending[i+1:]...)
+		d.mem.Set(p.loc, p.val)
+		return nil
+	}
+	return fmt.Errorf("scenario: no buffered write %d", seq)
+}
+
+// dropFor discards pid's buffered writes (crash before propagation).
+func (d *delayedVis) dropFor(pid int) {
+	kept := d.pending[:0]
+	for _, p := range d.pending {
+		if p.pid != pid {
+			kept = append(kept, p)
+		}
+	}
+	d.pending = kept
+}
+
+func (d *delayedVis) pendingCount() int { return len(d.pending) }
+
+// Signature folds the buffer into sim.StateSignature so explorations over
+// delayed-visibility worlds stay sound.
+func (d *delayedVis) Signature() string {
+	var b strings.Builder
+	for i := range d.pending {
+		p := &d.pending[i]
+		fmt.Fprintf(&b, "%d:p%d:%v=%v@%d;", p.seq, p.pid, p.loc, p.val, p.due)
+	}
+	return b.String()
+}

@@ -1,0 +1,210 @@
+package scenario
+
+import (
+	"math/rand"
+	"testing"
+
+	"setagreement/internal/shmem"
+	"setagreement/internal/sim"
+)
+
+func newVisMem(t *testing.T, spec shmem.Spec) *sim.Memory {
+	t.Helper()
+	mem, err := sim.NewMemory(spec)
+	if err != nil {
+		t.Fatalf("NewMemory: %v", err)
+	}
+	return mem
+}
+
+func TestDelayedWriteVisibility(t *testing.T) {
+	mem := newVisMem(t, shmem.Spec{Regs: 2})
+	clock := 0
+	pol := VisibilityPolicy{
+		Delay: func(pid int, _ sim.Loc, _ *rand.Rand) int {
+			if pid == 0 {
+				return 3
+			}
+			return 0
+		},
+	}
+	d := newDelayedVis(mem, pol, 1, func() int { return clock })
+
+	v0 := mem.Version()
+	d.Write(0, 0, 7)
+
+	// The writer sees its own buffered write; nobody else does; and the
+	// notifier version has NOT advanced — no publish before delivery.
+	if got := d.Read(0, 0); got != 7 {
+		t.Fatalf("writer read = %v, want 7", got)
+	}
+	if got := d.Read(1, 0); got != nil {
+		t.Fatalf("other process read buffered write: %v", got)
+	}
+	if mem.Version() != v0 {
+		t.Fatalf("buffered write advanced the version: %d -> %d", v0, mem.Version())
+	}
+	if _, ok := d.nextDue(clock); ok {
+		t.Fatal("write deliverable before its delay elapsed")
+	}
+
+	// Delivery applies the write through the memory: exactly one version
+	// advance, charged at delivery, and everyone sees the value.
+	clock = 3
+	seq, ok := d.nextDue(clock)
+	if !ok {
+		t.Fatal("write not deliverable at its due step")
+	}
+	if err := d.deliver(seq); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	if mem.Version() != v0+1 {
+		t.Fatalf("delivery advanced version by %d, want exactly 1", mem.Version()-v0)
+	}
+	if got := d.Read(1, 0); got != 7 {
+		t.Fatalf("post-delivery read = %v, want 7", got)
+	}
+	if d.pendingCount() != 0 {
+		t.Fatalf("pending = %d after delivery", d.pendingCount())
+	}
+
+	// A zero-delay writer bypasses the buffer entirely.
+	d.Write(1, 1, 9)
+	if mem.Version() != v0+2 || mem.Read(1) != 9 {
+		t.Fatalf("zero-delay write not applied immediately: ver=%d reg1=%v", mem.Version(), mem.Read(1))
+	}
+}
+
+func TestDelayedWritesSameLocationFIFO(t *testing.T) {
+	mem := newVisMem(t, shmem.Spec{Regs: 1})
+	clock := 0
+	delays := []int{5, 1}
+	i := 0
+	pol := VisibilityPolicy{Delay: func(int, sim.Loc, *rand.Rand) int { d := delays[i]; i++; return d }}
+	d := newDelayedVis(mem, pol, 1, func() int { return clock })
+
+	d.Write(0, 0, "old") // due at 5
+	d.Write(0, 0, "new") // due at 1
+
+	// The second write is due first but must not overtake the first.
+	clock = 2
+	if _, ok := d.nextDue(clock); ok {
+		t.Fatal("younger write deliverable ahead of older write to the same location")
+	}
+	if err := d.deliver(1); err == nil {
+		t.Fatal("out-of-order delivery accepted")
+	}
+	clock = 5
+	seq, ok := d.nextDue(clock)
+	if !ok || seq != 0 {
+		t.Fatalf("nextDue = %d,%v; want 0,true", seq, ok)
+	}
+	if err := d.deliver(seq); err != nil {
+		t.Fatalf("deliver old: %v", err)
+	}
+	seq, ok = d.nextDue(clock)
+	if !ok || seq != 1 {
+		t.Fatalf("nextDue after first delivery = %d,%v; want 1,true", seq, ok)
+	}
+	if err := d.deliver(seq); err != nil {
+		t.Fatalf("deliver new: %v", err)
+	}
+	if got := mem.Read(0); got != "new" {
+		t.Fatalf("final value = %v, want \"new\" (FIFO preserved)", got)
+	}
+}
+
+func TestDelayedScanOverlayAndEarlyReaders(t *testing.T) {
+	mem := newVisMem(t, shmem.Spec{Snaps: []int{3}})
+	clock := 0
+	pol := VisibilityPolicy{
+		Delay:        func(int, sim.Loc, *rand.Rand) int { return 10 },
+		EarlyReaders: func(int, sim.Loc, *rand.Rand) []int { return []int{2} },
+	}
+	d := newDelayedVis(mem, pol, 1, func() int { return clock })
+
+	d.Update(0, 0, 1, "x")
+	if got := d.Scan(0, 0)[1]; got != "x" {
+		t.Fatalf("writer scan overlay = %v, want x", got)
+	}
+	if got := d.Scan(2, 0)[1]; got != "x" {
+		t.Fatalf("early reader scan overlay = %v, want x", got)
+	}
+	if got := d.Scan(1, 0)[1]; got != nil {
+		t.Fatalf("non-early reader saw buffered update: %v", got)
+	}
+	if got := mem.Scan(0)[1]; got != nil {
+		t.Fatalf("buffered update reached shared memory early: %v", got)
+	}
+}
+
+func TestCrashDropsBufferedWrites(t *testing.T) {
+	mem := newVisMem(t, shmem.Spec{Regs: 2})
+	clock := 0
+	pol := VisibilityPolicy{Delay: func(int, sim.Loc, *rand.Rand) int { return 4 }, DropOnCrash: true}
+	d := newDelayedVis(mem, pol, 1, func() int { return clock })
+
+	v0 := mem.Version()
+	d.Write(0, 0, 7)
+	d.Write(1, 1, 8)
+	d.dropFor(0)
+	if d.pendingCount() != 1 {
+		t.Fatalf("pending = %d after drop, want 1", d.pendingCount())
+	}
+	clock = 4
+	seq, ok := d.nextDue(clock)
+	if !ok {
+		t.Fatal("survivor's write not deliverable")
+	}
+	if err := d.deliver(seq); err != nil {
+		t.Fatalf("deliver: %v", err)
+	}
+	if mem.Read(0) != nil || mem.Read(1) != 8 {
+		t.Fatalf("memory = (%v, %v), want (nil, 8): crashed write must never surface", mem.Read(0), mem.Read(1))
+	}
+	if mem.Version() != v0+1 {
+		t.Fatalf("version advanced %d times, want 1", mem.Version()-v0)
+	}
+}
+
+// TestWorldDelayedVisibilityReplay runs a whole world under per-group write
+// delay and asserts the deliver events are part of the replayable record.
+func TestWorldDelayedVisibilityReplay(t *testing.T) {
+	spec := WorldSpec{
+		Name:      "visibility-world",
+		Algorithm: oneShotAlg(3, 2, 2),
+		Configure: func(w *World) error {
+			g := w.CreateGroup(3)
+			g.SetDelay(4)
+			return nil
+		},
+		Options: Options{Seed: 9, MaxEvents: 5000},
+	}
+	w, err := spec.New()
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res, err := w.Run(NewRandom(9))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	delivers := 0
+	for _, ev := range res.Events {
+		if ev.Kind == EvDeliver {
+			delivers++
+		}
+	}
+	if delivers == 0 {
+		t.Fatal("no deliver events despite a write delay")
+	}
+	rep, err := spec.Replay(res.Events)
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if TraceText(rep.Trace) != TraceText(res.Trace) {
+		t.Fatal("delayed-visibility replay diverged from the recorded run")
+	}
+	if rep.Undelivered != res.Undelivered {
+		t.Fatalf("replay left %d undelivered writes, original %d", rep.Undelivered, res.Undelivered)
+	}
+}

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"setagreement/internal/shmem"
+)
+
+// loopProgram spins forever on shared memory: each iteration is one read
+// step, so the process always has a poised op and never terminates on its
+// own. Used to pin goroutine-leak behavior of Crash and Abort.
+func loopProgram(p *Proc) {
+	for {
+		p.Read(0)
+	}
+}
+
+// waitGoroutines polls until the goroutine count drops to at most want.
+func waitGoroutines(t *testing.T, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("goroutines = %d, want <= %d (leak)", runtime.NumGoroutine(), want)
+}
+
+func TestCrashReleasesProgramGoroutine(t *testing.T) {
+	base := runtime.NumGoroutine()
+	spec := shmem.Spec{Regs: 1}
+	procs := []ProcSpec{
+		{ID: 0, Run: loopProgram},
+		{ID: 1, Run: loopProgram},
+		{ID: 2, Run: loopProgram},
+	}
+	r, err := NewRunner(spec, procs)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := r.Step(i % 3); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+
+	// Crash one process: exactly its goroutine must exit, with its poised
+	// op discarded rather than executed.
+	stepsBefore := r.Steps()
+	if err := r.Crash(1); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if r.Steps() != stepsBefore {
+		t.Fatalf("crash executed a step: %d -> %d", stepsBefore, r.Steps())
+	}
+	if !r.IsDone(1) || !r.Crashed(1) {
+		t.Fatalf("after crash: done=%v crashed=%v, want true/true", r.IsDone(1), r.Crashed(1))
+	}
+	if _, ok := r.Poised(1); ok {
+		t.Fatal("crashed process still poised")
+	}
+	waitGoroutines(t, base+2)
+
+	// Stepping a crashed process fails; the others keep running.
+	if _, err := r.Step(1); err != ErrProcDone {
+		t.Fatalf("step crashed proc: err = %v, want ErrProcDone", err)
+	}
+	if _, err := r.Step(0); err != nil {
+		t.Fatalf("step survivor: %v", err)
+	}
+
+	// Abort frees the rest.
+	r.Abort()
+	waitGoroutines(t, base)
+}
+
+func TestRecoverRestartsProgram(t *testing.T) {
+	spec := shmem.Spec{Regs: 2}
+	// The program reads a harness-held cell so the restart is observable:
+	// first life writes 1 and parks on reads; the recovered life writes 2.
+	lives := 0
+	prog := func(p *Proc) {
+		lives++
+		p.Write(0, lives)
+		for {
+			p.Read(1)
+		}
+	}
+	r, err := NewRunner(spec, []ProcSpec{{ID: 5, Run: prog}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+
+	if _, err := r.Step(0); err != nil {
+		t.Fatalf("step: %v", err)
+	}
+	if got := r.Memory().Read(0); got != 1 {
+		t.Fatalf("reg0 = %v, want 1", got)
+	}
+	if err := r.Recover(0, prog); err == nil {
+		t.Fatal("Recover of a live process succeeded, want error")
+	}
+	if err := r.Crash(0); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+	if err := r.Crash(0); err != ErrProcDone {
+		t.Fatalf("double crash: err = %v, want ErrProcDone", err)
+	}
+	sigCrashed := r.StateSignature()
+	if err := r.Recover(0, prog); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if r.IsDone(0) || r.Crashed(0) {
+		t.Fatalf("after recover: done=%v crashed=%v, want false/false", r.IsDone(0), r.Crashed(0))
+	}
+	if sig := r.StateSignature(); sig == sigCrashed {
+		t.Fatal("recovery did not change the state signature")
+	}
+	// The recovered program restarts from the top: same ID, fresh run.
+	op, ok := r.Poised(0)
+	if !ok || op.Kind != OpWrite || op.Reg != 0 {
+		t.Fatalf("recovered poised = %v, %v; want write r0", op, ok)
+	}
+	if _, err := r.Step(0); err != nil {
+		t.Fatalf("step recovered: %v", err)
+	}
+	if got := r.Memory().Read(0); got != 2 {
+		t.Fatalf("reg0 after recovered write = %v, want 2 (second life)", got)
+	}
+	if lives != 2 {
+		t.Fatalf("lives = %d, want 2", lives)
+	}
+}
+
+// recordingHook routes every op to the underlying memory and records which
+// pid touched it, proving Step consults the hook for all four op kinds.
+type recordingHook struct {
+	mem  *Memory
+	seen []string
+}
+
+func (h *recordingHook) Read(pid, reg int) shmem.Value {
+	h.seen = append(h.seen, "r")
+	return h.mem.Read(reg)
+}
+
+func (h *recordingHook) Write(pid, reg int, v shmem.Value) {
+	h.seen = append(h.seen, "w")
+	h.mem.Write(reg, v)
+}
+
+func (h *recordingHook) Update(pid, snap, comp int, v shmem.Value) {
+	h.seen = append(h.seen, "u")
+	h.mem.Update(snap, comp, v)
+}
+
+func (h *recordingHook) Scan(pid, snap int) []shmem.Value {
+	h.seen = append(h.seen, "s")
+	return h.mem.Scan(snap)
+}
+
+func (h *recordingHook) Signature() string { return "recording" }
+
+func TestMemHookInterceptsAllOps(t *testing.T) {
+	spec := shmem.Spec{Regs: 1, Snaps: []int{2}}
+	prog := func(p *Proc) {
+		p.Write(0, 9)
+		if p.Read(0) != 9 {
+			p.Output(1, "bad")
+			return
+		}
+		p.Update(0, 1, "x")
+		if p.Scan(0)[1] != "x" {
+			p.Output(1, "bad")
+			return
+		}
+		p.Output(1, "ok")
+	}
+	r, err := NewRunner(spec, []ProcSpec{{ID: 0, Run: prog}})
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	defer r.Abort()
+	h := &recordingHook{mem: r.Memory()}
+	r.SetMemHook(h)
+	for !r.AllDone() {
+		if _, err := r.Step(0); err != nil {
+			t.Fatalf("step: %v", err)
+		}
+	}
+	if got := r.Outputs(0)[0].Val; got != "ok" {
+		t.Fatalf("program saw %v through hook, want ok", got)
+	}
+	want := []string{"w", "r", "u", "s"}
+	if len(h.seen) != len(want) {
+		t.Fatalf("hook saw %v, want %v", h.seen, want)
+	}
+	for i := range want {
+		if h.seen[i] != want[i] {
+			t.Fatalf("hook saw %v, want %v", h.seen, want)
+		}
+	}
+	// A hook with a Signature contributes to the state signature.
+	if sig := r.StateSignature(); !containsStr(sig, "hook:recording") {
+		t.Fatalf("state signature %q missing hook signature", sig)
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -20,10 +20,12 @@ type Runner struct {
 	procs   []*Proc
 	pending []*Op
 	done    []bool
+	crashed []bool
 	failed  []error
 	outputs [][]Decision
 	steps   int
 	aborted bool
+	hook    MemHook
 
 	written map[Loc]int // location -> write count
 	read    map[Loc]int
@@ -58,6 +60,30 @@ var ErrProcDone = errors.New("sim: process has terminated")
 // ErrAborted is returned by Step after the runner has been aborted.
 var ErrAborted = errors.New("sim: runner aborted")
 
+// MemHook intercepts the shared-memory operations the runner executes on
+// behalf of its processes. A hook sees which process performs each operation,
+// which lets it model per-process memory views (delayed visibility,
+// partitions) that the flat Memory cannot express. Implementations must go
+// through the runner's Memory for any effect that should be globally visible,
+// so that notification versions stay exact. Output steps never reach the
+// hook: a decision is local to the deciding process.
+//
+// A hook that also implements Signature() string contributes that string to
+// StateSignature, keeping state-space exploration sound when the hook holds
+// execution-relevant state (e.g. buffered writes).
+type MemHook interface {
+	Read(pid, reg int) shmem.Value
+	Write(pid, reg int, v shmem.Value)
+	Update(pid, snap, comp int, v shmem.Value)
+	Scan(pid, snap int) []shmem.Value
+}
+
+// SetMemHook installs (or, with nil, removes) a memory hook. It must be
+// called before the execution is extended past the point the hook is meant
+// to observe; installing one mid-run is allowed but the hook only sees
+// operations executed after installation.
+func (r *Runner) SetMemHook(h MemHook) { r.hook = h }
+
 // NewRunner allocates memory for spec, launches one goroutine per process
 // spec and parks each at its first operation (or termination).
 func NewRunner(spec shmem.Spec, procs []ProcSpec) (*Runner, error) {
@@ -73,6 +99,7 @@ func NewRunner(spec shmem.Spec, procs []ProcSpec) (*Runner, error) {
 		procs:   make([]*Proc, len(procs)),
 		pending: make([]*Op, len(procs)),
 		done:    make([]bool, len(procs)),
+		crashed: make([]bool, len(procs)),
 		failed:  make([]error, len(procs)),
 		outputs: make([][]Decision, len(procs)),
 		written: make(map[Loc]int),
@@ -203,17 +230,33 @@ func (r *Runner) Step(i int) (Op, error) {
 	var g grantMsg
 	switch op.Kind {
 	case OpRead:
-		g.val = r.mem.Read(op.Reg)
+		if r.hook != nil {
+			g.val = r.hook.Read(i, op.Reg)
+		} else {
+			g.val = r.mem.Read(op.Reg)
+		}
 		rec.Result = g.val
 		r.read[Loc{Snap: SnapNone, Reg: op.Reg}]++
 	case OpWrite:
-		r.mem.Write(op.Reg, op.Val)
+		if r.hook != nil {
+			r.hook.Write(i, op.Reg, op.Val)
+		} else {
+			r.mem.Write(op.Reg, op.Val)
+		}
 		r.written[Loc{Snap: SnapNone, Reg: op.Reg}]++
 	case OpUpdate:
-		r.mem.Update(op.Snap, op.Reg, op.Val)
+		if r.hook != nil {
+			r.hook.Update(i, op.Snap, op.Reg, op.Val)
+		} else {
+			r.mem.Update(op.Snap, op.Reg, op.Val)
+		}
 		r.written[Loc{Snap: op.Snap, Reg: op.Reg}]++
 	case OpScan:
-		g.vec = r.mem.Scan(op.Snap)
+		if r.hook != nil {
+			g.vec = r.hook.Scan(i, op.Snap)
+		} else {
+			g.vec = r.mem.Scan(op.Snap)
+		}
 		rec.ScanResult = g.vec
 		for c := range g.vec {
 			r.read[Loc{Snap: op.Snap, Reg: c}]++
@@ -234,6 +277,82 @@ func (r *Runner) Step(i int) (Op, error) {
 	r.procs[i].grant <- g
 	r.sync(i)
 	return op, nil
+}
+
+// Crash halts process i mid-execution: its poised operation is discarded
+// without being executed and its program goroutine is poisoned and reaped, so
+// a crashed process never leaks a parked goroutine. The process reads as done
+// (and Crashed) afterwards; its earlier decisions remain recorded. A crash is
+// only possible at an operation boundary — exactly the granularity at which
+// the paper's crash-fault model lets a process stop.
+func (r *Runner) Crash(i int) error {
+	if r.aborted {
+		return ErrAborted
+	}
+	if i < 0 || i >= len(r.procs) {
+		return fmt.Errorf("sim: no process %d", i)
+	}
+	if r.done[i] {
+		return ErrProcDone
+	}
+	p := r.procs[i]
+	r.pending[i] = nil
+	p.grant <- grantMsg{poison: true}
+	for {
+		ev := <-p.events
+		if ev.done {
+			break
+		}
+		// The program swallowed the poison (e.g. its own recover) and
+		// issued another op; poison again.
+		p.grant <- grantMsg{poison: true}
+	}
+	r.done[i] = true
+	r.crashed[i] = true
+	return nil
+}
+
+// Crashed reports whether process i was stopped by Crash and has not been
+// restarted by Recover since.
+func (r *Runner) Crashed(i int) bool {
+	if i < 0 || i >= len(r.procs) {
+		return false
+	}
+	return r.crashed[i]
+}
+
+// Recover restarts a crashed process with a fresh run of program run (the
+// slot keeps its index and ID). The program typically re-enters a resumable
+// step machine held outside the goroutine; the restart-safety contract on
+// core.Attempt.Step guarantees re-running an abandoned step from the top is
+// harmless. The result digest is reset with a recovery marker so state
+// signatures distinguish pre- and post-crash configurations.
+func (r *Runner) Recover(i int, run Program) error {
+	if r.aborted {
+		return ErrAborted
+	}
+	if i < 0 || i >= len(r.procs) {
+		return fmt.Errorf("sim: no process %d", i)
+	}
+	if !r.crashed[i] {
+		return fmt.Errorf("sim: process %d has not crashed", i)
+	}
+	old := r.procs[i]
+	p := &Proc{
+		idx:      i,
+		id:       old.id,
+		events:   make(chan procEvent),
+		grant:    make(chan grantMsg),
+		lastStep: -1,
+	}
+	r.procs[i] = p
+	r.done[i] = false
+	r.crashed[i] = false
+	r.failed[i] = nil
+	r.digests[i] = mixRecovery(r.digests[i])
+	p.start(run)
+	r.sync(i)
+	return nil
 }
 
 // Abort unwinds every still-running program goroutine. The runner cannot be

@@ -33,24 +33,42 @@ func mixStep(h uint64, op Op, g grantMsg) uint64 {
 	return h
 }
 
+// mixRecovery folds a crash-recovery boundary into a process digest. The
+// recovered program restarts from scratch, but its slot's future still
+// depends on how many lives it has had (the restarted program replays its
+// attempt against current memory), so the marker keeps signatures of pre-
+// and post-crash configurations distinct.
+func mixRecovery(h uint64) uint64 {
+	return mixBytes(h, "|recover")
+}
+
 // StateSignature identifies the runner's configuration: the shared memory,
 // each process's liveness and poised operation, and each process's result
 // digest. Two runners of the same system with equal signatures have
 // identical futures under identical schedules (programs are deterministic
 // functions of their inputs and past results), which makes the signature a
-// sound merge key for state-space exploration.
+// sound merge key for state-space exploration. A MemHook that implements
+// Signature() string contributes its own state as well.
 func (r *Runner) StateSignature() string {
 	var b strings.Builder
 	b.WriteString(r.mem.String())
 	for i := range r.procs {
 		if r.done[i] {
-			fmt.Fprintf(&b, "|p%d:done", i)
+			if r.crashed[i] {
+				fmt.Fprintf(&b, "|p%d:crashed", i)
+			} else {
+				fmt.Fprintf(&b, "|p%d:done", i)
+			}
 			continue
 		}
 		fmt.Fprintf(&b, "|p%d:%016x:", i, r.digests[i])
 		if r.pending[i] != nil {
 			b.WriteString(r.pending[i].String())
 		}
+	}
+	if s, ok := r.hook.(interface{ Signature() string }); ok {
+		b.WriteString("|hook:")
+		b.WriteString(s.Signature())
 	}
 	return b.String()
 }
