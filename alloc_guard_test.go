@@ -20,6 +20,13 @@ import (
 const (
 	soloProposeAllocCeiling      = 10
 	soloProposeAsyncAllocCeiling = 16
+
+	// Per-proposal ceiling for a full SubmitAll round (submit + decide +
+	// resolve) over 64 solo arena handles. Measured: 7.25 — the slab
+	// amortization leaves roughly the blocking path's own allocations plus
+	// a fraction of the per-batch slabs, against 12 for the looped
+	// ProposeAsync equivalent.
+	batchRoundAllocCeiling = 9
 )
 
 // soloProposeAllocs measures steady-state allocations of one solo Propose
@@ -76,5 +83,46 @@ func TestProposeAsyncSoloAllocs(t *testing.T) {
 					n, be, soloProposeAsyncAllocCeiling)
 			}
 		})
+	}
+}
+
+// TestSubmitBatchAllocs guards the batch hot path: one SubmitAll round
+// over 64 solo arena handles — submission through decision through future
+// resolution — must stay under the per-proposal ceiling. The looped
+// ProposeAsync path allocates ~12 per proposal; the batch path's slabs
+// must keep it well below that.
+func TestSubmitBatchAllocs(t *testing.T) {
+	ctx := context.Background()
+	const size = 64
+	ar, err := sa.NewArena[int](4, 1)
+	if err != nil {
+		t.Fatalf("NewArena: %v", err)
+	}
+	handles := make([]*sa.Handle[int], size)
+	for i := range handles {
+		h, err := ar.Object(fmt.Sprintf("alloc-%d", i)).Proc(0)
+		if err != nil {
+			t.Fatalf("Proc: %v", err)
+		}
+		handles[i] = h
+	}
+	vals := make([]int, size)
+	round := func() {
+		b, err := sa.SubmitAll(ctx, handles, vals)
+		if err != nil {
+			t.Fatalf("SubmitAll: %v", err)
+		}
+		for i := 0; i < size; i++ {
+			if _, err := b.Future(i).Value(); err != nil {
+				t.Fatalf("proposal %d: %v", i, err)
+			}
+		}
+	}
+	// Warm past one-time costs (engine creation, wait plans).
+	for i := 0; i < 5; i++ {
+		round()
+	}
+	if n := testing.AllocsPerRun(50, round) / size; n > batchRoundAllocCeiling {
+		t.Errorf("batch round allocates %.2f/proposal, ceiling %d", n, batchRoundAllocCeiling)
 	}
 }

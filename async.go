@@ -67,18 +67,45 @@ func (er *engineRef) peek() *engine.Engine { return er.eng.Load() }
 // likewise. Solo execution still decides without ever parking: the solo
 // detection of the wait layer applies at engine yield points too.
 func (h *Handle[T]) ProposeAsync(ctx context.Context, v T) *Future[T] {
+	fut := newFuture[T]()
+	ap := &asyncProposal[T]{}
+	if h.prepareAsync(ctx, fut, ap, v) {
+		h.rt.eng.get().Submit(ap)
+	}
+	return fut
+}
+
+// prepareAsync is the submit-side half ProposeAsync and the batch entry
+// points (SubmitAll, Arena.SubmitBatch) share: claim the handle, arm the
+// guard for engine-driven stepping and fill ap with the proposal to hand
+// the engine. fut and ap are caller-allocated so batches can slab-allocate
+// both. On an immediate lifecycle failure the future is resolved with the
+// error and prepareAsync reports false: nothing reaches the engine.
+func (h *Handle[T]) prepareAsync(ctx context.Context, fut *Future[T], ap *asyncProposal[T], v T) bool {
 	var zero T
 	if err := h.claim(); err != nil {
-		return resolvedFuture(zero, err)
+		fut.resolve(zero, err)
+		return false
 	}
 	// A dead context must fail (and poison, as in Propose) rather than let
 	// a zero-step decision quietly succeed.
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			h.st.Store(statePoisoned)
-			return resolvedFuture(zero, err)
+			fut.resolve(zero, err)
+			return false
 		}
 	}
+	*ap = asyncProposal[T]{h: h, fut: fut, ctx: ctx, val: v}
+	return true
+}
+
+// armAsync puts the handle's guard in engine-driven park mode and rebases
+// its wait plan. Run by the engine on the proposal's first Advance — not at
+// submit time — so the submit path stays a claim plus slab writes; handle
+// exclusivity (claim) makes the engine the guard's only writer until the
+// proposal finishes.
+func (h *Handle[T]) armAsync() {
 	g := &h.guard
 	g.cur = g.wait
 	if g.cur == nil {
@@ -92,20 +119,21 @@ func (h *Handle[T]) ProposeAsync(ctx context.Context, v T) *Future[T] {
 	}
 	g.park = true
 	g.resetWait()
-	fut := newFuture[T]()
-	ap := &asyncProposal[T]{h: h, fut: fut, ctx: ctx, att: h.res.Begin(h.codec.Encode(v))}
-	h.rt.eng.get().Submit(ap)
-	return fut
 }
 
 // asyncProposal adapts one engine-driven Propose — the handle, its guard
 // in park mode, the algorithm's resumable attempt and the future to
-// resolve — to the engine's Proposal interface.
+// resolve — to the engine's Proposal interface. The attempt is built
+// lazily on the first Advance (the WakeStart wake), keeping encoding and
+// attempt construction off the submit path: batch submission then pays
+// only claim-and-arm per proposal, and the constructor cost runs on the
+// engine, overlapped across workers.
 type asyncProposal[T comparable] struct {
 	h   *Handle[T]
 	fut *Future[T]
 	ctx context.Context
 	att core.Attempt
+	val T
 }
 
 var _ engine.Proposal = (*asyncProposal[int])(nil)
@@ -115,7 +143,10 @@ var _ engine.Proposal = (*asyncProposal[int])(nil)
 func (ap *asyncProposal[T]) Advance(w engine.Wake) (engine.Park, bool) {
 	h := ap.h
 	g := &h.guard
-	if w.Reason != engine.WakeStart {
+	if w.Reason == engine.WakeStart {
+		h.armAsync()
+		ap.att = h.res.Begin(h.codec.Encode(ap.val))
+	} else {
 		// Wait accounting precedes the wakeup count (the Stats ordering
 		// contract), and the solo detector re-bases exactly as after a
 		// blocking notify-wait.

@@ -52,6 +52,7 @@ var measuredColumns = map[string]bool{
 	"proposes": true, "steps": true, "scans": true, "wait": true,
 	"mem-steps": true, "cas-retries": true,
 	"combined": true, "adopted": true, "hit%": true,
+	"submit-ns/prop": true, "ttfd": true, "ttld": true,
 }
 
 // rateColumns are the gated throughput columns: higher is better, so the

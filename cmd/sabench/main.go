@@ -74,6 +74,9 @@ benchmarks of this implementation. Pick one table with -table or run all:
   scans       scan combining: private vs adopted views x proposers x backend
   async       sync vs async serving: in-flight proposals x backend,
               with goroutine cost (the point of ProposeAsync)
+  batch       batch vs looped submission: SubmitAll against a
+              ProposeAsync loop, submit-side ns/proposal plus
+              completion latency and time-to-first/last-decision
 
 The -json flag switches the output to one machine-readable document
 ({"tables": [...]}), the format CI's bench-smoke job archives; the async
@@ -85,6 +88,7 @@ Examples:
   sabench -table arena -backend lockfree
   sabench -table waits -backend lockfree -json
   sabench -table async -backend both -json
+  sabench -table batch -backend both -json
 
 Flags:
 `)
@@ -242,6 +246,16 @@ func run(table string, n, m, k, maxR, instances, seeds int, backend string, dur 
 			return err
 		}
 		if err := add(asyncTable(backends, dur)); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "batch" {
+		ran = true
+		backends, err := selectPublicBackends(backend)
+		if err != nil {
+			return err
+		}
+		if err := add(batchTable(backends, dur)); err != nil {
 			return err
 		}
 	}
@@ -635,41 +649,60 @@ func measureAsync(be setagreement.MemoryBackend, mode string, inflight int, dur 
 			}
 		}
 	case "async":
-		outstanding := make([]*setagreement.Future[int], len(handles))
+		// Completions drain through a CompletionQueue in the order they
+		// resolve. The previous collector polled futures round-robin in
+		// submission order, so a proposal that decided early still waited
+		// for the scan to come around — inflating every latency by the poll
+		// period and skewing p50 toward the scan order, not decision order.
+		q := setagreement.NewCompletionQueue[int]()
+		defer q.Close()
 		submitted := make([]time.Time, len(handles))
 		rounds := make([]int, len(handles))
-		for i, h := range handles {
-			submitted[i] = time.Now()
-			outstanding[i] = h.ProposeAsync(ctx, i)
+		vals := make([]int, len(handles))
+		for i := range vals {
+			vals[i] = i
 		}
-		deadline := start.Add(dur)
-		for time.Now().Before(deadline) {
-			progressed := false
-			for i, f := range outstanding {
-				if f == nil || !f.Resolved() {
-					continue
-				}
-				if _, err := f.Value(); err != nil {
-					return asyncCell{}, fmt.Errorf("async-table future %d: %w", i, err)
-				}
-				latencies = append(latencies, time.Since(submitted[i]))
-				progressed = true
-				rounds[i]++
-				submitted[i] = time.Now()
-				outstanding[i] = handles[i].ProposeAsync(ctx, 1000*rounds[i]+i)
+		now := time.Now()
+		for i := range submitted {
+			submitted[i] = now
+		}
+		batch, err := setagreement.SubmitAll(ctx, handles, vals)
+		if err != nil {
+			return asyncCell{}, fmt.Errorf("async-table submit: %w", err)
+		}
+		if err := batch.Register(q); err != nil {
+			return asyncCell{}, fmt.Errorf("async-table register: %w", err)
+		}
+		dctx, cancel := context.WithDeadline(ctx, start.Add(dur))
+		for {
+			c, err := q.Next(dctx)
+			if err != nil {
+				break // deadline: stop resubmitting, drain below
+			}
+			i := c.Tag
+			if _, err := c.Value(); err != nil {
+				cancel()
+				return asyncCell{}, fmt.Errorf("async-table future %d: %w", i, err)
+			}
+			latencies = append(latencies, time.Since(submitted[i]))
+			rounds[i]++
+			submitted[i] = time.Now()
+			fut := handles[i].ProposeAsync(ctx, 1000*rounds[i]+i)
+			if err := q.Register(fut, i); err != nil {
+				cancel()
+				return asyncCell{}, fmt.Errorf("async-table register %d: %w", i, err)
 			}
 			sample()
-			if !progressed {
-				runtime.Gosched()
-			}
 		}
+		cancel()
 		// Drain the tail so no proposal outlives its arena.
-		for i, f := range outstanding {
-			if f == nil {
-				continue
+		for q.Pending() > 0 {
+			c, err := q.Next(ctx)
+			if err != nil {
+				return asyncCell{}, fmt.Errorf("async-table drain: %w", err)
 			}
-			if _, err := f.Value(); err != nil {
-				return asyncCell{}, fmt.Errorf("async-table drain %d: %w", i, err)
+			if _, err := c.Value(); err != nil {
+				return asyncCell{}, fmt.Errorf("async-table drain %d: %w", c.Tag, err)
 			}
 		}
 	default:
@@ -683,6 +716,138 @@ func measureAsync(be setagreement.MemoryBackend, mode string, inflight int, dur 
 		cell.p95 = latencies[len(latencies)*95/100]
 	}
 	cell.wakeups = ar.Stats().Wakeups
+	return cell, nil
+}
+
+// batchTable measures the batch submission path against the looped
+// baseline it amortizes: mode=loop calls ProposeAsync once per handle,
+// mode=batch hands the same handles to SubmitAll in one call. Both drain
+// through a CompletionQueue. submit-ns/prop is the submitter's cost per
+// proposal for the handoff alone — the number BenchmarkSubmitBatch gates
+// at ≥2× in the batch's favor at size 64+; p50/p95 are completion
+// latencies from the round's submit start; ttfd/ttld are the mean
+// time-to-first- and time-to-last-decision per round, the fan-out
+// latencies the fanout example prints.
+func batchTable(backends []setagreement.MemoryBackend, dur time.Duration) (*report.Table, error) {
+	t := report.New("Batch submission (arena serving, k=1, solo handles)",
+		"backend", "mode", "batch", "submit-ns/prop", "p50", "p95", "proposes/sec", "ttfd", "ttld")
+	for _, be := range backends {
+		for _, size := range []int{8, 64, 256} {
+			for _, mode := range []string{"loop", "batch"} {
+				cell, err := measureBatch(be, mode, size, dur)
+				if err != nil {
+					return nil, err
+				}
+				t.Add(be.String(), mode, size,
+					fmt.Sprintf("%.0f", cell.submitNS),
+					cell.p50.Round(time.Microsecond).String(),
+					cell.p95.Round(time.Microsecond).String(),
+					fmt.Sprintf("%.0f", cell.rate),
+					cell.ttfd.Round(time.Microsecond).String(),
+					cell.ttld.Round(time.Microsecond).String())
+			}
+		}
+	}
+	return t, nil
+}
+
+type batchCell struct {
+	submitNS   float64 // submit-side ns per proposal
+	p50, p95   time.Duration
+	rate       float64
+	ttfd, ttld time.Duration
+}
+
+// measureBatch runs one cell of the batch table: rounds of `size` solo
+// proposals over retained arena handles (one key each, no contention, so
+// the numbers isolate the submission and completion machinery) for the
+// duration.
+func measureBatch(be setagreement.MemoryBackend, mode string, size int, dur time.Duration) (batchCell, error) {
+	ar, err := setagreement.NewArena[int](4, 1, setagreement.WithObjectOptions(
+		setagreement.WithMemoryBackend(be),
+		setagreement.WithWaitStrategy(setagreement.WaitNotify),
+		setagreement.WithBackoff(50*time.Microsecond, 2*time.Millisecond, 16)))
+	if err != nil {
+		return batchCell{}, err
+	}
+	handles := make([]*setagreement.Handle[int], size)
+	for i := range handles {
+		h, err := ar.Object(fmt.Sprintf("slot-%04d", i)).Proc(0)
+		if err != nil {
+			return batchCell{}, err
+		}
+		handles[i] = h
+	}
+	ctx := context.Background()
+	vals := make([]int, size)
+	futs := make([]*setagreement.Future[int], size)
+	var (
+		latencies        []time.Duration
+		submitNS         int64
+		proposals        int
+		ttfdSum, ttldSum time.Duration
+		rounds           int
+	)
+	start := time.Now()
+	for deadline := start.Add(dur); time.Now().Before(deadline); rounds++ {
+		for i := range vals {
+			vals[i] = 1000*rounds + i
+		}
+		q := setagreement.NewCompletionQueue[int]()
+		t0 := time.Now()
+		if mode == "loop" {
+			for i, h := range handles {
+				futs[i] = h.ProposeAsync(ctx, vals[i])
+			}
+			submitNS += time.Since(t0).Nanoseconds()
+			for i, f := range futs {
+				if err := q.Register(f, i); err != nil {
+					return batchCell{}, fmt.Errorf("batch-table register %d: %w", i, err)
+				}
+			}
+		} else {
+			b, err := setagreement.SubmitAll(ctx, handles, vals)
+			if err != nil {
+				return batchCell{}, fmt.Errorf("batch-table submit: %w", err)
+			}
+			submitNS += time.Since(t0).Nanoseconds()
+			if err := b.Register(q); err != nil {
+				return batchCell{}, fmt.Errorf("batch-table register: %w", err)
+			}
+		}
+		for seen := 0; seen < size; seen++ {
+			c, err := q.Next(ctx)
+			if err != nil {
+				return batchCell{}, fmt.Errorf("batch-table collect: %w", err)
+			}
+			if _, err := c.Value(); err != nil {
+				return batchCell{}, fmt.Errorf("batch-table proposal %d: %w", c.Tag, err)
+			}
+			lat := time.Since(t0)
+			latencies = append(latencies, lat)
+			if seen == 0 {
+				ttfdSum += lat
+			}
+			if seen == size-1 {
+				ttldSum += lat
+			}
+		}
+		q.Close()
+		proposals += size
+	}
+	elapsed := time.Since(start)
+	var cell batchCell
+	cell.submitNS = float64(submitNS) / float64(proposals)
+	cell.rate = float64(proposals) / elapsed.Seconds()
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		cell.p50 = latencies[len(latencies)/2]
+		cell.p95 = latencies[len(latencies)*95/100]
+	}
+	if rounds > 0 {
+		cell.ttfd = ttfdSum / time.Duration(rounds)
+		cell.ttld = ttldSum / time.Duration(rounds)
+	}
 	return cell, nil
 }
 

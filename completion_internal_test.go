@@ -1,0 +1,40 @@
+package setagreement
+
+// Whitebox completion-queue test: engine shutdown must drain every
+// registered in-flight future into its queue as an ErrEngineClosed
+// completion — the collector sees the abort like any other resolution.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCompletionQueueEngineClose(t *testing.T) {
+	ctx := context.Background()
+	r, _, fut := newParkedAsync(t, ctx)
+	q := NewCompletionQueue[int]()
+	defer q.Close()
+	if err := q.Register(fut, 5); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+
+	r.rt.eng.get().Close()
+
+	wait, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	c, err := q.Next(wait)
+	if err != nil {
+		t.Fatalf("Next after engine Close: %v", err)
+	}
+	if c.Tag != 5 {
+		t.Fatalf("completion tag = %d, want 5", c.Tag)
+	}
+	if _, err := c.Value(); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("completion resolved with %v, want ErrEngineClosed", err)
+	}
+	if got := q.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", got)
+	}
+}

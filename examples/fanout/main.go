@@ -1,15 +1,18 @@
-// Command fanout demonstrates the async proposal engine at its intended
-// scale: ONE goroutine drives 1,000 keyed agreements to completion through
-// futures over an arena. Each key is a consensus (k = 1) between two
-// contenders — both submitted asynchronously by the same driver — so at
-// any moment hundreds of proposals are in flight, contending, parking on
-// their objects' change notifiers and resuming on each other's writes,
-// while the process holds no goroutine per proposal: the engine multiplexes
-// them all over a handful of transient workers.
+// Command fanout demonstrates the batch proposal API at its intended
+// scale: ONE goroutine drives 1,000 keyed agreements to completion over an
+// arena. Each key is a consensus (k = 1) between two contenders. The whole
+// workload — 2,000 proposals — is submitted through a single SubmitBatch
+// call: handles are claimed, futures slab-allocated and the batch handed
+// to the arena's engine through one run-queue transition, io_uring style,
+// instead of 2,000 ProposeAsync round trips. At any moment hundreds of
+// proposals are in flight, contending, parking on their objects' change
+// notifiers and resuming on each other's writes, while the process holds
+// no goroutine per proposal.
 //
-// Compare the synchronous shape: 2,000 blocking Proposes would need 2,000
-// goroutines. Here the driver submits every proposal, then collects the
-// futures; the goroutine count printed mid-flight is the whole story.
+// Completions drain through a CompletionQueue in the order keys decide —
+// not submission order — so the collector observes time-to-first-decision
+// long before the last key settles, with no head-of-line blocking and no
+// per-future select.
 package main
 
 import (
@@ -38,63 +41,79 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
 
-	start := time.Now()
 	baseline := runtime.NumGoroutine()
 
-	// Submit phase: 2 async proposals per key, 2,000 in flight, still one
-	// goroutine. ProposeAsync never blocks on agreement — it hands the
-	// proposal to the arena's engine and returns the future.
-	type pending struct {
-		key        string
-		alice, bob *setagreement.Future[string]
-	}
-	inflight := make([]pending, 0, keys)
+	// Submit phase: one BatchOp per contender, one SubmitBatch for all of
+	// them. Consecutive ops on a key share the arena lookup, and the engine
+	// sees the whole batch as a single descriptor.
+	ops := make([]setagreement.BatchOp[string], 0, 2*keys)
 	for i := 0; i < keys; i++ {
 		k := fmt.Sprintf("account-%04d", i)
-		obj := ar.Object(k)
-		alice, err := obj.Proc(0)
-		if err != nil {
-			log.Fatal(err)
-		}
-		bob, err := obj.Proc(1)
-		if err != nil {
-			log.Fatal(err)
-		}
-		inflight = append(inflight, pending{
-			key:   k,
-			alice: alice.ProposeAsync(ctx, "alice@"+k),
-			bob:   bob.ProposeAsync(ctx, "bob@"+k),
-		})
+		ops = append(ops,
+			setagreement.BatchOp[string]{Key: k, Proc: 0, Value: "alice@" + k},
+			setagreement.BatchOp[string]{Key: k, Proc: 1, Value: "bob@" + k},
+		)
+	}
+	start := time.Now()
+	batch, err := ar.SubmitBatch(ctx, ops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	submitted := time.Since(start)
+
+	q := setagreement.NewCompletionQueue[string]()
+	defer q.Close()
+	if err := batch.Register(q); err != nil {
+		log.Fatal(err)
 	}
 	stats := ar.Stats()
-	fmt.Printf("submitted %d proposals over %d keys from one goroutine\n", 2*keys, keys)
+	fmt.Printf("submitted %d proposals over %d keys in one SubmitBatch (%v) from one goroutine\n",
+		batch.Len(), keys, submitted.Round(10*time.Microsecond))
 	fmt.Printf("  in flight: %d, parked: %d, notify waiters: %d\n",
 		stats.AsyncInFlight, stats.AsyncParked, stats.NotifyWaiters)
 	fmt.Printf("  goroutines: %d (baseline was %d)\n", runtime.NumGoroutine(), baseline)
 
-	// Collect phase: every pair must agree on its key's winner.
-	winners := make(map[string]int)
-	for _, p := range inflight {
-		a, err := p.alice.Value()
+	// Collect phase: completions arrive in decision order. The decided
+	// value of each op is checked against its pair's when the second of the
+	// pair lands; first/last decision timestamps fall out of the drain.
+	var (
+		firstDecision, lastDecision time.Duration
+		decided                     = make(map[string]string, keys)
+		winners                     = make(map[string]int, 2)
+	)
+	for seen := 0; seen < batch.Len(); seen++ {
+		c, err := q.Next(ctx)
 		if err != nil {
-			log.Fatalf("%s/alice: %v", p.key, err)
+			log.Fatal(err)
 		}
-		b, err := p.bob.Value()
+		v, err := c.Value()
 		if err != nil {
-			log.Fatalf("%s/bob: %v", p.key, err)
+			op := ops[c.Tag]
+			log.Fatalf("%s/proc %d: %v", op.Key, op.Proc, err)
 		}
-		if a != b {
-			log.Fatalf("key %s disagreed: %q vs %q", p.key, a, b)
+		if seen == 0 {
+			firstDecision = time.Since(start)
 		}
-		if a == "alice@"+p.key {
-			winners["alice"]++
+		lastDecision = time.Since(start)
+		key := ops[c.Tag].Key
+		if prev, ok := decided[key]; ok {
+			if prev != v {
+				log.Fatalf("key %s disagreed: %q vs %q", key, prev, v)
+			}
+			if v == "alice@"+key {
+				winners["alice"]++
+			} else {
+				winners["bob"]++
+			}
 		} else {
-			winners["bob"]++
+			decided[key] = v
 		}
 	}
 	stats = ar.Stats()
-	fmt.Printf("all %d keys decided and agreed in %v (alice won %d, bob won %d)\n",
-		keys, time.Since(start).Round(time.Millisecond), winners["alice"], winners["bob"])
+	fmt.Printf("all %d keys decided and agreed (alice won %d, bob won %d)\n",
+		keys, winners["alice"], winners["bob"])
+	fmt.Printf("  time to first decision: %v, time to last decision: %v\n",
+		firstDecision.Round(10*time.Microsecond), lastDecision.Round(time.Millisecond))
 	fmt.Printf("  proposes: %d, wakeups: %d, wait total: %v, mem steps: %d\n",
 		stats.Proposes, stats.Wakeups, stats.WaitTime.Round(time.Millisecond), stats.MemSteps)
 }

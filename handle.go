@@ -78,6 +78,13 @@ func (h *Handle[T]) Propose(ctx context.Context, v T) (T, error) {
 // translating every other lifecycle state into its error.
 func (h *Handle[T]) claim() error {
 	for {
+		// CAS-first: the free→busy transition is the hot path (one atomic
+		// op); the state switch below is only reached on lifecycle errors
+		// or a lost race.
+		if h.st.CompareAndSwap(stateFree, stateBusy) {
+			h.stats.proposes.Add(1)
+			return nil
+		}
 		switch h.st.Load() {
 		case stateBusy:
 			return ErrInUse
@@ -87,10 +94,6 @@ func (h *Handle[T]) claim() error {
 			return ErrPoisoned
 		case stateReleased:
 			return ErrReleased
-		}
-		if h.st.CompareAndSwap(stateFree, stateBusy) {
-			h.stats.proposes.Add(1)
-			return nil
 		}
 	}
 }

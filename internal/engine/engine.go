@@ -156,6 +156,20 @@ type task struct {
 	p  Proposal
 	st atomic.Uint64
 
+	// batch, when non-nil, marks this task as an unexpanded batch
+	// descriptor: it carries SubmitBatch's proposals instead of running one
+	// itself. The first drain goroutine to dequeue it materializes the
+	// per-proposal task slab (see expand) — submission stays O(1) in batch
+	// size on the submitter's side of the handoff.
+	batch []Proposal
+
+	// gauge is the contention of the object the task last parked on —
+	// Notifier.Waiters() sampled at park time, 0 for blind parks. It is
+	// atomic because the run-queue insert reads it for queued tasks while
+	// the parker (a different goroutine across parks) wrote it; advisory
+	// only, so a stale sample costs ordering quality, never correctness.
+	gauge atomic.Int64
+
 	parkStart  time.Time
 	cancelWake func()      // notifier registration, nil when none
 	cap        *capEntry   // deadline in the engine's timer wheel
@@ -292,6 +306,75 @@ func (e *Engine) Submit(p Proposal) {
 	e.enqueue(t)
 }
 
+// SubmitBatch hands the engine many proposals through one run-queue
+// transition, io_uring style: the submitter enqueues a single batch
+// descriptor — one allocation, one in-flight move, one lock acquisition,
+// at most one goroutine spawn, whatever the batch size — and rings the
+// bell once. The first drain goroutine to reach the descriptor expands it
+// into the per-proposal task slab on the engine's side of the handoff
+// (see expand), so the materialization cost overlaps useful work instead
+// of serializing the submitter. The batch's proposals start in submission
+// order. On a closed engine every proposal is aborted with ErrClosed
+// before SubmitBatch returns. The slice is owned by the engine once
+// submitted; the caller must not reuse it.
+func (e *Engine) SubmitBatch(ps []Proposal) {
+	if len(ps) == 0 {
+		return
+	}
+	e.inFlight.Add(int64(len(ps)))
+	t := &task{batch: ps}
+	t.st.Store(word(stQueued, WakeStart, 0))
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.abort(t)
+		return
+	}
+	if e.active < e.workers {
+		e.active++
+		e.wg.Add(1)
+		e.mu.Unlock()
+		go e.drain(t)
+		return
+	}
+	e.queue = append(e.queue, t)
+	e.mu.Unlock()
+}
+
+// expand materializes a batch descriptor into its per-proposal task slab:
+// the tail of the batch is queued (spawning drains up to the worker
+// ceiling for it), and the head task is returned for the calling drain to
+// run directly. Returns nil if the engine closed first — the batch is
+// then fully aborted and the caller releases its slot.
+func (e *Engine) expand(bt *task) *task {
+	ps := bt.batch
+	bt.batch = nil
+	tasks := make([]task, len(ps))
+	for i := range tasks {
+		tasks[i].p = ps[i]
+		tasks[i].st.Store(word(stQueued, WakeStart, 0))
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		for i := range tasks {
+			e.abort(&tasks[i])
+		}
+		return nil
+	}
+	spawn := min(e.workers-e.active, len(tasks)-1)
+	e.active += spawn
+	e.wg.Add(spawn)
+	for i := 1 + spawn; i < len(tasks); i++ {
+		e.queue = append(e.queue, &tasks[i])
+	}
+	e.mu.Unlock()
+	for i := 0; i < spawn; i++ {
+		go e.drain(&tasks[1+i])
+	}
+	return &tasks[0]
+}
+
 // enqueue puts a woken (or fresh) task on the run queue, spawning a drain
 // goroutine when one is allowed and none would pick it up. On a closed
 // engine the task is aborted instead.
@@ -310,8 +393,41 @@ func (e *Engine) enqueue(t *task) {
 		go e.drain(t)
 		return
 	}
-	e.queue = append(e.queue, t)
+	e.insertLocked(t)
 	e.mu.Unlock()
+}
+
+// insertLocked places t on the run queue. Fresh submissions and
+// timeout/cancel wakes append FIFO. A notify wake is placed
+// least-contended-object-first within the contiguous run of notify-woken
+// tasks at the queue's tail — the wake batch one publish produced. Under
+// obstruction-freedom the least-contended proposal is the one closest to
+// running solo, so it decides (and frees its slot, and stops contending
+// with the rest of its batch) fastest; draining a wake batch in that order
+// retires it sooner than FIFO does. Only the tail run is reordered: a
+// notify wake never jumps tasks woken by other causes, so timeout and
+// cancel wakes keep their arrival order and nothing starves.
+func (e *Engine) insertLocked(t *task) {
+	if WakeReason(t.st.Load()>>reasonShift&stMask) != WakeNotify {
+		e.queue = append(e.queue, t)
+		return
+	}
+	g := t.gauge.Load()
+	i := len(e.queue)
+	for i > 0 {
+		prev := e.queue[i-1]
+		// Queued tasks' state words are stable while e.mu is held (leaving
+		// the queue requires the lock), so the reason bits read here are
+		// those of the wake that enqueued prev.
+		if WakeReason(prev.st.Load()>>reasonShift&stMask) != WakeNotify ||
+			prev.gauge.Load() <= g {
+			break
+		}
+		i--
+	}
+	e.queue = append(e.queue, nil)
+	copy(e.queue[i+1:], e.queue[i:len(e.queue)-1])
+	e.queue[i] = t
 }
 
 // abort delivers ErrClosed to a task the engine will never advance again.
@@ -320,6 +436,15 @@ func (e *Engine) enqueue(t *task) {
 func (e *Engine) abort(t *task) {
 	t.st.Store(stDead)
 	e.stopSources(t)
+	if t.batch != nil {
+		// An unexpanded batch descriptor: abort every proposal it carries.
+		for _, p := range t.batch {
+			p.Abort(ErrClosed)
+		}
+		e.inFlight.Add(-int64(len(t.batch)))
+		t.batch = nil
+		return
+	}
 	t.p.Abort(ErrClosed)
 	e.inFlight.Add(-1)
 }
@@ -330,6 +455,14 @@ func (e *Engine) abort(t *task) {
 func (e *Engine) drain(t *task) {
 	defer e.wg.Done()
 	for {
+		if t.batch != nil {
+			if t = e.expand(t); t == nil {
+				e.mu.Lock()
+				e.active--
+				e.mu.Unlock()
+				return
+			}
+		}
 		e.run(t)
 		e.mu.Lock()
 		if len(e.queue) == 0 || e.closed {
@@ -386,6 +519,14 @@ func (e *Engine) park(t *task, park Park) {
 	}
 
 	t.parkStart = time.Now()
+	// Sample the object's contention before registering this park's own
+	// wake: if a publish later wakes a whole batch, the run-queue insert
+	// orders the batch least-contended-first by this gauge.
+	if park.Notifier != nil {
+		t.gauge.Store(park.Notifier.Waiters())
+	} else {
+		t.gauge.Store(0)
+	}
 	gen := t.st.Load()>>genShift + 1
 	t.st.Store(word(stParking, 0, gen))
 	if park.Notifier != nil {
