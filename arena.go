@@ -11,6 +11,7 @@ import (
 	"setagreement/internal/core"
 	"setagreement/internal/shmem"
 	"setagreement/internal/snapshot"
+	"setagreement/obs"
 )
 
 // Arena is a sharded, multi-tenant registry of named agreement objects: the
@@ -200,7 +201,7 @@ func NewArena[T comparable](n, k int, aopts ...ArenaOption) (*Arena[T], error) {
 	ar := &Arena[T]{
 		shards:   make([]arenaShard[T], iarena.Shards(cfg.shards)),
 		hasher:   iarena.NewHasher(),
-		eng:      &engineRef{workers: o.engineWorkers},
+		eng:      &engineRef{workers: o.engineWorkers, obsv: observerFor(o.obs)},
 		n:        n,
 		k:        k,
 		oneShot:  cfg.oneShot,
@@ -533,6 +534,27 @@ func (ar *Arena[T]) Stats() ArenaStats {
 	return s
 }
 
+// Observe returns the arena's structured observability snapshot: the
+// per-stage latency histograms, lifecycle counters and — when drain is
+// true — the recent-event ring, drained (each event appears in exactly
+// one draining snapshot), plus arena-level gauges (live objects, async
+// in-flight and parked counts). It requires a collector configured via
+// WithObjectOptions(WithObservability(...)); without one it returns nil.
+// Safe to call concurrently with serving traffic; obs/obshttp serves the
+// same snapshot over HTTP.
+func (ar *Arena[T]) Observe(drain bool) *obs.Snapshot {
+	s := ar.opts.obs.Snapshot(drain)
+	if s == nil {
+		return nil
+	}
+	s.Gauges["arena_objects"] = int64(ar.Len())
+	if e := ar.eng.peek(); e != nil {
+		s.Gauges["async_in_flight"] = e.InFlight()
+		s.Gauges["async_parked"] = e.Parked()
+	}
+	return s
+}
+
 // ArenaObject is one named agreement object served by an arena: the same
 // object core as Agreement/Repeated plus per-generation claim bookkeeping.
 // Handles are claimed with Proc, as on the standalone objects, and support
@@ -591,6 +613,7 @@ func (ao *ArenaObject[T]) Proc(id int) (*Handle[T], error) {
 		return nil, fmt.Errorf("%w: process %d already claimed", ErrInUse, id)
 	}
 	h := ao.obj.handle(id, ao.ar.oneShot)
+	h.guard.obsKey = ao.key
 	h.onRelease = func() { ao.released() }
 	ao.handles[id] = h
 	ao.live++

@@ -3,11 +3,13 @@ package setagreement
 import (
 	"context"
 	"errors"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 
 	"setagreement/internal/core"
 	"setagreement/internal/engine"
+	"setagreement/obs"
 )
 
 // ErrEngineClosed resolves futures whose proposals were still queued or
@@ -23,8 +25,12 @@ var ErrEngineClosed = errors.New("setagreement: async engine closed")
 // without forcing it into existence.
 type engineRef struct {
 	workers int
-	mu      sync.Mutex
-	eng     atomic.Pointer[engine.Engine]
+	// obsv, when non-nil, is installed on the engine at creation — before
+	// the atomic publish of the engine pointer, which is the happens-before
+	// edge SetObserver's contract asks for.
+	obsv engine.Observer
+	mu   sync.Mutex
+	eng  atomic.Pointer[engine.Engine]
 }
 
 func (er *engineRef) get() *engine.Engine {
@@ -37,8 +43,22 @@ func (er *engineRef) get() *engine.Engine {
 		return e
 	}
 	e := engine.New(er.workers)
+	if er.obsv != nil {
+		e.SetObserver(er.obsv)
+	}
 	er.eng.Store(e)
 	return e
+}
+
+// observerFor adapts a collector to the engine's Observer interface,
+// mapping the disabled configuration (nil collector) to a nil interface —
+// a typed-nil *obs.Collector inside the interface would defeat the
+// engine's `obsv != nil` fast path.
+func observerFor(c *obs.Collector) engine.Observer {
+	if c == nil {
+		return nil
+	}
+	return c
 }
 
 func (er *engineRef) peek() *engine.Engine { return er.eng.Load() }
@@ -82,8 +102,14 @@ func (h *Handle[T]) ProposeAsync(ctx context.Context, v T) *Future[T] {
 // both. On an immediate lifecycle failure the future is resolved with the
 // error and prepareAsync reports false: nothing reaches the engine.
 func (h *Handle[T]) prepareAsync(ctx context.Context, fut *Future[T], ap *asyncProposal[T], v T) bool {
+	// The span opens before the claim so even immediate lifecycle failures
+	// leave a complete trace; on the disabled path StartSpan returns the
+	// nil span and every call below it is a free no-op.
+	sp := h.guard.rec.StartSpan(h.guard.obsKey, h.guard.obsProc)
+	fut.span = sp
 	var zero T
 	if err := h.claim(); err != nil {
+		sp.Failed()
 		fut.resolve(zero, err)
 		return false
 	}
@@ -92,11 +118,12 @@ func (h *Handle[T]) prepareAsync(ctx context.Context, fut *Future[T], ap *asyncP
 	if ctx != nil {
 		if err := ctx.Err(); err != nil {
 			h.st.Store(statePoisoned)
+			sp.Canceled()
 			fut.resolve(zero, err)
 			return false
 		}
 	}
-	*ap = asyncProposal[T]{h: h, fut: fut, ctx: ctx, val: v}
+	*ap = asyncProposal[T]{h: h, fut: fut, ctx: ctx, val: v, span: sp}
 	return true
 }
 
@@ -129,11 +156,12 @@ func (h *Handle[T]) armAsync() {
 // only claim-and-arm per proposal, and the constructor cost runs on the
 // engine, overlapped across workers.
 type asyncProposal[T comparable] struct {
-	h   *Handle[T]
-	fut *Future[T]
-	ctx context.Context
-	att core.Attempt
-	val T
+	h    *Handle[T]
+	fut  *Future[T]
+	ctx  context.Context
+	att  core.Attempt
+	val  T
+	span *obs.Span // nil when observability is disabled
 }
 
 var _ engine.Proposal = (*asyncProposal[int])(nil)
@@ -145,12 +173,14 @@ func (ap *asyncProposal[T]) Advance(w engine.Wake) (engine.Park, bool) {
 	g := &h.guard
 	if w.Reason == engine.WakeStart {
 		h.armAsync()
+		ap.span.Started()
 		ap.att = h.res.Begin(h.codec.Encode(ap.val))
 	} else {
 		// Wait accounting precedes the wakeup count (the Stats ordering
 		// contract), and the solo detector re-bases exactly as after a
 		// blocking notify-wait.
 		h.stats.waitNS.Add(int64(w.Waited))
+		ap.span.Woken(int(w.Reason), w.Waited, w.Pos)
 		if w.Reason == engine.WakeNotify {
 			h.stats.wakeups.Add(1)
 			// A publish woke this proposal: route its next scan through the
@@ -164,8 +194,23 @@ func (ap *asyncProposal[T]) Advance(w engine.Wake) (engine.Park, bool) {
 		// blocking waiter proceeds when AwaitChange returns.
 		g.skipYield = true
 	}
-	out, err, park, parked := h.stepAsync(ap.ctx, ap.att)
+	var (
+		out    int
+		err    error
+		park   parkSignal
+		parked bool
+	)
+	if ap.span != nil {
+		// Label the worker's stepping for CPU profiles: samples taken while
+		// this proposal advances carry its object key and wake reason.
+		pprof.Do(context.Background(), pprof.Labels("sa_key", g.obsKey, "sa_wake", w.Reason.String()), func(context.Context) {
+			out, err, park, parked = h.stepAsync(ap.ctx, ap.att)
+		})
+	} else {
+		out, err, park, parked = h.stepAsync(ap.ctx, ap.att)
+	}
 	if parked {
+		ap.span.Parked(park.cap)
 		p := engine.Park{Version: park.version, Cap: park.cap, Ctx: ap.ctx}
 		if park.notify {
 			p.Notifier = g.notifier
@@ -188,10 +233,23 @@ func (ap *asyncProposal[T]) Abort(err error) {
 
 // finish commits the proposal's outcome to the handle lifecycle —
 // Handle.commit, the very code Propose's tail runs — and resolves the
-// future with the result.
+// future with the result. The span closes with exactly one terminal,
+// classified from the outcome, before the future resolves — so a trace's
+// terminal always precedes its delivery event.
 func (ap *asyncProposal[T]) finish(out int, err error) {
 	ap.h.guard.park = false
-	ap.fut.resolve(ap.h.commit(out, err))
+	dec, cerr := ap.h.commit(out, err)
+	switch {
+	case cerr == nil:
+		ap.span.Decided()
+	case errors.Is(cerr, ErrEngineClosed):
+		ap.span.Aborted()
+	case errors.Is(cerr, context.Canceled) || errors.Is(cerr, context.DeadlineExceeded):
+		ap.span.Canceled()
+	default:
+		ap.span.Failed()
+	}
+	ap.fut.resolve(dec, cerr)
 }
 
 // stepAsync runs the attempt through the handle's guard until it decides,

@@ -115,6 +115,10 @@ func (ar *Arena[T]) SubmitBatch(ctx context.Context, ops []BatchOp[T]) (*Batch[T
 		}
 		h, err := obj.Proc(ops[i].Proc)
 		if err != nil {
+			// No handle means no guard to record through; trace the claim
+			// failure via the arena's collector directly (nil-safe no-op
+			// when observability is off).
+			ar.opts.obs.StartSpan(ops[i].Key, int32(ops[i].Proc)).Failed()
 			var zero T
 			fut.resolve(zero, err)
 			continue

@@ -4,14 +4,16 @@
 // a p50 latency that grew past -factor times its baseline, or a
 // throughput rate (proposes/sec, lookups/sec, ops/sec) that fell below
 // baseline divided by -rate-factor. CI's bench-smoke job runs it on every
-// push against bench/baseline-async.json, bench/baseline-waits.json and
-// bench/baseline-arena.json, so a change that triples contended propose
-// latency or craters arena serving throughput fails the build instead of
-// silently rotting the trajectory.
+// push against bench/baseline-async.json, bench/baseline-waits.json,
+// bench/baseline-arena.json and bench/baseline-obs.json, so a change that
+// triples contended propose latency, craters arena serving throughput or
+// regresses a lifecycle stage's latency attribution fails the build
+// instead of silently rotting the trajectory.
 //
 // The check is deliberately trivial: tables are matched by title, rows by
 // their identifying columns (everything that is not a measured quantity),
-// and only the p50 and rate columns are gated. Cells below the noise
+// and only the duration columns (p50, and the obs table's stage-p50 /
+// stage-p95) and rate columns are gated. Cells below the noise
 // floors are ignored — microsecond-scale latencies and near-idle rates
 // vary more across machines than any regression they could hide — and
 // rows present in only one document are reported but never fail the gate,
@@ -53,6 +55,14 @@ var measuredColumns = map[string]bool{
 	"mem-steps": true, "cas-retries": true,
 	"combined": true, "adopted": true, "hit%": true,
 	"submit-ns/prop": true, "ttfd": true, "ttld": true,
+	"count": true, "stage-p50": true, "stage-p95": true,
+}
+
+// durationColumns are the gated latency columns: "p50" of the runtime
+// tables plus the obs table's per-stage quantiles. Lower is better;
+// cells below the -floor are noise.
+var durationColumns = map[string]bool{
+	"p50": true, "stage-p50": true, "stage-p95": true,
 }
 
 // rateColumns are the gated throughput columns: higher is better, so the
@@ -182,11 +192,12 @@ func compare(baseline, current doc, lim limits) (regressions []string, compared 
 }
 
 // gatedColumns returns the gate-relevant columns present in the table:
-// "p50" plus every known rate column.
+// the duration columns (p50, stage-p50, stage-p95) plus every known rate
+// column.
 func gatedColumns(columns []string) []string {
 	var out []string
 	for _, c := range columns {
-		if c == "p50" || rateColumns[c] {
+		if durationColumns[c] || rateColumns[c] {
 			out = append(out, c)
 		}
 	}
@@ -197,17 +208,17 @@ func gatedColumns(columns []string) []string {
 // pair. It returns a non-empty message on regression, and counted=false
 // when the cells are unparsable or below the noise floor.
 func gateCell(col, baseCell, curCell string, lim limits) (msg string, counted bool) {
-	if col == "p50" {
+	if durationColumns[col] {
 		baseD, err1 := time.ParseDuration(baseCell)
 		curD, err2 := time.ParseDuration(curCell)
 		if err1 != nil || err2 != nil {
-			return "", false // non-duration p50 cells are outside the gate
+			return "", false // non-duration cells are outside the gate
 		}
 		if curD < lim.floor || baseD <= 0 {
 			return "", true
 		}
 		if float64(curD) > lim.factor*float64(baseD) {
-			return fmt.Sprintf("p50 %v → %v (>%gx)", baseD, curD, lim.factor), true
+			return fmt.Sprintf("%s %v → %v (>%gx)", col, baseD, curD, lim.factor), true
 		}
 		return "", true
 	}

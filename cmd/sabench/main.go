@@ -36,11 +36,12 @@ import (
 	"setagreement/internal/report"
 	"setagreement/internal/shmem"
 	"setagreement/internal/snapshot"
+	"setagreement/obs"
 )
 
 func main() {
 	var (
-		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, arena, waits, scans, async, all")
+		table     = flag.String("table", "all", "which table: fig1, t2, t10, dfgr13, snapshots, components, minreg, probe, latency, backends, handles, arena, waits, scans, async, batch, obs, all")
 		n         = flag.Int("n", 6, "number of processes")
 		m         = flag.Int("m", 1, "obstruction degree")
 		k         = flag.Int("k", 2, "agreement degree")
@@ -77,10 +78,13 @@ benchmarks of this implementation. Pick one table with -table or run all:
   batch       batch vs looped submission: SubmitAll against a
               ProposeAsync loop, submit-side ns/proposal plus
               completion latency and time-to-first/last-decision
+  obs         per-stage latency attribution from an instrumented run
+              (WithObservability): the obs collector's histogram
+              quantiles for every lifecycle stage, per backend
 
 The -json flag switches the output to one machine-readable document
 ({"tables": [...]}), the format CI's bench-smoke job archives; the async
-table's JSON is also what cmd/benchtraj gates regressions against.
+and obs tables' JSON is also what cmd/benchtraj gates regressions against.
 
 Examples:
   sabench -table fig1 -format markdown
@@ -256,6 +260,16 @@ func run(table string, n, m, k, maxR, instances, seeds int, backend string, dur 
 			return err
 		}
 		if err := add(batchTable(backends, dur)); err != nil {
+			return err
+		}
+	}
+	if wantAll || table == "obs" {
+		ran = true
+		backends, err := selectPublicBackends(backend)
+		if err != nil {
+			return err
+		}
+		if err := add(obsTable(backends, dur)); err != nil {
 			return err
 		}
 	}
@@ -849,6 +863,98 @@ func measureBatch(be setagreement.MemoryBackend, mode string, size int, dur time
 		cell.ttld = ttldSum / time.Duration(rounds)
 	}
 	return cell, nil
+}
+
+// obsTable runs the instrumented counterpart of the batch workload — a
+// fan-out of two-contender consensuses submitted through SubmitBatch with
+// WithObservability on — and reports the collector's own per-stage latency
+// attribution: for every lifecycle stage the obs package histograms
+// (submit→first-step, park, wake→decide, submit→decide, decide→delivery,
+// plus the synchronous Propose path), its observation count and p50/p95.
+// Every stage appears in every run, observed or not, so the rows form a
+// stable grid cmd/benchtraj can gate stage latencies against
+// (bench/baseline-obs.json); stages the schedule never produced (no parks
+// on an uncontended run) report count 0 and zero quantiles.
+func obsTable(backends []setagreement.MemoryBackend, dur time.Duration) (*report.Table, error) {
+	t := report.New("Per-stage latency attribution (instrumented fan-out, k=1, 2 contenders/key)",
+		"backend", "stage", "count", "stage-p50", "stage-p95")
+	for _, be := range backends {
+		col, err := measureObs(be, dur)
+		if err != nil {
+			return nil, err
+		}
+		snap := col.Snapshot(false)
+		for _, stage := range []obs.Latency{
+			obs.LatSubmitToStart, obs.LatPark, obs.LatWakeToDecide,
+			obs.LatSubmitToDecide, obs.LatDecideToDeliver,
+			obs.LatWait, obs.LatSyncPropose,
+		} {
+			hs := snap.Latencies[stage.String()]
+			t.Add(be.String(), stage.String(), hs.Count,
+				hs.Quantile(0.5).Round(time.Microsecond).String(),
+				hs.Quantile(0.95).Round(time.Microsecond).String())
+		}
+	}
+	return t, nil
+}
+
+// measureObs drives rounds of 128-key two-contender batch fan-outs (fresh
+// keys each round, drained through a CompletionQueue) for the duration,
+// then a strand of solo synchronous Proposes, all against one instrumented
+// arena, and returns its collector.
+func measureObs(be setagreement.MemoryBackend, dur time.Duration) (*obs.Collector, error) {
+	col := obs.NewCollector(obs.WithRingSize(1 << 12))
+	ar, err := setagreement.NewArena[int](2, 1, setagreement.WithObjectOptions(
+		setagreement.WithMemoryBackend(be),
+		setagreement.WithWaitStrategy(setagreement.WaitNotify),
+		setagreement.WithBackoff(50*time.Microsecond, 2*time.Millisecond, 16),
+		setagreement.WithObservability(col)))
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	q := setagreement.NewCompletionQueue[int]()
+	defer q.Close()
+	const keysPerRound = 128
+	ops := make([]setagreement.BatchOp[int], 0, 2*keysPerRound)
+	deadline := time.Now().Add(dur)
+	for round := 0; round == 0 || time.Now().Before(deadline); round++ {
+		ops = ops[:0]
+		for i := 0; i < keysPerRound; i++ {
+			k := fmt.Sprintf("round-%04d-key-%04d", round, i)
+			ops = append(ops,
+				setagreement.BatchOp[int]{Key: k, Proc: 0, Value: 2 * i},
+				setagreement.BatchOp[int]{Key: k, Proc: 1, Value: 2*i + 1})
+		}
+		batch, err := ar.SubmitBatch(ctx, ops)
+		if err != nil {
+			return nil, fmt.Errorf("obs-table submit: %w", err)
+		}
+		if err := batch.Register(q); err != nil {
+			return nil, fmt.Errorf("obs-table register: %w", err)
+		}
+		for seen := 0; seen < batch.Len(); seen++ {
+			c, err := q.Next(ctx)
+			if err != nil {
+				return nil, fmt.Errorf("obs-table collect: %w", err)
+			}
+			if _, err := c.Value(); err != nil {
+				return nil, fmt.Errorf("obs-table proposal %d: %w", c.Tag, err)
+			}
+		}
+	}
+	// The sync strand: the blocking Propose path records wait and
+	// sync_propose, which the async fan-out never touches.
+	h, err := ar.Object("sync-strand").Proc(0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < 256; i++ {
+		if _, err := h.Propose(ctx, i); err != nil {
+			return nil, fmt.Errorf("obs-table sync propose: %w", err)
+		}
+	}
+	return col, nil
 }
 
 // arenaThroughput measures the arena serving path — Object(key) lookups on

@@ -1,8 +1,9 @@
 // salint is the multichecker for the repo's concurrency-contract analyzers
-// (internal/analysis/salint): viewmut, stepsafety, atomicword, capassert
-// and ctxwait — the mechanical form of the read-only view rule, the
+// (internal/analysis/salint): viewmut, stepsafety, atomicword, capassert,
+// ctxwait and hotsend — the mechanical form of the read-only view rule, the
 // resumable-Step restart-safety rule, the one-atomic-state-word discipline,
-// capability-probing and cancellable waits.
+// capability-probing, cancellable waits and non-blocking recorder hot
+// paths.
 //
 // Two modes:
 //

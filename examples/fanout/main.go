@@ -13,30 +13,61 @@
 // not submission order — so the collector observes time-to-first-decision
 // long before the last key settles, with no head-of-line blocking and no
 // per-future select.
+//
+// The run is fully instrumented (WithObservability): after the drain it
+// prints the per-stage latency breakdown — submit→first-step, park time,
+// wake→decide, decide→delivery — from the collector's histograms. With
+// -http the same collector is served live on obshttp's endpoints
+// (/metrics, /debug/obs, /debug/pprof/) for the duration of the run;
+// combine with -linger to curl them while the workload is in flight.
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"runtime"
 	"time"
 
 	"setagreement"
+	"setagreement/obs"
+	"setagreement/obs/obshttp"
 )
 
 const keys = 1000
 
+var (
+	httpAddr = flag.String("http", "", "serve obshttp endpoints on this address (e.g. localhost:6060)")
+	linger   = flag.Duration("linger", 0, "keep serving -http for this long after the run")
+)
+
 func main() {
+	flag.Parse()
+
+	col := obs.NewCollector(obs.WithRingSize(1 << 14))
 	// Two contenders per key, consensus per key, one shared engine.
 	ar, err := setagreement.NewArena[string](2, 1,
 		setagreement.WithObjectOptions(
 			setagreement.WithWaitStrategy(setagreement.WaitNotify),
 			setagreement.WithBackoff(50*time.Microsecond, 2*time.Millisecond, 16),
+			setagreement.WithObservability(col),
 		),
 	)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *httpAddr != "" {
+		// Serve the arena-enriched snapshot: collector data plus the
+		// arena's live gauges.
+		go func() {
+			h := obshttp.Handler(obshttp.SnapshotterFunc(ar.Observe))
+			log.Printf("serving observability on http://%s/metrics", *httpAddr)
+			if err := http.ListenAndServe(*httpAddr, h); err != nil {
+				log.Printf("obshttp: %v", err)
+			}
+		}()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -116,4 +147,28 @@ func main() {
 		firstDecision.Round(10*time.Microsecond), lastDecision.Round(time.Millisecond))
 	fmt.Printf("  proposes: %d, wakeups: %d, wait total: %v, mem steps: %d\n",
 		stats.Proposes, stats.Wakeups, stats.WaitTime.Round(time.Millisecond), stats.MemSteps)
+
+	// Per-stage latency attribution: where did each proposal's lifetime go?
+	snap := ar.Observe(false)
+	fmt.Println("per-stage latency (p50 / p95 / count):")
+	for _, stage := range []obs.Latency{
+		obs.LatSubmitToStart, obs.LatPark, obs.LatWakeToDecide,
+		obs.LatSubmitToDecide, obs.LatDecideToDeliver,
+	} {
+		hs, ok := snap.Latencies[stage.String()]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-18s %10v %10v %8d\n", stage.String(),
+			hs.Quantile(0.5).Round(time.Microsecond),
+			hs.Quantile(0.95).Round(time.Microsecond), hs.Count)
+	}
+	fmt.Printf("  parks: %d, wakes: %d, solo runs: %d, batches expanded: %d, dropped events: %d\n",
+		snap.Counters["parks"], snap.Counters["wakes"], snap.Counters["solo_runs"],
+		snap.Counters["batches_expanded"], snap.DroppedEvents)
+
+	if *httpAddr != "" && *linger > 0 {
+		log.Printf("lingering %v for scrapes of http://%s/metrics", *linger, *httpAddr)
+		time.Sleep(*linger)
+	}
 }

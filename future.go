@@ -3,6 +3,8 @@ package setagreement
 import (
 	"sync"
 	"sync/atomic"
+
+	"setagreement/obs"
 )
 
 // Future is the pending result of a ProposeAsync: it resolves exactly once
@@ -31,6 +33,11 @@ type Future[T comparable] struct {
 	// a Register that arrives after resolution — performs it.
 	reg       atomic.Pointer[cqReg[T]]
 	delivered atomic.Bool
+
+	// span is the proposal's lifecycle trace (nil when observability is
+	// disabled). Written by the submit path before resolve can run, read
+	// by deliver — the exactly-once delivery CAS sequences the two.
+	span *obs.Span
 }
 
 func newFuture[T comparable]() *Future[T] {
@@ -69,6 +76,9 @@ func (f *Future[T]) deliver() {
 	if r == nil || !f.delivered.CompareAndSwap(false, true) {
 		return
 	}
+	// The delivery event fires exactly once, with the CAS, before the push
+	// makes the completion collectable.
+	f.span.Delivered()
 	r.q.push(Completion[T]{Future: f, Tag: r.tag})
 }
 

@@ -8,6 +8,7 @@ import (
 
 	"setagreement/internal/core"
 	"setagreement/internal/shmem"
+	"setagreement/obs"
 )
 
 // Handle is one claimed process's handle on an agreement object. A handle
@@ -70,7 +71,16 @@ func (h *Handle[T]) Propose(ctx context.Context, v T) (T, error) {
 		var zero T
 		return zero, err
 	}
+	// Branch-guarded rather than deferred: the disabled path pays one nil
+	// check and the solo hot path stays allocation-free either way.
+	var start time.Time
+	if h.guard.rec != nil {
+		start = time.Now()
+	}
 	out, err := h.run(ctx, h.codec.Encode(v))
+	if h.guard.rec != nil {
+		h.guard.rec.SyncPropose(time.Since(start), int(h.guard.obsProc))
+	}
 	return h.commit(out, err)
 }
 
@@ -344,6 +354,14 @@ type guardMem struct {
 	// ownMuts counts mutating operations (Write, Update) issued through
 	// this guard. Only the owning goroutine touches it.
 	ownMuts uint64
+	// rec is the object's observability collector (WithObservability; nil
+	// when disabled — every call through it is then a nil-receiver no-op).
+	// obsKey and obsProc key its events: the arena key the handle's object
+	// is registered under ("" for standalone objects) and the process id.
+	// Set once at handle creation, never mutated afterwards.
+	rec     *obs.Collector
+	obsKey  string
+	obsProc int32
 }
 
 var (
@@ -430,6 +448,7 @@ func (g *guardMem) parkPause(d time.Duration) {
 		g.cur.lastVersion = v
 		g.cur.lastOwnMuts = g.ownMuts
 		if !foreign {
+			g.rec.SoloRun()
 			return
 		}
 	}
@@ -451,6 +470,7 @@ func (g *guardMem) notifyPause(d time.Duration) {
 		g.cur.lastVersion = v
 		g.cur.lastOwnMuts = g.ownMuts
 		if !foreign {
+			g.rec.SoloRun()
 			return
 		}
 	}
@@ -459,7 +479,9 @@ func (g *guardMem) notifyPause(d time.Duration) {
 	defer func() {
 		// Wait time is charged before the wakeup is counted (the Stats
 		// ordering contract: a snapshot showing a wakeup includes its wait).
-		g.stats.waitNS.Add(int64(time.Since(start)))
+		waited := time.Since(start)
+		g.stats.waitNS.Add(int64(waited))
+		g.rec.Wait(g.obsKey, g.obsProc, waited, woke)
 		if woke {
 			g.stats.wakeups.Add(1)
 			// A publish ended the wait: every process it woke is looking at
@@ -506,7 +528,12 @@ func (g *guardMem) notifyPause(d time.Duration) {
 // cancelled Propose must return promptly even mid-sleep.
 func (g *guardMem) sleep(d time.Duration) {
 	start := time.Now()
-	defer func() { g.stats.waitNS.Add(int64(time.Since(start))) }()
+	defer func() {
+		waited := time.Since(start)
+		g.stats.waitNS.Add(int64(waited))
+		// A blind sleep is a wait no memory change can end: woke=false.
+		g.rec.Wait(g.obsKey, g.obsProc, waited, false)
+	}()
 	if g.ctx == nil {
 		// A nil context means the caller opted out of cancellation
 		// entirely (plain Propose with no deadline); there is no Done

@@ -1,0 +1,83 @@
+// Package hotsend implements the salint analyzer for the observability
+// rule: no blocking channel sends on the proposal/recorder hot paths.
+//
+// The obs recorder runs inside Propose, ProposeAsync and the engine's
+// drain loops — the paths the disabled-overhead guard proves free and the
+// enabled path promises never to stall. A bare `ch <- v` there blocks the
+// proposal (or a whole engine worker) on a slow consumer; every handoff on
+// those paths must be non-blocking — a bounded ring with drop accounting
+// (obs.EventRing.TryPush), or a select with an escape case (a default, a
+// cancellation edge). The sibling ctxwait analyzer covers the other
+// blind-blocking shape, bare time.Sleep, module-wide.
+//
+// Flagged in non-test files of the hot-path packages (the root
+// setagreement package, internal/engine, obs and obs/obshttp):
+//
+//   - any send statement outside a select,
+//   - a send comm case of a single-case select (no escape case).
+//
+// Packages outside the hot path (the sim harness's lock-step rendezvous
+// channels, test scaffolding) are out of scope. An intentional blocking
+// send on a hot path carries a //lint:ignore hotsend directive with its
+// justification.
+package hotsend
+
+import (
+	"go/ast"
+
+	"setagreement/internal/analysis"
+)
+
+// Analyzer flags blocking channel sends on the recorder/proposal hot paths.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotsend",
+	Doc:  "recorder/proposal hot paths must not block: channel sends need a select with an escape case",
+	Run:  run,
+}
+
+// hotPackages names the packages whose non-test files form the proposal
+// and recorder hot paths.
+var hotPackages = map[string]bool{
+	"setagreement": true,
+	"engine":       true,
+	"obs":          true,
+	"obshttp":      true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !hotPackages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		// A send that is the comm of a select case with at least one
+		// sibling clause (a default, a receive, another send) has an
+		// escape; mark those so the walk below flags the rest.
+		guarded := map[ast.Node]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectStmt)
+			if !ok {
+				return true
+			}
+			for _, clause := range sel.Body.List {
+				comm, ok := clause.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if send, ok := comm.Comm.(*ast.SendStmt); ok && len(sel.Body.List) > 1 {
+					guarded[send] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			if send, ok := n.(*ast.SendStmt); ok && !guarded[send] {
+				pass.Reportf(send.Arrow, "blocking channel send on a recorder/proposal hot path — select it against a default or cancellation case, or hand off through a non-blocking ring")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package hotsend_test
+
+import (
+	"testing"
+
+	"setagreement/internal/analysis/analysistest"
+	"setagreement/internal/analysis/hotsend"
+)
+
+func TestHotsend(t *testing.T) {
+	analysistest.Run(t, hotsend.Analyzer, "hotsend")
+}

@@ -1,4 +1,4 @@
-// Package salint assembles the repo's analyzer suite: the five custom
+// Package salint assembles the repo's analyzer suite: the six custom
 // checks that mechanize the concurrency contracts prose alone used to
 // carry. cmd/salint drives it from the command line and from
 // `go vet -vettool`; the meta-test in this package runs it over the whole
@@ -14,6 +14,7 @@ import (
 	"setagreement/internal/analysis/atomicword"
 	"setagreement/internal/analysis/capassert"
 	"setagreement/internal/analysis/ctxwait"
+	"setagreement/internal/analysis/hotsend"
 	"setagreement/internal/analysis/stepsafety"
 	"setagreement/internal/analysis/viewmut"
 )
@@ -24,6 +25,7 @@ func Analyzers() []*analysis.Analyzer {
 		atomicword.Analyzer,
 		capassert.Analyzer,
 		ctxwait.Analyzer,
+		hotsend.Analyzer,
 		stepsafety.Analyzer,
 		viewmut.Analyzer,
 	}

@@ -1,0 +1,37 @@
+// Package obs exercises the hot-path send rule: the fixture carries the
+// name of an in-scope package, so its non-test sends are analyzed; bare
+// sends and escape-less selects are flagged, guarded sends are not.
+package obs
+
+func bareSend(c chan int, v int) {
+	c <- v // want "blocking channel send on a recorder/proposal hot path"
+}
+
+func soloSelectSend(c chan int, v int) {
+	select {
+	case c <- v: // want "blocking channel send on a recorder/proposal hot path"
+	}
+}
+
+func trySend(c chan int, v int) bool {
+	select {
+	case c <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func sendOrCancel(c chan int, done chan struct{}, v int) {
+	select {
+	case c <- v:
+	case <-done:
+	}
+}
+
+// suppressedSend documents an intentional rendezvous; the directive
+// silences the finding.
+func suppressedSend(c chan int, v int) {
+	//lint:ignore hotsend synchronous rendezvous by design
+	c <- v
+}

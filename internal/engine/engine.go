@@ -28,6 +28,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,12 @@ func (r WakeReason) String() string {
 type Wake struct {
 	Reason WakeReason
 	Waited time.Duration
+	// Pos is the run-queue position the wake placed the proposal at: 0
+	// when it was handed directly to a drain goroutine, the insertion
+	// index otherwise (for batch submissions, the proposal's index within
+	// its batch). Advisory, for observability only — by the time the
+	// proposal actually runs the queue ahead of it has drained.
+	Pos int
 	// Leader marks at most one WakeNotify resumption among those the
 	// engine is advancing at any moment. When a publish wakes a batch of
 	// parked proposals, the leader is the natural candidate to perform
@@ -120,6 +127,25 @@ type Proposal interface {
 	// deliver err as its outcome. Called at most once, and never after
 	// Advance reported done.
 	Abort(err error)
+}
+
+// Observer receives engine-level lifecycle callbacks: drain-goroutine
+// spawns and exits, batch-descriptor expansions and engine shutdown.
+// Implementations must be safe for concurrent use and must not block —
+// callbacks run on drain goroutines and inside Close. The public
+// package's obs.Collector implements it; a nil Observer (the default)
+// disables the callbacks entirely.
+type Observer interface {
+	// DrainStarted: a transient drain goroutine spawned.
+	DrainStarted()
+	// DrainStopped: a drain goroutine exited, releasing its slot.
+	DrainStopped()
+	// BatchExpanded: one batch descriptor of n proposals was materialized
+	// into its per-proposal task slab.
+	BatchExpanded(n int)
+	// EngineClosed: the engine shut down, aborting the given number of
+	// queued and parked proposals.
+	EngineClosed(aborted int)
 }
 
 // task states, kept with the pending wake reason and the park generation
@@ -170,6 +196,12 @@ type task struct {
 	// only, so a stale sample costs ordering quality, never correctness.
 	gauge atomic.Int64
 
+	// pos is the run-queue position of the task's latest enqueue, reported
+	// to the proposal as Wake.Pos. Written by whoever enqueues the task —
+	// under e.mu for queue inserts, before the go statement for direct
+	// spawns — both of which happen-before the drain's read in run.
+	pos int32
+
 	parkStart  time.Time
 	cancelWake func()      // notifier registration, nil when none
 	cap        *capEntry   // deadline in the engine's timer wheel
@@ -201,6 +233,11 @@ type Engine struct {
 	leadFree atomic.Bool
 
 	caps capWheel
+
+	// obsv, when non-nil, receives the engine's lifecycle callbacks.
+	// Installed by SetObserver before the engine serves traffic, never
+	// mutated afterwards.
+	obsv Observer
 
 	// parkHook, when non-nil, is called at each boundary of the park
 	// protocol (see ParkStage). Test seam only; set before any Submit.
@@ -252,6 +289,12 @@ func (s ParkStage) String() string {
 // every park. It must be installed before proposals are submitted and the
 // hook must be safe to call from drain goroutines. Passing nil removes it.
 func (e *Engine) SetParkHook(fn func(ParkStage)) { e.parkHook = fn }
+
+// SetObserver installs the engine's lifecycle observer. Like SetParkHook
+// it must be installed before proposals are submitted; the publisher of
+// the engine pointer (the lazy engineRef in the public package) provides
+// the happens-before edge to the drain goroutines that read it.
+func (e *Engine) SetObserver(o Observer) { e.obsv = o }
 
 // New builds an engine with the given worker count; workers < 1 selects
 // GOMAXPROCS.
@@ -334,9 +377,11 @@ func (e *Engine) SubmitBatch(ps []Proposal) {
 		e.active++
 		e.wg.Add(1)
 		e.mu.Unlock()
+		t.pos = 0
 		go e.drain(t)
 		return
 	}
+	t.pos = int32(len(e.queue))
 	e.queue = append(e.queue, t)
 	e.mu.Unlock()
 }
@@ -352,7 +397,11 @@ func (e *Engine) expand(bt *task) *task {
 	tasks := make([]task, len(ps))
 	for i := range tasks {
 		tasks[i].p = ps[i]
+		tasks[i].pos = int32(i) // batch-relative position, reported via Wake.Pos
 		tasks[i].st.Store(word(stQueued, WakeStart, 0))
+	}
+	if o := e.obsv; o != nil {
+		o.BatchExpanded(len(ps))
 	}
 	e.mu.Lock()
 	if e.closed {
@@ -390,6 +439,7 @@ func (e *Engine) enqueue(t *task) {
 		e.active++
 		e.wg.Add(1)
 		e.mu.Unlock()
+		t.pos = 0
 		go e.drain(t)
 		return
 	}
@@ -409,6 +459,7 @@ func (e *Engine) enqueue(t *task) {
 // cancel wakes keep their arrival order and nothing starves.
 func (e *Engine) insertLocked(t *task) {
 	if WakeReason(t.st.Load()>>reasonShift&stMask) != WakeNotify {
+		t.pos = int32(len(e.queue))
 		e.queue = append(e.queue, t)
 		return
 	}
@@ -425,6 +476,7 @@ func (e *Engine) insertLocked(t *task) {
 		}
 		i--
 	}
+	t.pos = int32(i)
 	e.queue = append(e.queue, nil)
 	copy(e.queue[i+1:], e.queue[i:len(e.queue)-1])
 	e.queue[i] = t
@@ -449,11 +501,28 @@ func (e *Engine) abort(t *task) {
 	e.inFlight.Add(-1)
 }
 
-// drain advances its task, then keeps pulling queued tasks until the queue
-// is empty (or the engine closes) and exits, releasing its concurrency
-// slot. Parked tasks respawn drains through enqueue when they wake.
+// drain is the entry point of one transient drain goroutine: it reports
+// the spawn/exit to the observer and, when one is installed, runs the
+// loop under a pprof goroutine label so CPU profiles attribute engine
+// work to the drain role.
 func (e *Engine) drain(t *task) {
 	defer e.wg.Done()
+	if o := e.obsv; o != nil {
+		o.DrainStarted()
+		defer o.DrainStopped()
+		pprof.Do(context.Background(), pprof.Labels("sa_role", "engine_drain"), func(context.Context) {
+			e.drainLoop(t)
+		})
+		return
+	}
+	e.drainLoop(t)
+}
+
+// drainLoop advances its task, then keeps pulling queued tasks until the
+// queue is empty (or the engine closes) and exits, releasing its
+// concurrency slot. Parked tasks respawn drains through enqueue when they
+// wake.
+func (e *Engine) drainLoop(t *task) {
 	for {
 		if t.batch != nil {
 			if t = e.expand(t); t == nil {
@@ -479,7 +548,7 @@ func (e *Engine) drain(t *task) {
 // run advances one dequeued task until it finishes or parks.
 func (e *Engine) run(t *task) {
 	s := t.st.Load()
-	w := Wake{Reason: WakeReason(s >> reasonShift & stMask)}
+	w := Wake{Reason: WakeReason(s >> reasonShift & stMask), Pos: int(t.pos)}
 	t.st.Store(word(stRunning, 0, s>>genShift))
 	// The task reached the queue either fresh (no sources armed) or through
 	// a waker's CAS on its state word, which hands this worker ownership of
@@ -618,6 +687,16 @@ func (e *Engine) Close() {
 	}
 	e.mu.Unlock()
 
+	// Count the proposals this shutdown aborts before abort() consumes the
+	// batch descriptors. Parked tasks are always single proposals.
+	aborted := len(parked)
+	for _, t := range queued {
+		if t.batch != nil {
+			aborted += len(t.batch)
+		} else {
+			aborted++
+		}
+	}
 	for _, t := range queued {
 		e.abort(t)
 	}
@@ -625,6 +704,9 @@ func (e *Engine) Close() {
 		e.reclaim(t)
 	}
 	e.wg.Wait()
+	if o := e.obsv; o != nil {
+		o.EngineClosed(aborted)
+	}
 }
 
 // reclaim aborts one task found in the parked set at Close. The task's

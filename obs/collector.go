@@ -1,0 +1,434 @@
+package obs
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one lifecycle stage of a proposal's trace.
+type Stage uint8
+
+const (
+	// StageSubmit: the proposal entered the submit path (span start).
+	StageSubmit Stage = iota
+	// StageStart: the engine ran the proposal's first step.
+	StageStart
+	// StagePark: the proposal parked; Arg is the park cap in nanoseconds.
+	StagePark
+	// StageWake: the proposal was woken; Arg packs the engine wake reason
+	// and the run-queue position it re-entered at (see WakeArg).
+	StageWake
+	// StageDecide: the proposal decided; Arg is submit→decide nanoseconds.
+	StageDecide
+	// StageDeliver: the resolved future was handed to its CompletionQueue.
+	StageDeliver
+	// StageCancel: the proposal's context ended before a decision.
+	StageCancel
+	// StageAbort: the engine closed with the proposal still in flight.
+	StageAbort
+	// StageFail: the proposal failed before or outside the engine — a
+	// claim error (ErrInUse, ErrEvicted, ...) or a codec failure.
+	StageFail
+	// StageWait: one blocking wait of the synchronous Propose path; Arg
+	// is 1 when a memory change (not the timeout cap) ended it.
+	StageWait
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageSubmit:
+		return "submit"
+	case StageStart:
+		return "start"
+	case StagePark:
+		return "park"
+	case StageWake:
+		return "wake"
+	case StageDecide:
+		return "decide"
+	case StageDeliver:
+		return "deliver"
+	case StageCancel:
+		return "cancel"
+	case StageAbort:
+		return "abort"
+	case StageFail:
+		return "fail"
+	case StageWait:
+		return "wait"
+	default:
+		return "stage(?)"
+	}
+}
+
+// MarshalText renders the stage by name in JSON debug dumps.
+func (s Stage) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a stage name, so JSON debug dumps round-trip.
+func (s *Stage) UnmarshalText(b []byte) error {
+	for st := StageSubmit; st <= StageWait; st++ {
+		if st.String() == string(b) {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown stage %q", b)
+}
+
+// Terminal reports whether the stage ends a proposal's trace. A
+// StageDeliver may still follow the terminal: delivery reports the
+// resolved outcome, whatever it was.
+func (s Stage) Terminal() bool {
+	switch s {
+	case StageDecide, StageCancel, StageAbort, StageFail:
+		return true
+	}
+	return false
+}
+
+// Event is one timestamped span event. Events of one proposal share
+// (Key, Proc) and are sequenced by Seq, so a drained ring reassembles
+// into per-proposal traces (GroupSpans).
+type Event struct {
+	// WallNS is the wall-clock time of the event in Unix nanoseconds.
+	WallNS int64 `json:"t"`
+	// Key is the object key the proposal ran against ("" for standalone
+	// objects).
+	Key string `json:"key"`
+	// Proc is the proposing process id (-1 for anonymous sessions).
+	Proc int32 `json:"proc"`
+	// Seq is the event's position in its span, starting at 0.
+	Seq uint32 `json:"seq"`
+	// Stage is the lifecycle stage.
+	Stage Stage `json:"stage"`
+	// Arg is the stage-specific argument (see the Stage constants).
+	Arg int64 `json:"arg,omitempty"`
+}
+
+// WakeArg packs a StageWake argument: the engine wake reason in the low
+// byte, the run-queue position above it.
+func WakeArg(reason, pos int) int64 {
+	if pos < 0 {
+		pos = 0
+	}
+	return int64(pos)<<8 | int64(reason&0xff)
+}
+
+// WakeReasonArg unpacks the wake reason from a StageWake argument.
+func WakeReasonArg(arg int64) int { return int(arg & 0xff) }
+
+// WakePosArg unpacks the run-queue position from a StageWake argument.
+func WakePosArg(arg int64) int { return int(arg >> 8) }
+
+// Latency identifies one of the collector's stage-latency histograms.
+type Latency int
+
+const (
+	// LatSubmitToStart: submit to the proposal's first engine step.
+	LatSubmitToStart Latency = iota
+	// LatPark: one park, park to wake.
+	LatPark
+	// LatWakeToDecide: the final resume (start, for never-parked
+	// proposals) to the decision.
+	LatWakeToDecide
+	// LatSubmitToDecide: the whole async proposal, submit to decision.
+	LatSubmitToDecide
+	// LatDecideToDeliver: decision to completion-queue delivery.
+	LatDecideToDeliver
+	// LatWait: one blocking wait of the synchronous Propose path.
+	LatWait
+	// LatSyncPropose: one whole blocking Propose call.
+	LatSyncPropose
+	// NumLatencies bounds the Latency enum.
+	NumLatencies
+)
+
+// String names the histogram, as keyed in Snapshot.Latencies.
+func (l Latency) String() string {
+	switch l {
+	case LatSubmitToStart:
+		return "submit_to_start"
+	case LatPark:
+		return "park"
+	case LatWakeToDecide:
+		return "wake_to_decide"
+	case LatSubmitToDecide:
+		return "submit_to_decide"
+	case LatDecideToDeliver:
+		return "decide_to_deliver"
+	case LatWait:
+		return "wait"
+	case LatSyncPropose:
+		return "sync_propose"
+	default:
+		return "latency(?)"
+	}
+}
+
+// Recorder is the sink the instrumented hot paths record into.
+// *Collector implements it, and the nil *Collector is the disabled
+// recorder: every method — including those of the nil *Span StartSpan
+// then returns — is a zero-allocation no-op, so call sites never branch
+// on whether observability is on.
+type Recorder interface {
+	// StartSpan opens a proposal trace keyed by (key, proc) and emits
+	// its StageSubmit event.
+	StartSpan(key string, proc int32) *Span
+	// Record appends one event to the ring (never blocking; dropped with
+	// accounting when the ring is full). A zero WallNS is stamped.
+	Record(ev Event)
+	// Observe records d into the l histogram, striped by hint.
+	Observe(l Latency, d time.Duration, hint int)
+}
+
+var _ Recorder = (*Collector)(nil)
+
+// Collector owns one observability domain: the stage-latency histograms,
+// the lifecycle counters and the bounded event ring. One collector is
+// typically shared by an arena (WithObservability) and everything that
+// serves it — engine, completion queues, the obshttp handler. All methods
+// are safe for concurrent use, and all are nil-receiver-safe no-ops, so a
+// nil *Collector is the disabled configuration.
+type Collector struct {
+	ring *EventRing
+	lat  [NumLatencies]Histogram
+
+	spansStarted  atomic.Uint64
+	spansDecided  atomic.Uint64
+	spansCanceled atomic.Uint64
+	spansAborted  atomic.Uint64
+	spansFailed   atomic.Uint64
+	deliveries    atomic.Uint64
+	parks         atomic.Uint64
+	wakes         atomic.Uint64
+	soloRuns      atomic.Uint64
+	syncWaits     atomic.Uint64
+	syncProposes  atomic.Uint64
+	batches       atomic.Uint64
+	batchProps    atomic.Uint64
+	drains        atomic.Uint64
+	drainsActive  atomic.Int64
+	engineCloses  atomic.Uint64
+	closeAborted  atomic.Uint64
+}
+
+// CollectorOption configures NewCollector.
+type CollectorOption func(*collectorConfig)
+
+type collectorConfig struct {
+	ringSize int
+}
+
+// WithRingSize sets the event ring's capacity (rounded up to a power of
+// two; default 4096). Size it to the burst of events between Snapshot
+// drains: overflow is safe — events drop with accounting — but dropped
+// events leave gaps in the debug traces.
+func WithRingSize(n int) CollectorOption {
+	return func(c *collectorConfig) {
+		if n > 0 {
+			c.ringSize = n
+		}
+	}
+}
+
+// NewCollector builds a collector.
+func NewCollector(opts ...CollectorOption) *Collector {
+	cfg := collectorConfig{ringSize: 4096}
+	for _, op := range opts {
+		op(&cfg)
+	}
+	return &Collector{ring: NewEventRing(cfg.ringSize)}
+}
+
+// spanHint derives the histogram striping hint for a span: a cheap FNV of
+// the key, offset by the proc id, so concurrent proposals of one key
+// still land on different stripes.
+func spanHint(key string, proc int32) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h) + int(proc)
+}
+
+// Record implements Recorder.
+func (c *Collector) Record(ev Event) {
+	if c == nil {
+		return
+	}
+	if ev.WallNS == 0 {
+		ev.WallNS = time.Now().UnixNano()
+	}
+	c.ring.TryPush(ev)
+}
+
+// Observe implements Recorder.
+func (c *Collector) Observe(l Latency, d time.Duration, hint int) {
+	if c == nil || l < 0 || l >= NumLatencies {
+		return
+	}
+	c.lat[l].ObserveHint(d, hint)
+}
+
+// Wait records one blocking wait of the synchronous Propose path: the
+// wait histogram plus a StageWait event. woke reports whether a memory
+// change (rather than the timeout cap) ended the wait.
+func (c *Collector) Wait(key string, proc int32, d time.Duration, woke bool) {
+	if c == nil {
+		return
+	}
+	c.syncWaits.Add(1)
+	c.lat[LatWait].ObserveHint(d, spanHint(key, proc))
+	var arg int64
+	if woke {
+		arg = 1
+	}
+	c.Record(Event{Key: key, Proc: proc, Stage: StageWait, Arg: arg})
+}
+
+// SoloRun counts one yield point skipped by solo detection: the proposal
+// had seen no foreign write since its previous yield and kept stepping.
+// These are the solo windows the paper's m-obstruction-freedom argument
+// turns into guaranteed decisions.
+func (c *Collector) SoloRun() {
+	if c == nil {
+		return
+	}
+	c.soloRuns.Add(1)
+}
+
+// SyncPropose records one completed blocking Propose.
+func (c *Collector) SyncPropose(d time.Duration, hint int) {
+	if c == nil {
+		return
+	}
+	c.syncProposes.Add(1)
+	c.lat[LatSyncPropose].ObserveHint(d, hint)
+}
+
+// DrainStarted implements the engine's Observer: a drain goroutine
+// spawned.
+func (c *Collector) DrainStarted() {
+	if c == nil {
+		return
+	}
+	c.drains.Add(1)
+	c.drainsActive.Add(1)
+}
+
+// DrainStopped implements the engine's Observer: a drain goroutine
+// exited.
+func (c *Collector) DrainStopped() {
+	if c == nil {
+		return
+	}
+	c.drainsActive.Add(-1)
+}
+
+// BatchExpanded implements the engine's Observer: one batch descriptor of
+// n proposals was materialized into its per-proposal task slab.
+func (c *Collector) BatchExpanded(n int) {
+	if c == nil {
+		return
+	}
+	c.batches.Add(1)
+	c.batchProps.Add(uint64(n))
+}
+
+// EngineClosed implements the engine's Observer: the engine shut down,
+// aborting the given number of queued and parked proposals.
+func (c *Collector) EngineClosed(aborted int) {
+	if c == nil {
+		return
+	}
+	c.engineCloses.Add(1)
+	c.closeAborted.Add(uint64(aborted))
+}
+
+// Snapshot is the structured observability snapshot: the per-stage time
+// breakdown (latency histograms), the lifecycle counters, point-in-time
+// gauges, and — from draining snapshots — the recent-event ring.
+type Snapshot struct {
+	// TakenAt is when the snapshot was captured.
+	TakenAt time.Time `json:"taken_at"`
+	// Latencies maps Latency names (see Latency.String) to their
+	// histograms; empty histograms are omitted.
+	Latencies map[string]HistogramSnapshot `json:"latencies"`
+	// Counters holds the monotone lifecycle counters.
+	Counters map[string]uint64 `json:"counters"`
+	// Gauges holds point-in-time values (engine drains active; the
+	// arena's Observe adds its own).
+	Gauges map[string]int64 `json:"gauges"`
+	// Events is the drained recent-event ring, in ring order (only from
+	// Snapshot(true); each event appears in exactly one such snapshot).
+	Events []Event `json:"events,omitempty"`
+	// DroppedEvents counts events ever dropped on a full ring.
+	DroppedEvents uint64 `json:"dropped_events"`
+}
+
+// Snapshot captures the collector's state. drain=true also consumes the
+// buffered events into Events — the debug-dump mode; metrics scrapes pass
+// false and leave the ring for the debug surface. A nil collector
+// snapshots to nil.
+func (c *Collector) Snapshot(drain bool) *Snapshot {
+	if c == nil {
+		return nil
+	}
+	s := &Snapshot{
+		TakenAt:   time.Now(),
+		Latencies: make(map[string]HistogramSnapshot, NumLatencies),
+		Counters: map[string]uint64{
+			"spans_started":    c.spansStarted.Load(),
+			"spans_decided":    c.spansDecided.Load(),
+			"spans_canceled":   c.spansCanceled.Load(),
+			"spans_aborted":    c.spansAborted.Load(),
+			"spans_failed":     c.spansFailed.Load(),
+			"deliveries":       c.deliveries.Load(),
+			"parks":            c.parks.Load(),
+			"wakes":            c.wakes.Load(),
+			"solo_runs":        c.soloRuns.Load(),
+			"sync_waits":       c.syncWaits.Load(),
+			"sync_proposes":    c.syncProposes.Load(),
+			"batches_expanded": c.batches.Load(),
+			"batch_proposals":  c.batchProps.Load(),
+			"drains_spawned":   c.drains.Load(),
+			"engine_closes":    c.engineCloses.Load(),
+			"close_aborted":    c.closeAborted.Load(),
+		},
+		Gauges: map[string]int64{
+			"drains_active": c.drainsActive.Load(),
+		},
+		DroppedEvents: c.ring.Dropped(),
+	}
+	for l := Latency(0); l < NumLatencies; l++ {
+		if hs := c.lat[l].Snapshot(); hs.Count > 0 {
+			s.Latencies[l.String()] = hs
+		}
+	}
+	if drain {
+		s.Events = c.ring.Drain()
+	}
+	return s
+}
+
+// TraceKey identifies one proposal's trace: the object key and proc id
+// its span was opened with.
+type TraceKey struct {
+	Key  string
+	Proc int32
+}
+
+// GroupSpans reassembles a drained event slice into per-proposal traces,
+// preserving ring order within each trace. StageWait events (the sync
+// path, which has no spans) group under their (key, proc) too; filter by
+// stage if that mixing matters.
+func GroupSpans(events []Event) map[TraceKey][]Event {
+	out := make(map[TraceKey][]Event)
+	for _, ev := range events {
+		k := TraceKey{Key: ev.Key, Proc: ev.Proc}
+		out[k] = append(out[k], ev)
+	}
+	return out
+}

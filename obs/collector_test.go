@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilCollectorIsDisabledRecorder: the nil *Collector and the nil
+// *Span it hands out are the zero-cost disabled path — every method a
+// no-op, with zero allocations.
+func TestNilCollectorIsDisabledRecorder(t *testing.T) {
+	var c *Collector
+	allocs := testing.AllocsPerRun(100, func() {
+		sp := c.StartSpan("key", 3)
+		sp.Started()
+		sp.Parked(time.Millisecond)
+		sp.Woken(1, time.Microsecond, 2)
+		sp.Decided()
+		sp.Delivered()
+		sp.Canceled()
+		sp.Aborted()
+		sp.Failed()
+		c.Record(Event{Stage: StageWait})
+		c.Observe(LatWait, time.Microsecond, 0)
+		c.Wait("key", 3, time.Microsecond, true)
+		c.SoloRun()
+		c.SyncPropose(time.Microsecond, 0)
+		c.DrainStarted()
+		c.DrainStopped()
+		c.BatchExpanded(8)
+		c.EngineClosed(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder allocated %.1f times per run, want 0", allocs)
+	}
+	if s := c.Snapshot(true); s != nil {
+		t.Fatal("nil collector snapshot should be nil")
+	}
+}
+
+// TestSpanLifecycle walks one span through the full happy path and checks
+// the emitted trace and the derived counters/histograms.
+func TestSpanLifecycle(t *testing.T) {
+	c := NewCollector(WithRingSize(64))
+	sp := c.StartSpan("acct-1", 2)
+	sp.Started()
+	sp.Parked(5 * time.Millisecond)
+	sp.Woken(1, 80*time.Microsecond, 3)
+	sp.Decided()
+	sp.Delivered()
+
+	s := c.Snapshot(true)
+	if got := s.Counters["spans_started"]; got != 1 {
+		t.Errorf("spans_started = %d", got)
+	}
+	if got := s.Counters["spans_decided"]; got != 1 {
+		t.Errorf("spans_decided = %d", got)
+	}
+	if got := s.Counters["parks"]; got != 1 {
+		t.Errorf("parks = %d", got)
+	}
+	if got := s.Counters["wakes"]; got != 1 {
+		t.Errorf("wakes = %d", got)
+	}
+	if got := s.Counters["deliveries"]; got != 1 {
+		t.Errorf("deliveries = %d", got)
+	}
+	wantStages := []Stage{StageSubmit, StageStart, StagePark, StageWake, StageDecide, StageDeliver}
+	if len(s.Events) != len(wantStages) {
+		t.Fatalf("got %d events, want %d: %v", len(s.Events), len(wantStages), s.Events)
+	}
+	for i, ev := range s.Events {
+		if ev.Stage != wantStages[i] {
+			t.Errorf("event %d stage = %v, want %v", i, ev.Stage, wantStages[i])
+		}
+		if ev.Seq != uint32(i) {
+			t.Errorf("event %d seq = %d", i, ev.Seq)
+		}
+		if ev.Key != "acct-1" || ev.Proc != 2 {
+			t.Errorf("event %d keyed (%q, %d)", i, ev.Key, ev.Proc)
+		}
+		if ev.WallNS == 0 {
+			t.Errorf("event %d has no timestamp", i)
+		}
+	}
+	// The wake event round-trips its packed argument.
+	wake := s.Events[3]
+	if WakeReasonArg(wake.Arg) != 1 || WakePosArg(wake.Arg) != 3 {
+		t.Errorf("wake arg %d unpacked to (%d, %d)", wake.Arg, WakeReasonArg(wake.Arg), WakePosArg(wake.Arg))
+	}
+	// The park event carries its cap.
+	if got := time.Duration(s.Events[2].Arg); got != 5*time.Millisecond {
+		t.Errorf("park cap arg = %v", got)
+	}
+	// Every stage histogram saw its observation.
+	for _, l := range []Latency{LatSubmitToStart, LatPark, LatWakeToDecide, LatSubmitToDecide, LatDecideToDeliver} {
+		if hs := s.Latencies[l.String()]; hs.Count != 1 {
+			t.Errorf("latency %v count = %d, want 1", l, hs.Count)
+		}
+	}
+	if hs := s.Latencies[LatPark.String()]; hs.Quantile(0.5) < 64*time.Microsecond || hs.Quantile(0.5) > 132*time.Microsecond {
+		t.Errorf("park p50 = %v, want within the 80µs bucket", hs.Quantile(0.5))
+	}
+	// The draining snapshot consumed the events.
+	if s2 := c.Snapshot(true); len(s2.Events) != 0 {
+		t.Fatalf("second drain returned %d events", len(s2.Events))
+	}
+}
+
+func TestSnapshotNonDrainingKeepsEvents(t *testing.T) {
+	c := NewCollector()
+	c.StartSpan("k", 0).Decided()
+	if s := c.Snapshot(false); len(s.Events) != 0 {
+		t.Fatal("non-draining snapshot returned events")
+	}
+	if s := c.Snapshot(true); len(s.Events) != 2 {
+		t.Fatalf("drain after peek returned %d events, want 2", len(s.Events))
+	}
+}
+
+func TestWakeArgPacking(t *testing.T) {
+	for _, c := range []struct{ reason, pos int }{{0, 0}, {1, 0}, {3, 511}, {2, 1 << 20}, {1, -5}} {
+		arg := WakeArg(c.reason, c.pos)
+		wantPos := c.pos
+		if wantPos < 0 {
+			wantPos = 0
+		}
+		if WakeReasonArg(arg) != c.reason || WakePosArg(arg) != wantPos {
+			t.Errorf("WakeArg(%d, %d) unpacked to (%d, %d)", c.reason, c.pos, WakeReasonArg(arg), WakePosArg(arg))
+		}
+	}
+}
+
+func TestGroupSpans(t *testing.T) {
+	events := []Event{
+		{Key: "a", Proc: 0, Seq: 0, Stage: StageSubmit},
+		{Key: "b", Proc: 0, Seq: 0, Stage: StageSubmit},
+		{Key: "a", Proc: 1, Seq: 0, Stage: StageSubmit},
+		{Key: "a", Proc: 0, Seq: 1, Stage: StageDecide},
+	}
+	groups := GroupSpans(events)
+	if len(groups) != 3 {
+		t.Fatalf("got %d groups, want 3", len(groups))
+	}
+	a0 := groups[TraceKey{Key: "a", Proc: 0}]
+	if len(a0) != 2 || a0[0].Stage != StageSubmit || a0[1].Stage != StageDecide {
+		t.Fatalf("trace a/0 = %v", a0)
+	}
+}
+
+func TestStageTerminal(t *testing.T) {
+	terminal := map[Stage]bool{StageDecide: true, StageCancel: true, StageAbort: true, StageFail: true}
+	for s := StageSubmit; s <= StageWait; s++ {
+		if s.Terminal() != terminal[s] {
+			t.Errorf("%v.Terminal() = %v", s, s.Terminal())
+		}
+	}
+}
+
+func BenchmarkSpanLifecycle(b *testing.B) {
+	c := NewCollector(WithRingSize(1 << 16))
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sp := c.StartSpan("bench", 1)
+			sp.Started()
+			sp.Parked(time.Millisecond)
+			sp.Woken(1, time.Microsecond, 0)
+			sp.Decided()
+		}
+	})
+}

@@ -1,0 +1,39 @@
+// Package obs is the production observability layer: lock-free mergeable
+// latency histograms, per-proposal lifecycle tracing into a bounded event
+// ring, and the structured snapshot the export surfaces (Arena.Observe,
+// obs/obshttp, sabench -table obs) serve from.
+//
+// The package is deliberately a leaf — it imports only the standard
+// library — so both the public setagreement package and internal/engine
+// can record into one Collector without a dependency cycle.
+//
+// # The zero-cost disabled path
+//
+// Everything hangs off a *Collector, and the nil *Collector is the
+// disabled recorder: every method on it — and on the nil *Span it hands
+// out — is a nil-check no-op that performs zero allocations. The library
+// therefore calls through unconditionally (no "if enabled" scattered over
+// the hot paths), and with observability off (the default) solo
+// Propose/ProposeAsync keep their committed allocation ceilings exactly
+// (TestObservabilityDisabledOverhead).
+//
+// # What is recorded
+//
+// Each asynchronous proposal gets a Span keyed by (object key, proc id).
+// The span emits one timestamped Event per lifecycle stage — submit,
+// first engine step, park (with the cap), wake (with the engine wake
+// reason and run-queue position), decision, completion-queue delivery,
+// and exactly one terminal among decided/canceled/aborted/failed — into
+// the collector's bounded MPMC ring. Producers never block: when the ring
+// is full the event is dropped and the drop counter incremented, so
+// tracing can never stall the engine. Stage latencies (submit→start,
+// park time, wake→decide, submit→decide, decide→delivery, blocking waits
+// of the synchronous path) feed log-bucketed histograms that are
+// lock-free on the write side and mergeable on the read side.
+//
+// Under the paper's m-obstruction-freedom argument
+// (conf_podc_Delporte-Gallet15), the park/wake/solo-run record is the
+// observable footprint of the progress property itself: solo runs are
+// the windows in which termination is guaranteed, and the park/wake
+// cadence shows how the schedule produced them.
+package obs

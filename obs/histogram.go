@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the bucket count of every histogram. Bucket 0 counts
+// non-positive durations; bucket b ≥ 1 counts durations in
+// [2^(b-1), 2^b) nanoseconds — power-of-two (log-spaced) buckets, so 47
+// of them cover 1ns up to ~1.6 days and the top bucket absorbs the rest.
+const NumBuckets = 48
+
+// histShards stripes the write side of a Histogram: concurrent observers
+// with different hints land on different count arrays, so the hot path is
+// one uncontended atomic add. Must be a power of two.
+const histShards = 8
+
+// Histogram is a lock-free log-bucketed latency histogram: fixed
+// power-of-two buckets, per-shard atomic.Uint64 count arrays, no
+// allocation and no locking on the write side ever. Reads (Snapshot) walk
+// the shards and fold them into one mergeable HistogramSnapshot. The zero
+// Histogram is ready to use.
+type Histogram struct {
+	shards [histShards]histShard
+}
+
+// histShard is one write stripe. The trailing pad keeps adjacent shards'
+// hot tails out of one cache line.
+type histShard struct {
+	counts [NumBuckets]atomic.Uint64
+	sumNS  atomic.Int64
+	_      [56]byte
+}
+
+// bucketOf maps a duration to its bucket: the bit length of the
+// nanosecond count.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	b := bits.Len64(uint64(d))
+	if b >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return b
+}
+
+// BucketBound returns the exclusive upper bound of bucket i: every
+// duration counted in bucket i is strictly below it (0 for bucket 0,
+// which counts only non-positive durations; the top bucket is unbounded
+// and returns the maximum duration).
+func BucketBound(i int) time.Duration {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= NumBuckets-1:
+		return time.Duration(math.MaxInt64)
+	default:
+		return time.Duration(1) << uint(i)
+	}
+}
+
+// Observe records one duration. Safe for any number of concurrent
+// callers; callers that hold a natural striping value should prefer
+// ObserveHint.
+func (h *Histogram) Observe(d time.Duration) { h.ObserveHint(d, 0) }
+
+// ObserveHint records one duration, striping the update across the
+// histogram's internal shards by hint. Any int works (the collector
+// passes a hash of the span's object key and proc id, so concurrent
+// proposals spread naturally); equal hints merely share a stripe.
+func (h *Histogram) ObserveHint(d time.Duration, hint int) {
+	s := &h.shards[uint(hint)%histShards]
+	s.counts[bucketOf(d)].Add(1)
+	if d > 0 {
+		s.sumNS.Add(int64(d))
+	}
+}
+
+// HistogramSnapshot is a point-in-time fold of a Histogram, mergeable
+// across histograms (roll-up over shards, engines or time windows) and
+// JSON-serializable for the debug surface.
+type HistogramSnapshot struct {
+	// Counts[b] is the number of observations in bucket b (see
+	// BucketBound for the bucket geometry).
+	Counts [NumBuckets]uint64 `json:"counts"`
+	// Count is the total number of observations.
+	Count uint64 `json:"count"`
+	// SumNS is the sum of all positive observations, in nanoseconds.
+	SumNS int64 `json:"sum_ns"`
+}
+
+// Snapshot folds the histogram's shards into one snapshot. Concurrent
+// observes may or may not be included; each lands in at most one of any
+// two successive snapshots' deltas.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	for i := range h.shards {
+		sh := &h.shards[i]
+		for b := 0; b < NumBuckets; b++ {
+			c := sh.counts[b].Load()
+			s.Counts[b] += c
+			s.Count += c
+		}
+		s.SumNS += sh.sumNS.Load()
+	}
+	return s
+}
+
+// Merge adds o's observations into s.
+func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
+	for b := range s.Counts {
+		s.Counts[b] += o.Counts[b]
+	}
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+}
+
+// Mean returns the mean observed duration, 0 when empty.
+func (s HistogramSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNS / int64(s.Count))
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by locating the bucket
+// the rank falls in and interpolating linearly within it — the usual
+// log-bucket estimate, exact to within one bucket's width.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(s.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for b := 0; b < NumBuckets; b++ {
+		c := s.Counts[b]
+		if c == 0 {
+			continue
+		}
+		if cum+c >= rank {
+			var lo int64
+			if b > 0 {
+				lo = int64(1) << uint(b-1)
+			}
+			hi := int64(1) << uint(b)
+			if b == 0 {
+				hi = 0
+			}
+			frac := float64(rank-cum) / float64(c)
+			return time.Duration(lo) + time.Duration(frac*float64(hi-lo))
+		}
+		cum += c
+	}
+	return 0
+}

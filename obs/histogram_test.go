@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{-5, 0},
+		{0, 0},
+		{1, 1},
+		{2, 2},
+		{3, 2},
+		{4, 3},
+		{1023, 10},
+		{1024, 11},
+		{time.Duration(1) << 50, NumBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.bucket)
+		}
+	}
+	for i := 1; i < NumBuckets-1; i++ {
+		if bucketOf(BucketBound(i)-1) != i {
+			t.Errorf("BucketBound(%d)-1 not in bucket %d", i, i)
+		}
+		if bucketOf(BucketBound(i)) != i+1 {
+			t.Errorf("BucketBound(%d) should open bucket %d", i, i+1)
+		}
+	}
+}
+
+func TestHistogramSnapshotAndQuantile(t *testing.T) {
+	var h Histogram
+	// 100 observations at ~1µs, 10 at ~1ms: p50 must land in the µs
+	// bucket, p99 in the ms bucket.
+	for i := 0; i < 100; i++ {
+		h.ObserveHint(time.Microsecond, i)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 110 {
+		t.Fatalf("Count = %d, want 110", s.Count)
+	}
+	wantSum := int64(100*time.Microsecond + 10*time.Millisecond)
+	if s.SumNS != wantSum {
+		t.Fatalf("SumNS = %d, want %d", s.SumNS, wantSum)
+	}
+	p50 := s.Quantile(0.5)
+	if p50 < 512*time.Nanosecond || p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want ~1µs", p50)
+	}
+	p99 := s.Quantile(0.99)
+	if p99 < 512*time.Microsecond || p99 > 2*time.Millisecond {
+		t.Errorf("p99 = %v, want ~1ms", p99)
+	}
+	if m := s.Mean(); m < 80*time.Microsecond || m > 120*time.Microsecond {
+		t.Errorf("Mean = %v, want ~91µs", m)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var empty HistogramSnapshot
+	if empty.Quantile(0.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty snapshot should quantile to 0")
+	}
+	var h Histogram
+	h.Observe(time.Second)
+	s := h.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		got := s.Quantile(q)
+		if got < 512*time.Millisecond || got > 2*time.Second {
+			t.Errorf("Quantile(%g) = %v, want ~1s", q, got)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Observe(time.Microsecond)
+	b.Observe(time.Millisecond)
+	b.Observe(time.Millisecond)
+	s := a.Snapshot()
+	s.Merge(b.Snapshot())
+	if s.Count != 3 {
+		t.Fatalf("merged Count = %d, want 3", s.Count)
+	}
+	if want := int64(time.Microsecond + 2*time.Millisecond); s.SumNS != want {
+		t.Fatalf("merged SumNS = %d, want %d", s.SumNS, want)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.ObserveHint(time.Duration(i%1000)*time.Nanosecond, g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s := h.Snapshot(); s.Count != goroutines*per {
+		t.Fatalf("Count = %d, want %d", s.Count, goroutines*per)
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	var h Histogram
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			h.ObserveHint(time.Microsecond, i)
+			i++
+		}
+	})
+}

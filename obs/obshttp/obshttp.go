@@ -1,0 +1,169 @@
+// Package obshttp serves an obs.Collector over HTTP: a Prometheus
+// text-format metrics endpoint, a JSON debug dump of the full snapshot
+// (including the drained recent-event ring, reassembled per proposal),
+// and the runtime's pprof endpoints — whose profiles carry the labels
+// the instrumented library sets (sa_key and sa_wake around proposal
+// steps, sa_role on engine drain goroutines), so CPU samples attribute
+// to object keys and lifecycle stages.
+//
+// The package depends only on the standard library and the obs package;
+// mount the handler wherever the application serves HTTP:
+//
+//	col := obs.NewCollector()
+//	ar, _ := setagreement.NewArena[int](n, k,
+//	        setagreement.WithObjectOptions(setagreement.WithObservability(col)))
+//	go http.ListenAndServe("localhost:6060", obshttp.Handler(col))
+//
+// Endpoints:
+//
+//	/metrics      Prometheus text exposition: per-stage latency
+//	              histograms (sa_stage_latency_seconds), lifecycle
+//	              counters (sa_*_total) and gauges. Non-draining — the
+//	              event ring is left for the debug surface.
+//	/debug/obs    The full obs.Snapshot as JSON, draining the event
+//	              ring (each event appears in exactly one response);
+//	              ?drain=0 leaves the ring untouched — histograms,
+//	              counters and gauges only, no events or traces.
+//	/debug/pprof/ The standard runtime profiles.
+package obshttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"time"
+
+	"setagreement/obs"
+)
+
+// Snapshotter is the handler's view of an observability source: the
+// *obs.Collector itself, or any wrapper that enriches its snapshot (an
+// Arena's Observe method, adapted with SnapshotterFunc).
+type Snapshotter interface {
+	Snapshot(drain bool) *obs.Snapshot
+}
+
+// SnapshotterFunc adapts a snapshot function — e.g. an Arena's Observe
+// method value — to the Snapshotter interface.
+type SnapshotterFunc func(drain bool) *obs.Snapshot
+
+// Snapshot implements Snapshotter.
+func (f SnapshotterFunc) Snapshot(drain bool) *obs.Snapshot { return f(drain) }
+
+// Handler builds the HTTP handler serving s. A nil snapshot (a nil
+// collector, or observability not configured) answers 503 on the data
+// endpoints; the pprof endpoints always work.
+func Handler(s Snapshotter) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		snap := s.Snapshot(false)
+		if snap == nil {
+			http.Error(w, "observability not configured", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		writeMetrics(w, snap)
+	})
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, r *http.Request) {
+		drain := r.URL.Query().Get("drain") != "0"
+		snap := s.Snapshot(drain)
+		if snap == nil {
+			http.Error(w, "observability not configured", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(debugDump(snap))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// dump is the /debug/obs response shape: the snapshot plus the drained
+// events regrouped into per-proposal traces for human consumption.
+type dump struct {
+	*obs.Snapshot
+	// Traces maps "key/proc" to that proposal's events, in ring order.
+	Traces map[string][]obs.Event `json:"traces,omitempty"`
+}
+
+func debugDump(s *obs.Snapshot) dump {
+	d := dump{Snapshot: s}
+	if len(s.Events) > 0 {
+		d.Traces = make(map[string][]obs.Event)
+		for k, evs := range obs.GroupSpans(s.Events) {
+			d.Traces[fmt.Sprintf("%s/%d", k.Key, k.Proc)] = evs
+		}
+	}
+	return d
+}
+
+// writeMetrics renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Histogram buckets are the obs package's
+// power-of-two nanosecond bounds, converted to seconds; buckets above
+// the highest populated one are elided (+Inf carries the total).
+func writeMetrics(w http.ResponseWriter, s *obs.Snapshot) {
+	fmt.Fprintf(w, "# HELP sa_stage_latency_seconds Per-stage proposal latency.\n")
+	fmt.Fprintf(w, "# TYPE sa_stage_latency_seconds histogram\n")
+	for _, stage := range sortedKeys(s.Latencies) {
+		hs := s.Latencies[stage]
+		top := 0
+		for i, c := range hs.Counts {
+			if c > 0 {
+				top = i
+			}
+		}
+		cum := uint64(0)
+		for i := 0; i <= top; i++ {
+			cum += hs.Counts[i]
+			le := formatLE(obs.BucketBound(i))
+			fmt.Fprintf(w, "sa_stage_latency_seconds_bucket{stage=%q,le=%q} %d\n", stage, le, cum)
+		}
+		fmt.Fprintf(w, "sa_stage_latency_seconds_bucket{stage=%q,le=\"+Inf\"} %d\n", stage, hs.Count)
+		fmt.Fprintf(w, "sa_stage_latency_seconds_sum{stage=%q} %s\n", stage, formatSeconds(hs.SumNS))
+		fmt.Fprintf(w, "sa_stage_latency_seconds_count{stage=%q} %d\n", stage, hs.Count)
+	}
+	for _, name := range sortedKeys(s.Counters) {
+		fmt.Fprintf(w, "# TYPE sa_%s_total counter\n", name)
+		fmt.Fprintf(w, "sa_%s_total %d\n", name, s.Counters[name])
+	}
+	fmt.Fprintf(w, "# TYPE sa_trace_dropped_events_total counter\n")
+	fmt.Fprintf(w, "sa_trace_dropped_events_total %d\n", s.DroppedEvents)
+	for _, name := range sortedKeys(s.Gauges) {
+		fmt.Fprintf(w, "# TYPE sa_%s gauge\n", name)
+		fmt.Fprintf(w, "sa_%s %d\n", name, s.Gauges[name])
+	}
+}
+
+// formatLE renders a bucket's upper bound in seconds. The top bucket's
+// bound (MaxInt64 ns) has no finite rendering Prometheus accepts cleanly,
+// so it maps to +Inf.
+func formatLE(bound time.Duration) string {
+	if bound >= math.MaxInt64 {
+		return "+Inf"
+	}
+	return formatSeconds(int64(bound))
+}
+
+// formatSeconds renders nanoseconds as a decimal seconds literal.
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,167 @@
+package obshttp
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"setagreement/obs"
+)
+
+// seedCollector runs one full span plus a sync wait through a collector.
+func seedCollector() *obs.Collector {
+	c := obs.NewCollector(obs.WithRingSize(64))
+	sp := c.StartSpan("k1", 0)
+	sp.Started()
+	sp.Parked(time.Millisecond)
+	sp.Woken(1, 50*time.Microsecond, 0)
+	sp.Decided()
+	sp.Delivered()
+	c.Wait("k1", 1, 30*time.Microsecond, true)
+	return c
+}
+
+func get(t *testing.T, h *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := h.Client().Get(h.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(seedCollector()))
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE sa_stage_latency_seconds histogram",
+		`sa_stage_latency_seconds_bucket{stage="park",le="+Inf"} 1`,
+		`sa_stage_latency_seconds_count{stage="submit_to_decide"} 1`,
+		"sa_spans_started_total 1",
+		"sa_spans_decided_total 1",
+		"sa_deliveries_total 1",
+		"sa_sync_waits_total 1",
+		"sa_trace_dropped_events_total 0",
+		"# TYPE sa_drains_active gauge",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics output missing %q\n%s", want, body)
+		}
+	}
+	// Bucket lines are cumulative and monotone within each stage; the park
+	// bucket for its 50µs observation must appear with a finite bound.
+	if !strings.Contains(body, `sa_stage_latency_seconds_bucket{stage="park",le="6.5536e-05"} 1`) {
+		t.Errorf("park histogram missing the 65.536µs bucket line\n%s", body)
+	}
+}
+
+func TestMetricsDoesNotDrainEvents(t *testing.T) {
+	c := seedCollector()
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+	get(t, srv, "/metrics")
+	if s := c.Snapshot(true); len(s.Events) == 0 {
+		t.Fatal("metrics scrape consumed the event ring")
+	}
+}
+
+func TestDebugObsDrains(t *testing.T) {
+	srv := httptest.NewServer(Handler(seedCollector()))
+	defer srv.Close()
+
+	// A peek leaves the ring intact.
+	code, body := get(t, srv, "/debug/obs?drain=0")
+	if code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	var peek struct {
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &peek); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(peek.Events) != 0 {
+		t.Fatalf("peek returned %d events, want 0 (non-draining)", len(peek.Events))
+	}
+
+	// The draining dump returns the events grouped into traces…
+	_, body = get(t, srv, "/debug/obs")
+	var d struct {
+		Events []obs.Event            `json:"events"`
+		Traces map[string][]obs.Event `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &d); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(d.Events) != 7 { // 6 span events + 1 sync wait
+		t.Fatalf("dump has %d events, want 7: %s", len(d.Events), body)
+	}
+	tr := d.Traces["k1/0"]
+	if len(tr) != 6 {
+		t.Fatalf("trace k1/0 has %d events, want 6", len(tr))
+	}
+	for i, ev := range tr {
+		if ev.Seq != uint32(i) {
+			t.Errorf("trace event %d has seq %d", i, ev.Seq)
+		}
+	}
+
+	// …and consumes them: the next drain is empty.
+	_, body = get(t, srv, "/debug/obs")
+	var again struct {
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.Unmarshal([]byte(body), &again); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(again.Events) != 0 {
+		t.Fatalf("second drain returned %d events", len(again.Events))
+	}
+}
+
+func TestNilCollectorAnswers503(t *testing.T) {
+	var c *obs.Collector
+	srv := httptest.NewServer(Handler(c))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/metrics"); code != 503 {
+		t.Errorf("/metrics on nil collector: status %d, want 503", code)
+	}
+	if code, _ := get(t, srv, "/debug/obs"); code != 503 {
+		t.Errorf("/debug/obs on nil collector: status %d, want 503", code)
+	}
+}
+
+func TestSnapshotterFunc(t *testing.T) {
+	c := seedCollector()
+	enriched := SnapshotterFunc(func(drain bool) *obs.Snapshot {
+		s := c.Snapshot(drain)
+		s.Gauges["custom"] = 42
+		return s
+	})
+	srv := httptest.NewServer(Handler(enriched))
+	defer srv.Close()
+	_, body := get(t, srv, "/metrics")
+	if !strings.Contains(body, "sa_custom 42") {
+		t.Errorf("enriched gauge missing:\n%s", body)
+	}
+}
+
+func TestPprofMounted(t *testing.T) {
+	srv := httptest.NewServer(Handler(seedCollector()))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != 200 {
+		t.Errorf("/debug/pprof/cmdline: status %d", code)
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import "sync/atomic"
+
+// EventRing is the bounded multi-producer multi-consumer ring buffer the
+// collector's lifecycle events flow through (a Vyukov-style array queue:
+// one sequence word per slot arbitrates producers and consumers without
+// locks). Producers never block and never spin on a full ring: TryPush on
+// a full ring drops the event and increments the drop counter, so the
+// recorder hot path — engine workers mid-Advance — can never stall on
+// tracing. Consumers drain with TryPop/Drain; a drained event is returned
+// exactly once.
+type EventRing struct {
+	mask  uint64
+	slots []ringSlot
+
+	_     [56]byte // keep head, tail and drops on separate cache lines
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+	_     [56]byte
+	drops atomic.Uint64
+}
+
+// ringSlot carries one event plus the sequence word that hands the slot
+// back and forth: seq == pos means free for the producer of ticket pos,
+// seq == pos+1 means filled for the consumer of ticket pos.
+type ringSlot struct {
+	seq atomic.Uint64
+	ev  Event
+}
+
+// NewEventRing builds a ring with capacity ≥ size, rounded up to a power
+// of two (minimum 2).
+func NewEventRing(size int) *EventRing {
+	n := 2
+	for n < size {
+		n <<= 1
+	}
+	r := &EventRing{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// Cap returns the ring's capacity.
+func (r *EventRing) Cap() int { return len(r.slots) }
+
+// Dropped returns the number of events dropped by TryPush on a full ring.
+func (r *EventRing) Dropped() uint64 { return r.drops.Load() }
+
+// TryPush appends ev, reporting false (and counting a drop) when the ring
+// is full. It never blocks: a producer that loses a ticket race retries on
+// a fresh ticket, and fullness is detected in one slot read.
+func (r *EventRing) TryPush(ev Event) bool {
+	pos := r.head.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos); {
+		case d == 0:
+			if r.head.CompareAndSwap(pos, pos+1) {
+				s.ev = ev
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.head.Load()
+		case d < 0:
+			// The slot still holds an unconsumed event a full lap behind:
+			// the ring is full. Drop rather than wait.
+			r.drops.Add(1)
+			return false
+		default:
+			pos = r.head.Load()
+		}
+	}
+}
+
+// TryPop removes the oldest event, reporting false when the ring is empty.
+func (r *EventRing) TryPop() (Event, bool) {
+	pos := r.tail.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch d := int64(seq) - int64(pos+1); {
+		case d == 0:
+			if r.tail.CompareAndSwap(pos, pos+1) {
+				ev := s.ev
+				s.seq.Store(pos + r.mask + 1)
+				return ev, true
+			}
+			pos = r.tail.Load()
+		case d < 0:
+			return Event{}, false
+		default:
+			pos = r.tail.Load()
+		}
+	}
+}
+
+// Drain pops every buffered event in ring order. Events pushed
+// concurrently with the drain may land in this batch or the next.
+func (r *EventRing) Drain() []Event {
+	var out []Event
+	for {
+		ev, ok := r.TryPop()
+		if !ok {
+			return out
+		}
+		out = append(out, ev)
+	}
+}

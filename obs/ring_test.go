@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestEventRingFIFO(t *testing.T) {
+	r := NewEventRing(8)
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	for i := 0; i < 5; i++ {
+		if !r.TryPush(Event{Seq: uint32(i)}) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		ev, ok := r.TryPop()
+		if !ok || ev.Seq != uint32(i) {
+			t.Fatalf("pop %d = (%v, %v)", i, ev.Seq, ok)
+		}
+	}
+	if _, ok := r.TryPop(); ok {
+		t.Fatal("pop on empty ring succeeded")
+	}
+}
+
+func TestEventRingOverflowDrops(t *testing.T) {
+	r := NewEventRing(4)
+	for i := 0; i < 4; i++ {
+		if !r.TryPush(Event{Seq: uint32(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if r.TryPush(Event{Seq: 99}) {
+		t.Fatal("push on full ring succeeded")
+	}
+	if r.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", r.Dropped())
+	}
+	// The buffered events survive the overflow intact.
+	evs := r.Drain()
+	if len(evs) != 4 {
+		t.Fatalf("Drain returned %d events, want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint32(i) {
+			t.Fatalf("event %d has Seq %d after overflow", i, ev.Seq)
+		}
+	}
+	// The ring is reusable after a drain.
+	if !r.TryPush(Event{Seq: 7}) {
+		t.Fatal("push after drain failed")
+	}
+}
+
+func TestEventRingSizeRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, 2}, {1, 2}, {3, 4}, {4, 4}, {5, 8}, {4096, 4096}} {
+		if got := NewEventRing(c.in).Cap(); got != c.want {
+			t.Errorf("NewEventRing(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// TestEventRingConcurrent hammers the ring from concurrent producers and
+// one draining consumer; under -race this is the memory-safety proof for
+// the slot handoff. Every pushed event must be drained exactly once, and
+// pushes+drops must account for every attempt.
+func TestEventRingConcurrent(t *testing.T) {
+	r := NewEventRing(64)
+	const producers, per = 8, 5000
+	doneProducing := make(chan struct{})
+	var pushed [producers]int64
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if r.TryPush(Event{Proc: int32(p), Seq: uint32(i)}) {
+					pushed[p]++
+				}
+			}
+		}(p)
+	}
+	done := make(chan struct{})
+	var drained int64
+	var lastSeq [producers]int64
+	for p := range lastSeq {
+		lastSeq[p] = -1
+	}
+	go func() {
+		defer close(done)
+		check := func(evs []Event) bool {
+			for _, ev := range evs {
+				drained++
+				// Per producer the ring preserves push order, so Seq must
+				// strictly increase within a producer.
+				if int64(ev.Seq) <= lastSeq[ev.Proc] {
+					t.Errorf("producer %d: seq %d after %d", ev.Proc, ev.Seq, lastSeq[ev.Proc])
+					return false
+				}
+				lastSeq[ev.Proc] = int64(ev.Seq)
+			}
+			return true
+		}
+		for {
+			// Observe completion BEFORE the drain: a producer that won its
+			// head ticket can be preempted before publishing the slot, so a
+			// drain concurrent with production may legitimately come up
+			// empty. Once doneProducing is closed every push is complete and
+			// a single final drain empties the ring.
+			select {
+			case <-doneProducing:
+				check(r.Drain())
+				return
+			default:
+			}
+			if !check(r.Drain()) {
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(doneProducing)
+	<-done
+	var total int64
+	for p := range pushed {
+		total += pushed[p]
+	}
+	if drained != total {
+		t.Fatalf("drained %d events, pushed %d", drained, total)
+	}
+	if got := int64(r.Dropped()) + total; got != producers*per {
+		t.Fatalf("pushed+dropped = %d, want %d", got, producers*per)
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Span is one proposal's lifecycle trace: opened on the submit path
+// (Collector.StartSpan), advanced by the engine adapter at each stage,
+// closed by exactly one terminal call. Each stage method records its
+// latency into the collector's histograms and emits one sequenced Event
+// into the ring.
+//
+// A nil *Span — what StartSpan on a nil (disabled) Collector returns —
+// is fully usable: every method is a zero-allocation no-op. Span methods
+// are called from whichever goroutine holds the proposal at that stage
+// (the submitter, then engine workers, then the resolver); the engine's
+// ownership handoffs order them, so the span needs no locking of its own.
+type Span struct {
+	c    *Collector
+	key  string
+	proc int32
+	hint int
+
+	// seq numbers the span's events. Atomic because delivery may run on
+	// a completion-queue registrar racing no one but sequenced only
+	// through the future's resolution handoff.
+	seq atomic.Uint32
+
+	submit time.Time // StartSpan
+	resume time.Time // last Started/Woken
+	decide time.Time // Decided
+}
+
+// StartSpan opens a proposal trace keyed by (key, proc), emitting its
+// StageSubmit event. On a nil collector it returns the nil span, keeping
+// the disabled path allocation-free.
+func (c *Collector) StartSpan(key string, proc int32) *Span {
+	if c == nil {
+		return nil
+	}
+	c.spansStarted.Add(1)
+	s := &Span{c: c, key: key, proc: proc, hint: spanHint(key, proc), submit: time.Now()}
+	s.emit(StageSubmit, 0)
+	return s
+}
+
+// emit appends the span's next sequenced event.
+func (s *Span) emit(st Stage, arg int64) {
+	s.c.Record(Event{
+		Key:   s.key,
+		Proc:  s.proc,
+		Seq:   s.seq.Add(1) - 1,
+		Stage: st,
+		Arg:   arg,
+	})
+}
+
+// Started marks the proposal's first engine step.
+func (s *Span) Started() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.resume = now
+	s.c.lat[LatSubmitToStart].ObserveHint(now.Sub(s.submit), s.hint)
+	s.emit(StageStart, 0)
+}
+
+// Parked marks one park; cap is the park's timeout cap.
+func (s *Span) Parked(cap time.Duration) {
+	if s == nil {
+		return
+	}
+	s.c.parks.Add(1)
+	s.emit(StagePark, int64(cap))
+}
+
+// Woken marks one wake: reason is the engine's wake reason, waited how
+// long the proposal was parked, pos the run-queue position it re-entered
+// at.
+func (s *Span) Woken(reason int, waited time.Duration, pos int) {
+	if s == nil {
+		return
+	}
+	s.c.wakes.Add(1)
+	s.resume = time.Now()
+	s.c.lat[LatPark].ObserveHint(waited, s.hint)
+	s.emit(StageWake, WakeArg(reason, pos))
+}
+
+// Decided closes the span with a decision.
+func (s *Span) Decided() {
+	if s == nil {
+		return
+	}
+	now := time.Now()
+	s.decide = now
+	s.c.spansDecided.Add(1)
+	resume := s.resume
+	if resume.IsZero() {
+		resume = s.submit
+	}
+	s.c.lat[LatWakeToDecide].ObserveHint(now.Sub(resume), s.hint)
+	s.c.lat[LatSubmitToDecide].ObserveHint(now.Sub(s.submit), s.hint)
+	s.emit(StageDecide, int64(now.Sub(s.submit)))
+}
+
+// Delivered marks the resolved future's handoff to its CompletionQueue.
+// It may follow any terminal — delivery reports the outcome, whatever it
+// was — and contributes to the decide→deliver histogram only after a
+// decision.
+func (s *Span) Delivered() {
+	if s == nil {
+		return
+	}
+	s.c.deliveries.Add(1)
+	if !s.decide.IsZero() {
+		s.c.lat[LatDecideToDeliver].ObserveHint(time.Since(s.decide), s.hint)
+	}
+	s.emit(StageDeliver, 0)
+}
+
+// Canceled closes the span: the proposal's context ended first.
+func (s *Span) Canceled() {
+	if s == nil {
+		return
+	}
+	s.c.spansCanceled.Add(1)
+	s.emit(StageCancel, 0)
+}
+
+// Aborted closes the span: the engine shut down with the proposal in
+// flight.
+func (s *Span) Aborted() {
+	if s == nil {
+		return
+	}
+	s.c.spansAborted.Add(1)
+	s.emit(StageAbort, 0)
+}
+
+// Failed closes the span: the proposal failed before or outside the
+// engine (a claim error, a codec failure).
+func (s *Span) Failed() {
+	if s == nil {
+		return
+	}
+	s.c.spansFailed.Add(1)
+	s.emit(StageFail, 0)
+}

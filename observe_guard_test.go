@@ -1,0 +1,117 @@
+package setagreement_test
+
+import (
+	"context"
+	"testing"
+
+	sa "setagreement"
+	"setagreement/obs"
+)
+
+// soloAllocsWith measures steady-state allocations of one solo proposal
+// (blocking or engine-driven) on a fresh repeated object built with the
+// given extra options — the observability guard's probe.
+func soloAllocsWith(t *testing.T, async bool, opts ...sa.Option) float64 {
+	t.Helper()
+	ctx := context.Background()
+	r, err := sa.NewRepeated[int](4, 1, opts...)
+	if err != nil {
+		t.Fatalf("NewRepeated: %v", err)
+	}
+	h, err := r.Proc(0)
+	if err != nil {
+		t.Fatalf("Proc: %v", err)
+	}
+	propose := func() {
+		var err error
+		if async {
+			_, err = h.ProposeAsync(ctx, 7).Value()
+		} else {
+			_, err = h.Propose(ctx, 7)
+		}
+		if err != nil {
+			t.Fatalf("propose: %v", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		propose() // warm past one-time costs
+	}
+	return testing.AllocsPerRun(100, propose)
+}
+
+// TestObservabilityDisabledOverhead is the observability layer's standing
+// guarantee: with no collector configured (the default, and the explicit
+// WithObservability(nil)), the instrumentation seams threaded through
+// Propose, ProposeAsync and the engine add zero allocations — the
+// measured cost is identical to the uninstrumented baseline and stays
+// within the pre-observability ceilings of alloc_guard_test.go.
+func TestObservabilityDisabledOverhead(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		async   bool
+		ceiling float64
+	}{
+		{"Propose", false, soloProposeAllocCeiling},
+		{"ProposeAsync", true, soloProposeAsyncAllocCeiling},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			base := soloAllocsWith(t, tc.async)
+			if base > tc.ceiling {
+				t.Errorf("default solo %s allocates %.2f/op, ceiling %.0f",
+					tc.name, base, tc.ceiling)
+			}
+			if explicit := soloAllocsWith(t, tc.async, sa.WithObservability(nil)); explicit != base {
+				t.Errorf("WithObservability(nil) solo %s allocates %.2f/op, baseline %.2f — the disabled path must be free",
+					tc.name, explicit, base)
+			}
+		})
+	}
+}
+
+// benchSoloPropose is the shared body of the enabled-vs-disabled cost
+// benchmarks: steady-state solo proposals on one repeated object.
+func benchSoloPropose(b *testing.B, async bool, opts ...sa.Option) {
+	ctx := context.Background()
+	r, err := sa.NewRepeated[int](4, 1, opts...)
+	if err != nil {
+		b.Fatalf("NewRepeated: %v", err)
+	}
+	h, err := r.Proc(0)
+	if err != nil {
+		b.Fatalf("Proc: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := h.Propose(ctx, i); err != nil {
+			b.Fatalf("warmup: %v", err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if async {
+			if _, err := h.ProposeAsync(ctx, i).Value(); err != nil {
+				b.Fatalf("ProposeAsync: %v", err)
+			}
+		} else {
+			if _, err := h.Propose(ctx, i); err != nil {
+				b.Fatalf("Propose: %v", err)
+			}
+		}
+	}
+}
+
+// BenchmarkObservability compares the proposal hot paths with tracing off
+// (the default every existing benchmark measures) and on (a live
+// collector recording spans, histogram observations and ring events), on
+// both the blocking and the engine-driven path. CI's bench job runs it so
+// the enabled-path cost stays a conscious number, not a surprise.
+func BenchmarkObservability(b *testing.B) {
+	b.Run("disabled/sync", func(b *testing.B) { benchSoloPropose(b, false) })
+	b.Run("disabled/async", func(b *testing.B) { benchSoloPropose(b, true) })
+	b.Run("enabled/sync", func(b *testing.B) {
+		benchSoloPropose(b, false, sa.WithObservability(obs.NewCollector()))
+	})
+	b.Run("enabled/async", func(b *testing.B) {
+		benchSoloPropose(b, true, sa.WithObservability(obs.NewCollector()))
+	})
+}

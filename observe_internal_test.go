@@ -1,0 +1,78 @@
+package setagreement
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"setagreement/obs"
+)
+
+// TestObservabilityEngineClosedTrace: closing the engine over a parked
+// proposal terminates its trace in exactly one abort event, and the
+// engine-side counters (engine_closes, close_aborted, spans_aborted)
+// account for it. Whitebox: reaches through the runtime to Close the
+// engine the way TestAsyncEngineShutdownWithParked does.
+func TestObservabilityEngineClosedTrace(t *testing.T) {
+	col := obs.NewCollector()
+	r, err := NewRepeated[int](2, 1,
+		WithSnapshot(SnapshotWaitFree),
+		WithWaitStrategy(WaitNotify),
+		WithBackoff(time.Hour, time.Hour, 1),
+		WithObservability(col))
+	if err != nil {
+		t.Fatalf("NewRepeated: %v", err)
+	}
+	h, err := r.Proc(0)
+	if err != nil {
+		t.Fatalf("Proc: %v", err)
+	}
+	fut := h.ProposeAsync(context.Background(), 41)
+	awaitEngineParked(t, r, 1)
+
+	r.rt.eng.get().Close()
+	select {
+	case <-fut.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("engine Close did not resolve the parked proposal")
+	}
+	if _, err := fut.Value(); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("future resolved with %v, want ErrEngineClosed", err)
+	}
+
+	snap := col.Snapshot(true)
+	for counter, want := range map[string]uint64{
+		"engine_closes": 1,
+		"close_aborted": 1,
+		"spans_aborted": 1,
+		"spans_decided": 0,
+	} {
+		if got := snap.Counters[counter]; got != want {
+			t.Errorf("counter %s = %d, want %d", counter, got, want)
+		}
+	}
+	key := obs.TraceKey{Key: "", Proc: 0}
+	evs := obs.GroupSpans(snap.Events)[key]
+	if len(evs) == 0 {
+		t.Fatal("no trace for the aborted proposal")
+	}
+	aborts := 0
+	for i, ev := range evs {
+		if ev.Seq != uint32(i) {
+			t.Errorf("event %d has seq %d — trace not totally ordered", i, ev.Seq)
+		}
+		switch {
+		case ev.Stage == obs.StageAbort:
+			aborts++
+		case ev.Stage.Terminal():
+			t.Errorf("aborted trace carries terminal %v", ev.Stage)
+		}
+	}
+	if aborts != 1 {
+		t.Errorf("trace has %d abort events, want exactly 1: %v", aborts, evs)
+	}
+	if last := evs[len(evs)-1]; last.Stage != obs.StageAbort {
+		t.Errorf("trace ends in %v, want abort", last.Stage)
+	}
+}

@@ -1,0 +1,275 @@
+package setagreement_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	sa "setagreement"
+	"setagreement/obs"
+)
+
+// obsArena builds a two-contender consensus arena recording into col.
+func obsArena(t *testing.T, col *obs.Collector) *sa.Arena[int] {
+	t.Helper()
+	ar, err := sa.NewArena[int](2, 1, sa.WithObjectOptions(
+		sa.WithWaitStrategy(sa.WaitNotify),
+		sa.WithBackoff(50*time.Microsecond, 2*time.Millisecond, 16),
+		sa.WithObservability(col)))
+	if err != nil {
+		t.Fatalf("NewArena: %v", err)
+	}
+	return ar
+}
+
+// checkTrace asserts the per-proposal trace invariants the ISSUE demands:
+// the trace is totally ordered (Seq dense from 0), opens with its submit
+// event, and terminates in exactly one terminal stage — with at most one
+// delivery event, and nothing else, after it. It returns the terminal.
+func checkTrace(t *testing.T, key obs.TraceKey, evs []obs.Event) obs.Stage {
+	t.Helper()
+	if len(evs) == 0 {
+		t.Fatalf("trace %s/%d is empty", key.Key, key.Proc)
+	}
+	if evs[0].Stage != obs.StageSubmit {
+		t.Errorf("trace %s/%d opens with %v, want submit", key.Key, key.Proc, evs[0].Stage)
+	}
+	terminal := obs.Stage(0)
+	terminals := 0
+	for i, ev := range evs {
+		if ev.Seq != uint32(i) {
+			t.Errorf("trace %s/%d event %d has seq %d — not totally ordered",
+				key.Key, key.Proc, i, ev.Seq)
+		}
+		if ev.WallNS <= 0 {
+			t.Errorf("trace %s/%d event %d has no timestamp", key.Key, key.Proc, i)
+		}
+		if ev.Stage.Terminal() {
+			terminal = ev.Stage
+			terminals++
+		} else if terminals > 0 && ev.Stage != obs.StageDeliver {
+			t.Errorf("trace %s/%d has %v after its terminal", key.Key, key.Proc, ev.Stage)
+		}
+	}
+	if terminals != 1 {
+		t.Errorf("trace %s/%d has %d terminal events, want exactly 1: %v",
+			key.Key, key.Proc, terminals, evs)
+	}
+	return terminal
+}
+
+// TestObservabilityTraceExactlyOnce: every proposal of a batch fan-out
+// leaves exactly one complete trace — submit first, Seq dense, exactly one
+// terminal (here: decided), delivery after it — and the lifecycle counters
+// agree with the trace count.
+func TestObservabilityTraceExactlyOnce(t *testing.T) {
+	const keys = 64
+	col := obs.NewCollector(obs.WithRingSize(1 << 13))
+	ar := obsArena(t, col)
+	ctx := context.Background()
+
+	ops := make([]sa.BatchOp[int], 0, 2*keys)
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("exactly-%04d", i)
+		ops = append(ops,
+			sa.BatchOp[int]{Key: k, Proc: 0, Value: 2 * i},
+			sa.BatchOp[int]{Key: k, Proc: 1, Value: 2*i + 1})
+	}
+	batch, err := ar.SubmitBatch(ctx, ops)
+	if err != nil {
+		t.Fatalf("SubmitBatch: %v", err)
+	}
+	q := sa.NewCompletionQueue[int]()
+	defer q.Close()
+	if err := batch.Register(q); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	for seen := 0; seen < batch.Len(); seen++ {
+		c, err := q.Next(ctx)
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if _, err := c.Value(); err != nil {
+			t.Fatalf("proposal %d: %v", c.Tag, err)
+		}
+	}
+
+	snap := col.Snapshot(true)
+	if snap.DroppedEvents != 0 {
+		t.Fatalf("ring dropped %d events despite headroom", snap.DroppedEvents)
+	}
+	traces := obs.GroupSpans(snap.Events)
+	if len(traces) != 2*keys {
+		t.Fatalf("got %d traces, want %d", len(traces), 2*keys)
+	}
+	for key, evs := range traces {
+		if terminal := checkTrace(t, key, evs); terminal != obs.StageDecide {
+			t.Errorf("trace %s/%d terminated in %v, want decide", key.Key, key.Proc, terminal)
+		}
+		if last := evs[len(evs)-1]; last.Stage != obs.StageDeliver {
+			t.Errorf("trace %s/%d ends in %v, want deliver (registered with a queue)",
+				key.Key, key.Proc, last.Stage)
+		}
+	}
+	for counter, want := range map[string]uint64{
+		"spans_started":  2 * keys,
+		"spans_decided":  2 * keys,
+		"deliveries":     2 * keys,
+		"spans_canceled": 0,
+		"spans_aborted":  0,
+		"spans_failed":   0,
+	} {
+		if got := snap.Counters[counter]; got != want {
+			t.Errorf("counter %s = %d, want %d", counter, got, want)
+		}
+	}
+}
+
+// TestObservabilityTraceCanceled covers both cancellation shapes: a
+// proposal submitted under an already-dead context traces submit→cancel
+// without ever starting, and a proposal cancelled while parked traces
+// through its park to a single cancel terminal.
+func TestObservabilityTraceCanceled(t *testing.T) {
+	t.Run("DeadOnSubmit", func(t *testing.T) {
+		col := obs.NewCollector()
+		ar := obsArena(t, col)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		h, err := ar.Object("dead").Proc(0)
+		if err != nil {
+			t.Fatalf("Proc: %v", err)
+		}
+		if _, err := h.ProposeAsync(ctx, 1).Value(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("future resolved with %v, want context.Canceled", err)
+		}
+		snap := col.Snapshot(true)
+		traces := obs.GroupSpans(snap.Events)
+		evs := traces[obs.TraceKey{Key: "dead", Proc: 0}]
+		if terminal := checkTrace(t, obs.TraceKey{Key: "dead", Proc: 0}, evs); terminal != obs.StageCancel {
+			t.Errorf("dead-context trace terminated in %v, want cancel", terminal)
+		}
+		if got := snap.Counters["spans_canceled"]; got != 1 {
+			t.Errorf("spans_canceled = %d, want 1", got)
+		}
+	})
+	t.Run("WhileParked", func(t *testing.T) {
+		// Conservative solo detection plus hour-long caps: the proposal
+		// parks at its first yield and stays parked until cancelled —
+		// newParkedAsync's construction, instrumented.
+		col := obs.NewCollector()
+		r, err := sa.NewRepeated[int](2, 1,
+			sa.WithSnapshot(sa.SnapshotWaitFree),
+			sa.WithWaitStrategy(sa.WaitNotify),
+			sa.WithBackoff(time.Hour, time.Hour, 1),
+			sa.WithObservability(col))
+		if err != nil {
+			t.Fatalf("NewRepeated: %v", err)
+		}
+		h, err := r.Proc(0)
+		if err != nil {
+			t.Fatalf("Proc: %v", err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		fut := h.ProposeAsync(ctx, 41)
+		deadline := time.Now().Add(10 * time.Second)
+		for col.Snapshot(false).Counters["parks"] == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("proposal never parked")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+		if err := fut.Err(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("future resolved with %v, want context.Canceled", err)
+		}
+		snap := col.Snapshot(true)
+		key := obs.TraceKey{Key: "", Proc: 0} // standalone object: no arena key
+		evs := obs.GroupSpans(snap.Events)[key]
+		if terminal := checkTrace(t, key, evs); terminal != obs.StageCancel {
+			t.Errorf("parked-cancel trace terminated in %v, want cancel", terminal)
+		}
+		parks := 0
+		for _, ev := range evs {
+			if ev.Stage == obs.StagePark {
+				parks++
+			}
+		}
+		if parks == 0 {
+			t.Errorf("parked-cancel trace has no park event: %v", evs)
+		}
+	})
+}
+
+// TestObservabilityRingOverflow floods a deliberately tiny ring from
+// concurrent proposers: overflow must be accounted in the drop counter
+// while every event that does land stays well-formed — valid stage, its
+// proposal's key, a timestamp — and every surviving trace stays in Seq
+// order. Run under -race in CI.
+func TestObservabilityRingOverflow(t *testing.T) {
+	col := obs.NewCollector(obs.WithRingSize(16))
+	ar := obsArena(t, col)
+	ctx := context.Background()
+
+	const workers, keysPer = 4, 32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < keysPer; i++ {
+				k := fmt.Sprintf("flood-%d-%04d", w, i)
+				h0, err := ar.Object(k).Proc(0)
+				if err != nil {
+					t.Errorf("Proc: %v", err)
+					return
+				}
+				h1, err := ar.Object(k).Proc(1)
+				if err != nil {
+					t.Errorf("Proc: %v", err)
+					return
+				}
+				f0 := h0.ProposeAsync(ctx, 2*i)
+				f1 := h1.ProposeAsync(ctx, 2*i+1)
+				if _, err := f0.Value(); err != nil {
+					t.Errorf("%s/0: %v", k, err)
+				}
+				if _, err := f1.Value(); err != nil {
+					t.Errorf("%s/1: %v", k, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	snap := col.Snapshot(true)
+	if snap.DroppedEvents == 0 {
+		t.Fatalf("no drops recorded: %d proposals' events through a 16-slot ring", workers*keysPer*2)
+	}
+	for _, ev := range snap.Events {
+		if ev.Stage > obs.StageWait {
+			t.Errorf("corrupt event stage %d: %+v", ev.Stage, ev)
+		}
+		if ev.Key == "" || ev.WallNS <= 0 {
+			t.Errorf("corrupt event fields: %+v", ev)
+		}
+	}
+	for key, evs := range obs.GroupSpans(snap.Events) {
+		prev := int64(-1)
+		for _, ev := range evs {
+			if int64(ev.Seq) <= prev {
+				t.Errorf("trace %s/%d out of order under overflow: %v", key.Key, key.Proc, evs)
+				break
+			}
+			prev = int64(ev.Seq)
+		}
+	}
+	// The histograms are ring-independent: every proposal still observed.
+	if hs := snap.Latencies["submit_to_decide"]; hs.Count != uint64(workers*keysPer*2) {
+		t.Errorf("submit_to_decide count = %d, want %d (histograms must not drop)",
+			hs.Count, workers*keysPer*2)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"setagreement/internal/register"
 	"setagreement/internal/shmem"
 	"setagreement/internal/snapshot"
+	"setagreement/obs"
 )
 
 // MemoryBackend selects the native shared-memory substrate the object's
@@ -153,6 +154,7 @@ type options struct {
 	engineWorkers int  // 0 = GOMAXPROCS, resolved by engine.New
 	noCombining   bool // WithScanCombining(false): disable the combiner
 	codec         any  // Codec[T] supplied by WithCodec; resolved per entry point
+	obs           *obs.Collector
 }
 
 func buildOptions(opts []Option) (options, error) {
@@ -291,6 +293,28 @@ func WithEngine(workers int) Option {
 func WithScanCombining(enabled bool) Option {
 	return optionFunc(func(o *options) error {
 		o.noCombining = !enabled
+		return nil
+	})
+}
+
+// WithObservability attaches an obs.Collector to the object (or, through
+// WithObjectOptions, to every object of an arena): the collector's
+// per-stage latency histograms, lifecycle counters and recent-event ring
+// then record every proposal's lifecycle — submit, first step, each
+// park/wake pair with its wake reason and run-queue position, the
+// decision and its completion-queue delivery — plus the synchronous
+// path's waits and solo-run skips. Read it with Collector.Snapshot (or
+// Arena.Observe), serve it live with obs/obshttp, and see the `obs`
+// sabench table for the per-stage breakdown under load.
+//
+// Observability is off by default and its disabled path is free: without
+// a collector the instrumented paths make nil-receiver no-op calls that
+// allocate nothing (see TestObservabilityDisabledOverhead). One collector
+// may serve any number of objects; events are keyed by (object key,
+// process id).
+func WithObservability(c *obs.Collector) Option {
+	return optionFunc(func(o *options) error {
+		o.obs = c
 		return nil
 	})
 }

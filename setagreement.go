@@ -71,6 +71,10 @@ func (o *object[T]) handle(id int, oneShot bool) *Handle[T] {
 	h.guard.inner = o.rt.wrap(id)
 	h.guard.wait = o.rt.opts.newWait()
 	h.guard.stats = &h.stats
+	// Observability wiring: the collector (nil when disabled) plus the
+	// event key — process id here, object key filled in by the arena.
+	h.guard.rec = o.rt.opts.obs
+	h.guard.obsProc = int32(id)
 	if nt, ok := h.guard.inner.(shmem.Notifier); ok {
 		h.guard.notifier = nt
 		if o.rt.comb != nil {
@@ -268,7 +272,7 @@ func newRuntime(alg core.Algorithm, o options, anonymous bool) (*runtime, error)
 	if err != nil {
 		return nil, err
 	}
-	rt := &runtime{mem: mem, wrap: wrap, opts: o, eng: &engineRef{workers: o.engineWorkers}}
+	rt := &runtime{mem: mem, wrap: wrap, opts: o, eng: &engineRef{workers: o.engineWorkers, obsv: observerFor(o.obs)}}
 	if !o.noCombining {
 		rt.comb = shmem.NewScanCombiner(len(alg.Spec().Snaps))
 	}
